@@ -1,0 +1,401 @@
+// Root benchmark harness: one bench per table and figure of the paper
+// (regenerating the artifact in quick mode and reporting its headline
+// number as a metric), micro-benchmarks of the substrate, and the ablation
+// benches called out in DESIGN.md §5.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale statistical sizing is available through cmd/ftbench -full.
+package fliptracker_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fliptracker"
+	"fliptracker/internal/acl"
+	"fliptracker/internal/dddg"
+	"fliptracker/internal/experiments"
+	"fliptracker/internal/interp"
+	"fliptracker/internal/trace"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Ranks = 4
+	o.Runs = 3
+	return o
+}
+
+// --- One bench per paper artifact ---
+
+func BenchmarkFig4TracingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TracingOverhead(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MeanOverhead, "overhead-%")
+	}
+}
+
+func BenchmarkFig5PerRegionSuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PerRegionSuccessRates(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows)), "regions")
+	}
+}
+
+func BenchmarkFig6PerIterationSuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PerIterationSuccessRates(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Rows)), "iterations")
+	}
+}
+
+func BenchmarkFig7ACLSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ACLSeries(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Peak), "peak-ACL")
+	}
+}
+
+func BenchmarkTable1PatternInventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.PatternInventory(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := 0
+		for _, row := range r.Rows {
+			if row.AnyFound {
+				found++
+			}
+		}
+		b.ReportMetric(float64(found), "regions-with-patterns")
+	}
+}
+
+func BenchmarkTable2RepeatedAdditions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RepeatedAdditionsMagnitude(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Shrinks {
+			b.Fatal("error magnitude did not shrink")
+		}
+	}
+}
+
+func BenchmarkTable3ResilienceAwareCG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ResilienceAwareCG(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, all := r.Rows[0].SR, r.Rows[3].SR
+		if base > 0 {
+			b.ReportMetric(100*(all-base)/base, "resilience-gain-%")
+		}
+	}
+}
+
+func BenchmarkTable4Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Prediction(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.RSquared, "r-squared-%")
+		b.ReportMetric(100*r.MeanErrExclDC, "loo-err-%")
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func cleanCG(b *testing.B) (*fliptracker.Analyzer, *trace.Trace) {
+	b.Helper()
+	an, err := fliptracker.NewAnalyzer("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := an.CleanTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return an, tr
+}
+
+func BenchmarkInterpreterUntraced(b *testing.B) {
+	an, tr := cleanCG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := an.App.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Steps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msteps/s")
+}
+
+func BenchmarkInterpreterFullTrace(b *testing.B) {
+	an, tr := cleanCG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := an.App.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Mode = interp.TraceFull
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Steps)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msteps/s")
+}
+
+func BenchmarkDDDGBuild(b *testing.B) {
+	an, tr := cleanCG(b)
+	span, err := an.RegionInstance("cg_b", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := dddg.Build(tr, span)
+		if len(g.Nodes) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// midDstStep returns the dynamic step of a destination-writing instruction
+// near the middle of the trace (faults on branch steps never fire).
+func midDstStep(b *testing.B, tr *trace.Trace) uint64 {
+	b.Helper()
+	for i := len(tr.Recs) / 2; i < len(tr.Recs); i++ {
+		if tr.Recs[i].HasDst() {
+			return tr.Recs[i].Step
+		}
+	}
+	b.Fatal("no destination-writing record in second half of trace")
+	return 0
+}
+
+func BenchmarkACLAnalysis(b *testing.B) {
+	an, clean := cleanCG(b)
+	faulty, err := an.App.FaultyTrace(interp.TraceFull,
+		interp.Fault{Step: midDstStep(b, clean), Bit: 40, Kind: interp.FaultDst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := acl.Analyze(faulty, clean)
+		_ = res.Peak
+	}
+}
+
+func BenchmarkFaultInjectionRun(b *testing.B) {
+	an, clean := cleanCG(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := an.App.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Fault = &interp.Fault{Step: clean.Steps / 2, Bit: uint8(i % 64), Kind: interp.FaultDst}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationACLLiveness compares the paper's liveness-refined ACL
+// against conservative alive-until-overwritten tainting: the refinement's
+// cost and how much it shrinks reported peaks.
+func BenchmarkAblationACLLiveness(b *testing.B) {
+	an, clean := cleanCG(b)
+	faulty, err := an.App.FaultyTrace(interp.TraceFull,
+		interp.Fault{Step: midDstStep(b, clean), Bit: 40, Kind: interp.FaultDst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-liveness", func(b *testing.B) {
+		var peak int32
+		for i := 0; i < b.N; i++ {
+			peak = acl.AnalyzeWith(faulty, clean, acl.Options{}).Peak
+		}
+		b.ReportMetric(float64(peak), "peak-ACL")
+	})
+	b.Run("conservative", func(b *testing.B) {
+		var peak int32
+		for i := 0; i < b.N; i++ {
+			peak = acl.AnalyzeWith(faulty, clean, acl.Options{SkipLiveness: true}).Peak
+		}
+		b.ReportMetric(float64(peak), "peak-ACL")
+	})
+}
+
+// BenchmarkAblationRegionGranularity compares analysis cost at the paper's
+// first-level-inner-loop granularity against whole-main-loop granularity
+// (§III-A: granularity changes cost, not correctness).
+func BenchmarkAblationRegionGranularity(b *testing.B) {
+	an, tr := cleanCG(b)
+	inner, err := an.RegionInstance("cg_b", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outer, err := an.RegionInstance("cg_main", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inner-loop-region", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dddg.Build(tr, inner)
+		}
+		b.ReportMetric(float64(inner.Len()), "records")
+	})
+	b.Run("main-loop-region", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dddg.Build(tr, outer)
+		}
+		b.ReportMetric(float64(outer.Len()), "records")
+	})
+}
+
+// BenchmarkAblationTraceSplitting compares per-region-instance analysis
+// (trace splitting, §IV-A) against analyzing one whole-trace graph.
+func BenchmarkAblationTraceSplitting(b *testing.B) {
+	an, tr := cleanCG(b)
+	region, err := an.Region("cg_b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spans := tr.InstancesOf(int32(region.ID))
+	whole := trace.Span{Start: 0, End: len(tr.Recs)}
+	b.Run("split-per-instance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range spans {
+				dddg.Build(tr, s)
+			}
+		}
+	})
+	b.Run("whole-trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dddg.Build(tr, whole)
+		}
+	})
+}
+
+// BenchmarkAblationTraceCodecs compares the gob+gzip trace encoding against
+// the compact varint/delta binary codec (the §IV-A trace-compression
+// direction) on a real CG trace.
+func BenchmarkAblationTraceCodecs(b *testing.B) {
+	_, tr := cleanCG(b)
+	sub := &trace.Trace{ProgName: tr.ProgName, Recs: tr.Recs[:50000], Output: tr.Output, Status: tr.Status, Steps: tr.Steps}
+	b.Run("gob-gzip", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := sub.Write(&buf); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		b.ReportMetric(float64(n)/float64(len(sub.Recs)), "bytes/rec")
+	})
+	b.Run("binary", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := sub.WriteBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		b.ReportMetric(float64(n)/float64(len(sub.Recs)), "bytes/rec")
+	})
+	b.Run("binary-decode", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := sub.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ReadBinary(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSelectiveTracing measures §V-B's selective tracing: full
+// tracing vs tracing only conj_grad vs markers only.
+func BenchmarkAblationSelectiveTracing(b *testing.B) {
+	an, tr0 := cleanCG(b)
+	cj := an.Prog.FuncByName["conj_grad"]
+	run := func(b *testing.B, setup func(m *interp.Machine)) {
+		for i := 0; i < b.N; i++ {
+			m, err := an.App.NewMachine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Mode = interp.TraceFull
+			m.TraceHint = tr0.Steps
+			setup(m)
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("all-functions", func(b *testing.B) {
+		run(b, func(m *interp.Machine) {})
+	})
+	b.Run("conj-grad-only", func(b *testing.B) {
+		run(b, func(m *interp.Machine) { m.TraceFuncs = map[int]bool{cj.Index: true} })
+	})
+	b.Run("no-functions", func(b *testing.B) {
+		run(b, func(m *interp.Machine) { m.TraceFuncs = map[int]bool{} })
+	})
+}
+
+// BenchmarkAblationTracingModes compares the interpreter's three trace
+// modes, the cost spectrum behind Figure 4.
+func BenchmarkAblationTracingModes(b *testing.B) {
+	an, _ := cleanCG(b)
+	for _, mode := range []struct {
+		name string
+		m    interp.TraceMode
+	}{{"off", interp.TraceOff}, {"markers", interp.TraceMarkers}, {"full", interp.TraceFull}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := an.App.NewMachine()
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Mode = mode.m
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

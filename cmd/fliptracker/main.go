@@ -1,0 +1,384 @@
+// Command fliptracker is the interactive front end of the FlipTracker
+// reproduction: list workloads, dump disassembly and region tables, collect
+// traces, analyze single faults (DDDG + ACL + pattern detection), run
+// injection campaigns, and export DDDGs as Graphviz dot.
+//
+// Usage:
+//
+//	fliptracker list
+//	fliptracker regions  -app cg
+//	fliptracker disasm   -app cg [-func conj_grad]
+//	fliptracker trace    -app cg -out cg.trace
+//	fliptracker rates    -app cg
+//	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
+//	fliptracker campaign -app cg [-region cg_b] [-instance 0] [-target internal|input] [-tests N] [-seed S]
+//	fliptracker dot      -app cg -region cg_b [-instance 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/patterns"
+	"fliptracker/internal/stats"
+	"fliptracker/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "regions":
+		err = cmdRegions(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "rates":
+		err = cmdRates(args)
+	case "inject":
+		err = cmdInject(args)
+	case "campaign":
+		err = cmdCampaign(args)
+	case "dot":
+		err = cmdDot(args)
+	case "acl":
+		err = cmdACL(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fliptracker: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fliptracker:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fliptracker <command> [flags]
+commands: list, regions, disasm, trace, rates, inject, campaign, dot, acl
+run "fliptracker <command> -h" for the command's flags`)
+}
+
+func cmdList() error {
+	for _, n := range apps.Names() {
+		a, _ := apps.Get(n)
+		fmt.Printf("%-11s %s\n", n, a.Description)
+	}
+	return nil
+}
+
+func cmdRegions(args []string) error {
+	fs := flag.NewFlagSet("regions", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-9s %-11s %10s %10s\n", "region", "kind", "lines", "instances", "instrs/it0")
+	for _, r := range an.Prog.Regions {
+		kind := "region"
+		if r.MainLoop {
+			kind = "main-loop"
+		}
+		inst := clean.InstancesOf(int32(r.ID))
+		size := 0
+		if len(inst) > 0 {
+			size = inst[0].Len()
+		}
+		fmt.Printf("%-12s %-9s %4d-%-6d %10d %10d\n", r.Name, kind, r.FirstLine, r.LastLine, len(inst), size)
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	fn := fs.String("func", "", "function name (default: whole program)")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	if *fn == "" {
+		fmt.Print(an.Prog.Disassemble())
+		return nil
+	}
+	d, ok := an.Prog.DisassembleFunc(*fn)
+	if !ok {
+		return fmt.Errorf("no function %q in %s", *fn, *app)
+	}
+	fmt.Print(d)
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	out := fs.String("out", "", "output trace file")
+	format := fs.String("format", "gob", "trace format: gob (gzip-compressed) or binary (varint/delta)")
+	funcs := fs.String("funcs", "", "comma-separated function names to trace selectively (default: all)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if *funcs == "" {
+		tr, err = an.CleanTrace()
+		if err != nil {
+			return err
+		}
+	} else {
+		// Selective tracing (§V-B): record only the named functions.
+		sel := map[int]bool{}
+		for _, name := range strings.Split(*funcs, ",") {
+			f, ok := an.Prog.FuncByName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("no function %q in %s", name, *app)
+			}
+			sel[f.Index] = true
+		}
+		m, err := an.App.NewMachine()
+		if err != nil {
+			return err
+		}
+		m.Mode = interp.TraceFull
+		m.TraceFuncs = sel
+		tr, err = m.Run()
+		if err != nil {
+			return err
+		}
+	}
+	switch *format {
+	case "gob":
+		err = tr.WriteFile(*out)
+	case "binary":
+		err = tr.WriteBinaryFile(*out)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d dynamic steps, %s format) to %s\n",
+		len(tr.Recs), tr.Steps, *format, *out)
+	return nil
+}
+
+func cmdRates(args []string) error {
+	fs := flag.NewFlagSet("rates", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	r, err := an.PatternRates()
+	if err != nil {
+		return err
+	}
+	names := patterns.FeatureNames()
+	for i, v := range r.Vector() {
+		fmt.Printf("%-16s %.6g\n", names[i], v)
+	}
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	step := fs.Uint64("step", 0, "dynamic step to inject at")
+	bit := fs.Int("bit", 40, "bit to flip (0-63)")
+	kind := fs.String("kind", "dst", "fault kind: dst, mem, reg")
+	addr := fs.Int64("addr", 0, "memory word (kind=mem)")
+	reg := fs.Int("reg", 0, "register (kind=reg)")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	f := interp.Fault{Step: *step, Bit: uint8(*bit)}
+	switch *kind {
+	case "dst":
+		f.Kind = interp.FaultDst
+	case "mem":
+		f.Kind, f.Addr = interp.FaultMem, *addr
+	case "reg":
+		f.Kind, f.Reg = interp.FaultReg, ir.Reg(*reg)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	fa, err := an.AnalyzeFault(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault: %s\noutcome: %s\n", f.String(), fa.Outcome)
+	fmt.Printf("injection record: %d, control-flow divergence: %d, peak ACL: %d\n",
+		fa.ACL.InjectionIndex, fa.ACL.DivergenceIndex, fa.ACL.Peak)
+	for _, rr := range fa.Regions {
+		fmt.Printf("region %s #%d: inputs corrupted %d, outputs corrupted %d, case1=%v case2=%v ACLdrop=%d\n",
+			rr.Region.Name, rr.Instance,
+			len(rr.Comparison.CorruptedInputs), len(rr.Comparison.CorruptedOutputs),
+			rr.Comparison.Case1, rr.Comparison.Case2, rr.ACLDrop)
+		for _, ev := range rr.Patterns.Evidence {
+			fmt.Printf("  %-25s line %-5d %-14s %s\n",
+				ev.Pattern, ev.Line, trace.Describe(ev.Loc, an.Prog), ev.Note)
+		}
+	}
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	region := fs.String("region", "", "region name (empty: whole program)")
+	instance := fs.Int("instance", 0, "region instance")
+	target := fs.String("target", "internal", "internal or input")
+	tests := fs.Int("tests", 0, "injections (0: statistical sizing at 95%/3%)")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return err
+	}
+	n := *tests
+	if n == 0 {
+		n = stats.SampleSize(clean.Steps*64, 0.95, 0.03)
+	}
+	var res interface {
+		SuccessRate() float64
+		CrashRate() float64
+	}
+	if *region == "" {
+		r, err := an.WholeProgramCampaign(n, *seed)
+		if err != nil {
+			return err
+		}
+		res = r
+		fmt.Printf("whole-program campaign on %s: %d tests\n", *app, n)
+		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+	} else {
+		r, err := an.RegionCampaign(*region, *instance, *target, n, *seed)
+		if err != nil {
+			return err
+		}
+		res = r
+		fmt.Printf("campaign on %s/%s#%d (%s): %d tests\n", *app, *region, *instance, *target, n)
+		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+	}
+	ci := stats.ProportionCI(res.SuccessRate(), n, 0.95)
+	fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", res.SuccessRate(), ci, res.CrashRate())
+	return nil
+}
+
+func cmdACL(args []string) error {
+	fs := flag.NewFlagSet("acl", flag.ExitOnError)
+	app := fs.String("app", "lulesh", "application name")
+	step := fs.Uint64("step", 0, "dynamic step to inject at (0: middle of the run)")
+	bit := fs.Int("bit", 50, "bit to flip")
+	buckets := fs.Int("buckets", 40, "curve resolution")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return err
+	}
+	s := *step
+	if s == 0 {
+		s = clean.Steps / 2
+	}
+	fa, err := an.AnalyzeFault(interp.Fault{Step: s, Bit: uint8(*bit), Kind: interp.FaultDst})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault at step %d bit %d -> outcome %s, peak ACL %d\n", s, *bit, fa.Outcome, fa.ACL.Peak)
+	series := fa.ACL.Series
+	start := fa.ACL.InjectionIndex
+	if start < 0 {
+		fmt.Println("no corruption observed (fault never fired or was instantly masked)")
+		return nil
+	}
+	n := len(series) - start
+	bk := *buckets
+	if n < bk {
+		bk = n
+	}
+	if bk == 0 {
+		return nil
+	}
+	per := n / bk
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < bk; i++ {
+		lo := start + i*per
+		hi := lo + per
+		if hi > len(series) {
+			hi = len(series)
+		}
+		var mx int32
+		for j := lo; j < hi; j++ {
+			if series[j] > mx {
+				mx = series[j]
+			}
+		}
+		bar := int(mx)
+		if bar > 70 {
+			bar = 70
+		}
+		fmt.Printf("%10d %5d %s\n", lo, mx, strings.Repeat("#", bar))
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	region := fs.String("region", "", "region name")
+	instance := fs.Int("instance", 0, "region instance")
+	fs.Parse(args)
+	if *region == "" {
+		return fmt.Errorf("-region is required")
+	}
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	g, err := an.RegionDDDG(*region, *instance)
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.DOT(an.Prog, strings.Join([]string{*app, *region}, "_")))
+	return nil
+}

@@ -1,0 +1,71 @@
+// ACL-curve: reproduce the paper's Figure 7 view interactively — inject a
+// fault into LULESH's hourglass-force temporaries and plot (as ASCII) how
+// the number of alive corrupted locations rises while the corruption
+// spreads through hourgam/hxx/hgfz and collapses when the temporaries die.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fliptracker"
+)
+
+func main() {
+	an, err := fliptracker.NewAnalyzer("lulesh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fault in the middle of the run, into an instruction result.
+	fa, err := an.AnalyzeFault(fliptracker.Fault{
+		Step: clean.Steps / 2,
+		Bit:  50,
+		Kind: fliptracker.FaultDst,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outcome: %v, peak ACL: %d\n\n", fa.Outcome, fa.ACL.Peak)
+
+	series := fa.ACL.Series
+	start := fa.ACL.InjectionIndex
+	if start < 0 {
+		fmt.Println("the fault left no trace (it never fired or was instantly masked)")
+		return
+	}
+	// Down-sample the tail of the series into 40 buckets of max values.
+	n := len(series) - start
+	buckets := 40
+	if n < buckets {
+		buckets = n
+	}
+	per := n / buckets
+	if per == 0 {
+		per = 1
+	}
+	fmt.Println("alive corrupted locations after injection:")
+	for b := 0; b < buckets; b++ {
+		lo := start + b*per
+		hi := lo + per
+		if hi > len(series) {
+			hi = len(series)
+		}
+		var mx int32
+		for i := lo; i < hi; i++ {
+			if series[i] > mx {
+				mx = series[i]
+			}
+		}
+		bar := int(mx)
+		if bar > 70 {
+			bar = 70
+		}
+		fmt.Printf("%9d |%s %d\n", lo, strings.Repeat("#", bar), mx)
+	}
+}

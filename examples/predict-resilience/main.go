@@ -1,0 +1,56 @@
+// Predict-resilience: the paper's Use Case 2 (§VII-B, Table IV). Instead of
+// an expensive random fault-injection campaign, count the resilience-pattern
+// instances in a single fault-free trace and predict the application's
+// success rate with a Bayesian linear regression trained on the other
+// benchmarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fliptracker"
+)
+
+func main() {
+	benchmarks := []string{"cg", "mg", "lu", "bt", "is", "dc", "sp", "ft", "kmeans", "lulesh"}
+	const tests = 150 // per-benchmark campaign for the measured rates
+
+	var samples []fliptracker.PredictSample
+	fmt.Println("measuring success rates and pattern rates...")
+	for _, name := range benchmarks {
+		an, err := fliptracker.NewAnalyzer(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates, err := an.PatternRates()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.WholeProgramCampaign(tests, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, fliptracker.PredictSample{
+			Name: name, X: rates.Vector(), Y: res.SuccessRate(),
+		})
+	}
+
+	// Experiment 1: fit all ten and report the R-square (paper: 96.4%).
+	model, err := fliptracker.FitPredictor(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R-square of the all-ten fit: %.1f%%\n\n", 100*model.RSquared(samples))
+
+	// Experiment 2: leave-one-out — predict each benchmark from the
+	// other nine.
+	loo, err := fliptracker.LeaveOneOut(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s %10s %10s %10s\n", "bench", "measured", "predicted", "err")
+	for _, r := range loo {
+		fmt.Printf("%-9s %10.3f %10.3f %9.1f%%\n", r.Name, r.Measured, r.Predicted, 100*r.ErrRate)
+	}
+}

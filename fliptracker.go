@@ -1,0 +1,193 @@
+// Package fliptracker is the public API of the FlipTracker reproduction —
+// a framework for understanding natural error resilience in HPC
+// applications (Guo, Li, Laguna, Schulz; SC 2018).
+//
+// FlipTracker executes an application on an instruction-level interpreter,
+// records dynamic traces, models the application as a chain of
+// loop-delineated code regions, and tracks how injected single-bit faults
+// propagate: per-region dynamic data dependence graphs (DDDG) identify each
+// region's inputs and outputs, and an alive-corrupted-locations (ACL) table
+// shows, instruction by instruction, how many corrupted locations are still
+// live. From these two views the framework extracts the six resilience
+// computation patterns the paper defines: dead corrupted locations,
+// repeated additions, conditional statements, shifting, truncation, and
+// data overwriting.
+//
+// Basic use:
+//
+//	an, err := fliptracker.NewAnalyzer("cg")
+//	fa, err := an.AnalyzeFault(fliptracker.Fault{Step: 12345, Bit: 40})
+//	for _, rr := range fa.Regions {
+//	    fmt.Println(rr.Region.Name, rr.Patterns.Evidence)
+//	}
+//
+// The ten workloads of the paper's evaluation (NPB CG, MG, IS, LU, BT, SP,
+// DC, FT; LULESH; Rodinia KMEANS) ship with the library; Apps lists them.
+package fliptracker
+
+import (
+	"fliptracker/internal/acl"
+	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
+	"fliptracker/internal/dddg"
+	"fliptracker/internal/inject"
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/patterns"
+	"fliptracker/internal/predict"
+	"fliptracker/internal/stats"
+	"fliptracker/internal/trace"
+)
+
+// Core pipeline.
+type (
+	// Analyzer drives the FlipTracker pipeline for one application.
+	Analyzer = core.Analyzer
+	// FaultAnalysis is the fine-grained analysis of one faulty run.
+	FaultAnalysis = core.FaultAnalysis
+	// RegionReport is the per-region view of a fault analysis.
+	RegionReport = core.RegionReport
+)
+
+// Fault injection.
+type (
+	// Fault is one single-bit flip (step, bit, target kind).
+	Fault = interp.Fault
+	// FaultKind selects register/memory/instruction-result targets.
+	FaultKind = interp.FaultKind
+	// CampaignSpec configures a fault-injection campaign.
+	CampaignSpec = inject.Spec
+	// CampaignResult aggregates campaign outcomes.
+	CampaignResult = inject.Result
+	// Outcome is one fault manifestation (§II-A).
+	Outcome = inject.Outcome
+)
+
+// Fault target kinds.
+const (
+	FaultDst = interp.FaultDst
+	FaultMem = interp.FaultMem
+	FaultReg = interp.FaultReg
+)
+
+// TraceMode selects how much a run records.
+type TraceMode = interp.TraceMode
+
+// Trace collection modes.
+const (
+	TraceOff     = interp.TraceOff
+	TraceMarkers = interp.TraceMarkers
+	TraceFull    = interp.TraceFull
+)
+
+// Fault manifestations.
+const (
+	Success    = inject.Success
+	Failed     = inject.Failed
+	Crashed    = inject.Crashed
+	NotApplied = inject.NotApplied
+)
+
+// Analysis artifacts.
+type (
+	// Trace is a dynamic instruction trace.
+	Trace = trace.Trace
+	// Span is one code-region instance within a trace.
+	Span = trace.Span
+	// Loc is a dynamic data location (register, memory word, output).
+	Loc = trace.Loc
+	// DDDG is a dynamic data dependence graph.
+	DDDG = dddg.Graph
+	// RegionComparison classifies §III-D fault-tolerance cases.
+	RegionComparison = dddg.RegionComparison
+	// ACLResult is the alive-corrupted-locations analysis.
+	ACLResult = acl.Result
+	// Pattern is one of the six resilience computation patterns.
+	Pattern = patterns.Pattern
+	// PatternDetection reports the patterns found in a region instance.
+	PatternDetection = patterns.Detection
+	// PatternRates are the normalized pattern-instance counts (§VII-B).
+	PatternRates = patterns.Rates
+)
+
+// The six resilience computation patterns (§VI).
+const (
+	DCL              = patterns.DCL
+	RepeatedAddition = patterns.RepeatedAddition
+	Conditional      = patterns.Conditional
+	Shifting         = patterns.Shifting
+	Truncation       = patterns.Truncation
+	Overwriting      = patterns.Overwriting
+)
+
+// Prediction (Use Case 2, §VII-B).
+type (
+	// PredictSample is one program's pattern rates and measured success rate.
+	PredictSample = predict.Sample
+	// PredictModel is the fitted Bayesian linear regression.
+	PredictModel = predict.Model
+	// LOOResult is one leave-one-out validation row (Table IV).
+	LOOResult = predict.LOOResult
+)
+
+// Workloads.
+type (
+	// App is one registered benchmark.
+	App = apps.App
+	// Program is a sealed IR module.
+	Program = ir.Program
+)
+
+// NewAnalyzer builds the pipeline for a registered application ("cg", "mg",
+// "is", "lu", "bt", "sp", "dc", "ft", "kmeans", "lulesh", plus the hardened
+// CG variants of Use Case 1).
+func NewAnalyzer(appName string) (*Analyzer, error) { return core.NewAnalyzer(appName) }
+
+// Apps returns the names of every registered workload.
+func Apps() []string { return apps.Names() }
+
+// GetApp returns a registered workload.
+func GetApp(name string) (*App, bool) { return apps.Get(name) }
+
+// RunCampaign executes a fault-injection campaign.
+func RunCampaign(spec CampaignSpec) (CampaignResult, error) { return inject.Run(spec) }
+
+// UniformDstPicker targets the result of a uniformly chosen dynamic
+// instruction across a run of the given length — the standard whole-program
+// population (§IV-C).
+func UniformDstPicker(totalSteps uint64) inject.TargetPicker {
+	return inject.UniformDst{TotalSteps: totalSteps}
+}
+
+// AnalyzeACL builds the ACL table for a faulty trace against its matching
+// fault-free trace.
+func AnalyzeACL(faulty, clean *Trace) *ACLResult { return acl.Analyze(faulty, clean) }
+
+// BuildDDDG builds the dynamic data dependence graph of one region-instance
+// span.
+func BuildDDDG(t *Trace, s Span) *DDDG { return dddg.Build(t, s) }
+
+// DetectPatterns runs the six pattern detectors over one region instance.
+func DetectPatterns(prog *Program, faulty, clean *Trace, s Span, res *ACLResult) *PatternDetection {
+	return patterns.Detect(prog, faulty, clean, s, res)
+}
+
+// CountPatternRates counts pattern rates over a fault-free trace.
+func CountPatternRates(t *Trace) PatternRates { return patterns.CountRates(t) }
+
+// FitPredictor fits the §VII-B success-rate regression.
+func FitPredictor(samples []PredictSample) (*PredictModel, error) {
+	return predict.Fit(samples, predict.DefaultLambda)
+}
+
+// LeaveOneOut runs the Table IV leave-one-out validation.
+func LeaveOneOut(samples []PredictSample) ([]LOOResult, error) {
+	return predict.LeaveOneOut(samples, predict.DefaultLambda)
+}
+
+// SampleSize computes the number of injection tests for a population at a
+// confidence level and margin of error (Leveugle et al.; the paper uses
+// 95%/3% and 99%/1%).
+func SampleSize(population uint64, confidence, margin float64) int {
+	return stats.SampleSize(population, confidence, margin)
+}

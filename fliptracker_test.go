@@ -1,0 +1,184 @@
+package fliptracker_test
+
+import (
+	"strings"
+	"testing"
+
+	"fliptracker"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	names := fliptracker.Apps()
+	if len(names) < 10 {
+		t.Fatalf("apps = %v", names)
+	}
+	for _, want := range []string{"cg", "mg", "is", "lu", "bt", "sp", "dc", "ft", "kmeans", "lulesh"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing workload %q", want)
+		}
+	}
+	if _, ok := fliptracker.GetApp("cg"); !ok {
+		t.Fatal("GetApp(cg) failed")
+	}
+}
+
+func TestEndToEndPublicPipeline(t *testing.T) {
+	an, err := fliptracker.NewAnalyzer("is")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Steps == 0 {
+		t.Fatal("empty clean trace")
+	}
+
+	// Analyze one fault through the facade.
+	fa, err := an.AnalyzeFault(fliptracker.Fault{
+		Step: clean.Steps / 4,
+		Bit:  3,
+		Kind: fliptracker.FaultDst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch fa.Outcome {
+	case fliptracker.Success, fliptracker.Failed, fliptracker.Crashed, fliptracker.NotApplied:
+	default:
+		t.Fatalf("unexpected outcome %v", fa.Outcome)
+	}
+
+	// DDDG of the shift region, exported as DOT.
+	g, err := an.RegionDDDG("is_b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT(an.Prog, "is_b")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "lshr") {
+		t.Error("DOT export missing expected content")
+	}
+
+	// Pattern rates + prediction plumbing.
+	rates, err := an.PatternRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Shift <= 0 {
+		t.Errorf("IS shift rate = %v, want > 0", rates.Shift)
+	}
+
+	// Sample-size helper matches the paper's settings.
+	if n := fliptracker.SampleSize(1<<40, 0.95, 0.03); n < 1000 || n > 1100 {
+		t.Errorf("95/3 sample size = %d", n)
+	}
+}
+
+func TestPublicCampaign(t *testing.T) {
+	an, err := fliptracker.NewAnalyzer("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.WholeProgramCampaign(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests != 50 {
+		t.Fatalf("tests = %d", res.Tests)
+	}
+	if sr := res.SuccessRate(); sr < 0 || sr > 1 {
+		t.Fatalf("rate = %v", sr)
+	}
+}
+
+func TestPublicAnalysisHelpers(t *testing.T) {
+	an, err := fliptracker.NewAnalyzer("mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faulty run through the app helper, ACL through the facade.
+	faulty, err := an.App.FaultyTrace(fliptracker.TraceFull, fliptracker.Fault{
+		Step: clean.Steps / 2, Bit: 44, Kind: fliptracker.FaultDst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fliptracker.AnalyzeACL(faulty, clean)
+	if res == nil {
+		t.Fatal("nil ACL result")
+	}
+	// DDDG + pattern detection over one region instance via the facade.
+	r, ok := an.Prog.RegionByName("mg_d")
+	if !ok {
+		t.Fatal("mg_d missing")
+	}
+	span, ok := faulty.Instance(int32(r.ID), 0)
+	if !ok {
+		t.Fatal("mg_d instance missing")
+	}
+	g := fliptracker.BuildDDDG(faulty, span)
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty DDDG via facade")
+	}
+	d := fliptracker.DetectPatterns(an.Prog, faulty, clean, span, res)
+	if d == nil {
+		t.Fatal("nil detection")
+	}
+	rates := fliptracker.CountPatternRates(clean)
+	if rates.Condition <= 0 {
+		t.Errorf("rates = %+v", rates)
+	}
+	// Campaign through the facade's RunCampaign with a custom spec.
+	cr, err := fliptracker.RunCampaign(fliptracker.CampaignSpec{
+		MakeMachine: an.App.NewMachine,
+		Verify:      an.App.Verify,
+		Targets:     fliptracker.UniformDstPicker(clean.Steps),
+		Tests:       30,
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Tests != 30 {
+		t.Fatalf("campaign tests = %d", cr.Tests)
+	}
+}
+
+func TestPublicPrediction(t *testing.T) {
+	// Tiny synthetic regression through the facade.
+	var samples []fliptracker.PredictSample
+	for i := 0; i < 8; i++ {
+		x := []float64{float64(i) / 8, 0.5, 0.1, 0.2, 0.0, 0.9}
+		samples = append(samples, fliptracker.PredictSample{
+			Name: string(rune('a' + i)),
+			X:    x,
+			Y:    0.2 + 0.5*x[0],
+		})
+	}
+	m, err := fliptracker.FitPredictor(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DefaultLambda shrinks coefficients, so an exact fit is not expected.
+	if r2 := m.RSquared(samples); r2 < 0.9 {
+		t.Errorf("R2 = %v", r2)
+	}
+	loo, err := fliptracker.LeaveOneOut(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loo) != 8 {
+		t.Fatalf("loo = %d", len(loo))
+	}
+}

@@ -1,0 +1,366 @@
+// Package acl implements the Alive Corrupted Locations table of the paper
+// (§III-C, Figure 3). Given a faulty trace and its matching fault-free
+// trace, it performs value-aware taint propagation (the refinement of
+// dynamic taint analysis described in §IV-B: tainted locations that are
+// never used again, or that are overwritten by clean values, leave the set)
+// and reports, after every dynamic instruction, how many corrupted locations
+// are still alive — the series whose rise and fall reveals resilience
+// computation patterns.
+package acl
+
+import (
+	"fmt"
+	"sort"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// EventKind classifies corruption lifecycle events.
+type EventKind uint8
+
+const (
+	// Corrupted marks a location entering the corrupted set.
+	Corrupted EventKind = iota
+	// DeadOverwrite marks a corrupted location overwritten by a clean
+	// value (resilience pattern 6, data overwriting).
+	DeadOverwrite
+	// DeadUnused marks a corrupted location after its last use: it will
+	// never be referenced again (the dead-corrupted-locations pattern 1).
+	DeadUnused
+	// Masked marks an instruction that consumed a corrupted source but
+	// produced the correct value (shift/truncation/compare masking).
+	Masked
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Corrupted:
+		return "corrupted"
+	case DeadOverwrite:
+		return "dead-overwrite"
+	case DeadUnused:
+		return "dead-unused"
+	case Masked:
+		return "masked"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one corruption lifecycle event at a trace record index.
+type Event struct {
+	RecIndex int
+	Loc      trace.Loc
+	Kind     EventKind
+	SID      int32
+}
+
+// Interval is one corruption lifetime of one location.
+type Interval struct {
+	Loc trace.Loc
+	// Begin is the record index at which the location became corrupted.
+	Begin int
+	// End is the record index at which it died (overwrite or last use);
+	// len(recs) if corrupted through the end of the trace.
+	End int
+	// ByOverwrite distinguishes pattern-6 deaths from dead-unused deaths.
+	ByOverwrite bool
+}
+
+// Result is the full ACL analysis of one faulty run.
+type Result struct {
+	// Series[i] is the number of alive corrupted locations after record i
+	// of the faulty trace.
+	Series []int32
+	// Events lists corruption/death/masking events in trace order.
+	Events []Event
+	// Intervals lists the corruption lifetimes.
+	Intervals []Interval
+	// InjectionIndex is the record index where the first value difference
+	// between faulty and clean traces appears; -1 when the runs are
+	// value-identical (the fault vanished without a trace).
+	InjectionIndex int
+	// DivergenceIndex is the first record index where control flow
+	// diverges (SID mismatch), or -1. Value-aware taint stops there and
+	// conservative taint continues.
+	DivergenceIndex int
+	// Peak is the maximum of Series.
+	Peak int32
+}
+
+// MaxSeries returns the peak number of simultaneously alive corrupted
+// locations.
+func (r *Result) MaxSeries() int32 { return r.Peak }
+
+// Options tune the analysis. The zero value is the paper's algorithm.
+type Options struct {
+	// SkipLiveness disables the backward last-use refinement: corrupted
+	// locations then stay "alive" until overwritten, the conservative
+	// plain-taint behaviour the paper's §IV-B explicitly improves on.
+	// Exposed for the ablation bench called out in DESIGN.md.
+	SkipLiveness bool
+}
+
+// Analyze runs the ACL construction. faulty and clean must be full traces
+// (TraceFull) of the same program, clean without a fault. The comparison is
+// value-aware while control flow matches; after divergence, taint
+// propagation falls back to classic (value-blind) tainting.
+func Analyze(faulty, clean *trace.Trace) *Result {
+	return AnalyzeWith(faulty, clean, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit options.
+func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
+	n := len(faulty.Recs)
+	res := &Result{
+		Series:          make([]int32, n),
+		InjectionIndex:  -1,
+		DivergenceIndex: -1,
+	}
+
+	// Pre-pass: per-location read and write indices in the faulty trace,
+	// for the liveness computation.
+	reads := map[trace.Loc][]int32{}
+	writes := map[trace.Loc][]int32{}
+	for i := 0; i < n; i++ {
+		r := &faulty.Recs[i]
+		for s := 0; s < int(r.NSrc); s++ {
+			if r.Src[s] != 0 {
+				reads[r.Src[s]] = append(reads[r.Src[s]], int32(i))
+			}
+		}
+		if r.HasDst() {
+			writes[r.Dst] = append(writes[r.Dst], int32(i))
+		}
+	}
+
+	// Forward value-aware taint.
+	tainted := map[trace.Loc]int{} // loc -> interval index (open)
+	openInterval := func(loc trace.Loc, at int, sid int32) {
+		if _, already := tainted[loc]; already {
+			return
+		}
+		res.Intervals = append(res.Intervals, Interval{Loc: loc, Begin: at, End: n})
+		tainted[loc] = len(res.Intervals) - 1
+		res.Events = append(res.Events, Event{RecIndex: at, Loc: loc, Kind: Corrupted, SID: sid})
+	}
+	closeInterval := func(loc trace.Loc, at int, sid int32, overwrite bool) {
+		ii, ok := tainted[loc]
+		if !ok {
+			return
+		}
+		delete(tainted, loc)
+		res.Intervals[ii].End = at
+		res.Intervals[ii].ByOverwrite = overwrite
+		kind := DeadUnused
+		if overwrite {
+			kind = DeadOverwrite
+		}
+		res.Events = append(res.Events, Event{RecIndex: at, Loc: loc, Kind: kind, SID: sid})
+	}
+
+	matched := len(clean.Recs)
+	if n < matched {
+		matched = n
+	}
+	for i := 0; i < n; i++ {
+		fr := &faulty.Recs[i]
+		valueAware := res.DivergenceIndex < 0 && i < matched
+		var cr *trace.Rec
+		if valueAware {
+			cr = &clean.Recs[i]
+			if cr.SID != fr.SID {
+				res.DivergenceIndex = i
+				valueAware = false
+			}
+		}
+
+		// Detect corrupted sources. With value-awareness, a source whose
+		// value differs from the clean run is corrupted even if taint has
+		// not reached it yet (this is how memory-targeted faults surface:
+		// the flipped cell first appears as a load source).
+		anyTaintedSrc := false
+		for s := 0; s < int(r2n(fr.NSrc)); s++ {
+			loc := fr.Src[s]
+			if loc == 0 {
+				continue
+			}
+			if _, ok := tainted[loc]; ok {
+				anyTaintedSrc = true
+				continue
+			}
+			if valueAware && fr.SrcVal[s] != cr.SrcVal[s] {
+				openInterval(loc, i, fr.SID)
+				if res.InjectionIndex < 0 {
+					res.InjectionIndex = i
+				}
+				anyTaintedSrc = true
+			}
+		}
+
+		// Conditional statements have no destination, but a tainted
+		// condition that still takes the correct direction is the
+		// conditional-statement resilience pattern (pattern 3).
+		if fr.Op == ir.OpCondBr && anyTaintedSrc && valueAware && fr.Taken == cr.Taken {
+			res.Events = append(res.Events, Event{RecIndex: i, Loc: fr.Src[0], Kind: Masked, SID: fr.SID})
+		}
+
+		if fr.HasDst() {
+			switch {
+			case valueAware && fr.DstVal != cr.DstVal:
+				// Destination is wrong (whether or not taint explains it
+				// — covers FaultDst injections directly).
+				if res.InjectionIndex < 0 {
+					res.InjectionIndex = i
+				}
+				if _, ok := tainted[fr.Dst]; !ok {
+					openInterval(fr.Dst, i, fr.SID)
+				}
+			case valueAware && fr.DstVal == cr.DstVal:
+				// Correct value written. If the destination was tainted it
+				// has been overwritten clean; if sources were tainted the
+				// operation masked the error.
+				if _, ok := tainted[fr.Dst]; ok {
+					closeInterval(fr.Dst, i, fr.SID, true)
+				}
+				if anyTaintedSrc {
+					res.Events = append(res.Events, Event{RecIndex: i, Loc: fr.Dst, Kind: Masked, SID: fr.SID})
+				}
+			case !valueAware && anyTaintedSrc:
+				// Conservative taint after divergence.
+				if _, ok := tainted[fr.Dst]; !ok {
+					openInterval(fr.Dst, i, fr.SID)
+				}
+			case !valueAware:
+				if _, ok := tainted[fr.Dst]; ok {
+					closeInterval(fr.Dst, i, fr.SID, true)
+				}
+			}
+		}
+	}
+
+	// Liveness refinement: an interval not closed by an overwrite actually
+	// ends at the last read of the location within it; with no read at
+	// all, the corrupted value was dead on arrival.
+	if opts.SkipLiveness {
+		return finishSeries(res, n)
+	}
+	for ii := range res.Intervals {
+		iv := &res.Intervals[ii]
+		if iv.ByOverwrite {
+			continue
+		}
+		rs := reads[iv.Loc]
+		// Find the last read in (iv.Begin, iv.End).
+		lo := sort.Search(len(rs), func(k int) bool { return rs[k] > int32(iv.Begin) })
+		hi := sort.Search(len(rs), func(k int) bool { return rs[k] >= int32(iv.End) })
+		if lo >= hi {
+			// Never read while corrupted: dead immediately after Begin.
+			end := iv.Begin + 1
+			if end > n {
+				end = n
+			}
+			iv.End = end
+			res.Events = append(res.Events, Event{RecIndex: iv.Begin, Loc: iv.Loc, Kind: DeadUnused, SID: faulty.Recs[iv.Begin].SID})
+			continue
+		}
+		last := int(rs[hi-1])
+		if last+1 < iv.End {
+			iv.End = last + 1
+			res.Events = append(res.Events, Event{RecIndex: last, Loc: iv.Loc, Kind: DeadUnused, SID: faulty.Recs[last].SID})
+		}
+	}
+
+	return finishSeries(res, n)
+}
+
+// finishSeries materializes Series/Peak from the intervals and sorts events.
+func finishSeries(res *Result, n int) *Result {
+	diff := make([]int32, n+1)
+	for _, iv := range res.Intervals {
+		if iv.Begin >= n || iv.End <= iv.Begin {
+			continue
+		}
+		diff[iv.Begin]++
+		if iv.End <= n {
+			diff[iv.End]--
+		}
+	}
+	var cur int32
+	for i := 0; i < n; i++ {
+		cur += diff[i]
+		res.Series[i] = cur
+		if cur > res.Peak {
+			res.Peak = cur
+		}
+	}
+	sort.SliceStable(res.Events, func(a, b int) bool { return res.Events[a].RecIndex < res.Events[b].RecIndex })
+	return res
+}
+
+func r2n(n uint8) int { return int(n) }
+
+// SeriesInSpan extracts the ACL sub-series covering one region-instance span.
+func (r *Result) SeriesInSpan(s trace.Span) []int32 {
+	if s.Start < 0 || s.Start >= len(r.Series) {
+		return nil
+	}
+	end := s.End
+	if end > len(r.Series) {
+		end = len(r.Series)
+	}
+	return r.Series[s.Start:end]
+}
+
+// DropWithinSpan reports how much the ACL count decreased from its peak
+// within the span to the span's end — the signature of patterns that kill
+// corrupted locations (DCL, overwriting).
+func (r *Result) DropWithinSpan(s trace.Span) int32 {
+	ser := r.SeriesInSpan(s)
+	if len(ser) == 0 {
+		return 0
+	}
+	var peak int32
+	for _, v := range ser {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak - ser[len(ser)-1]
+}
+
+// MagPoint is one observation of a location's error magnitude over time.
+type MagPoint struct {
+	RecIndex int
+	Correct  ir.Word
+	Faulty   ir.Word
+	ErrMag   float64
+}
+
+// TrackLocation returns the error-magnitude history of one location: each
+// time the location is written in both runs at matching records, the
+// relative error of the faulty value is recorded. This reproduces the
+// Table II methodology (u[10][10][10] across mg3P invocations).
+func TrackLocation(faulty, clean *trace.Trace, loc trace.Loc, t ir.Type, errMag func(correct, faulty ir.Word, typ ir.Type) float64) []MagPoint {
+	n := len(faulty.Recs)
+	if len(clean.Recs) < n {
+		n = len(clean.Recs)
+	}
+	var out []MagPoint
+	for i := 0; i < n; i++ {
+		fr, cr := &faulty.Recs[i], &clean.Recs[i]
+		if fr.SID != cr.SID {
+			break // control-flow divergence; stop matching
+		}
+		if fr.HasDst() && fr.Dst == loc {
+			out = append(out, MagPoint{
+				RecIndex: i,
+				Correct:  cr.DstVal,
+				Faulty:   fr.DstVal,
+				ErrMag:   errMag(cr.DstVal, fr.DstVal, t),
+			})
+		}
+	}
+	return out
+}

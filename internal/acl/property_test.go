@@ -1,0 +1,126 @@
+package acl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// randomTracePair builds a random clean trace over a small location set and
+// a faulty copy with one value flipped at a random record, with taint
+// propagated the way a machine would (any record reading a wrong value
+// writes a wrong value).
+func randomTracePair(seed int64) (clean, faulty *trace.Trace) {
+	rng := rand.New(rand.NewSource(seed))
+	nLocs := 6
+	nRecs := 60
+	locs := make([]trace.Loc, nLocs)
+	for i := range locs {
+		locs[i] = trace.MemLoc(int64(100 + i))
+	}
+	cleanVals := make(map[trace.Loc]float64)
+	faultyVals := make(map[trace.Loc]float64)
+	for _, l := range locs {
+		cleanVals[l] = 1
+		faultyVals[l] = 1
+	}
+	flipAt := rng.Intn(nRecs / 2)
+	var cr, fr []trace.Rec
+	for i := 0; i < nRecs; i++ {
+		src := locs[rng.Intn(nLocs)]
+		dst := locs[rng.Intn(nLocs)]
+		cv := cleanVals[src] * 1.0001
+		fv := faultyVals[src] * 1.0001
+		if i == flipAt {
+			fv += 7 // the injected corruption
+		}
+		rec := trace.Rec{SID: int32(i), Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Step: uint64(i),
+			NSrc: 1, Src: [2]trace.Loc{src}}
+		c := rec
+		c.SrcVal[0] = ir.F64Word(cleanVals[src])
+		c.Dst = dst
+		c.DstVal = ir.F64Word(cv)
+		f := rec
+		f.SrcVal[0] = ir.F64Word(faultyVals[src])
+		f.Dst = dst
+		f.DstVal = ir.F64Word(fv)
+		cr = append(cr, c)
+		fr = append(fr, f)
+		cleanVals[dst] = cv
+		faultyVals[dst] = fv
+	}
+	return &trace.Trace{Recs: cr}, &trace.Trace{Recs: fr}
+}
+
+func TestACLInvariantsOnRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		clean, faulty := randomTracePair(seed)
+		res := Analyze(faulty, clean)
+		// Series is never negative and peak matches the max.
+		var mx int32
+		for _, v := range res.Series {
+			if v < 0 {
+				return false
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx != res.Peak {
+			return false
+		}
+		// Intervals are well-formed and within range.
+		for _, iv := range res.Intervals {
+			if iv.Begin < 0 || iv.End < iv.Begin || iv.End > len(faulty.Recs) {
+				return false
+			}
+		}
+		// Events are sorted by record index.
+		for i := 1; i < len(res.Events); i++ {
+			if res.Events[i].RecIndex < res.Events[i-1].RecIndex {
+				return false
+			}
+		}
+		// Conservative analysis never reports a smaller peak.
+		cons := AnalyzeWith(faulty, clean, Options{SkipLiveness: true})
+		return cons.Peak >= res.Peak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipLivenessOption(t *testing.T) {
+	clean, faulty, _, _ := fig3Traces()
+	refined := Analyze(faulty, clean)
+	cons := AnalyzeWith(faulty, clean, Options{SkipLiveness: true})
+	// In the Figure 3 example both locations die by overwrite, so liveness
+	// refinement changes nothing.
+	if cons.Peak != refined.Peak {
+		t.Errorf("fig3 peaks differ: %d vs %d", cons.Peak, refined.Peak)
+	}
+	// But for a dead-on-arrival corruption the conservative analysis keeps
+	// it alive.
+	loc := trace.MemLoc(900)
+	mk := func(v float64) *trace.Trace {
+		return &trace.Trace{Recs: []trace.Rec{
+			{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc, DstVal: ir.F64Word(v)},
+			{SID: 2, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(901), DstVal: ir.F64Word(1)},
+			{SID: 3, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(902), DstVal: ir.F64Word(1)},
+		}}
+	}
+	r2 := Analyze(mk(5), mk(1))
+	c2 := AnalyzeWith(mk(5), mk(1), Options{SkipLiveness: true})
+	if r2.Peak != 1 { // dead after its store only
+		t.Errorf("refined peak = %d", r2.Peak)
+	}
+	if c2.Series[2] != 1 {
+		t.Errorf("conservative should keep the location alive to the end: %v", c2.Series)
+	}
+	if r2.Series[2] != 0 {
+		t.Errorf("refined should kill the unused location: %v", r2.Series)
+	}
+}

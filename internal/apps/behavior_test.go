@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// getClean returns the clean full trace and program of an app.
+func getClean(t *testing.T, name string) (*App, *ir.Program, *trace.Trace) {
+	t.Helper()
+	a, ok := Get(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	p, err := a.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.CleanTrace(interp.TraceFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p, tr
+}
+
+func TestCGConverges(t *testing.T) {
+	_, _, tr := getClean(t, "cg")
+	// Output 0 is the final residual norm; the solver must have reduced it
+	// well below the RHS norm (||b|| ~ sqrt(48) ~ 6.9).
+	rnorm := tr.Output[0].Float()
+	if rnorm <= 0 || rnorm > 0.5 {
+		t.Errorf("CG residual norm = %v, want small positive", rnorm)
+	}
+	// The solution checksum must be nonzero (z = A^-1 b is not trivial).
+	if z := tr.Output[1].Float(); z == 0 {
+		t.Error("CG solution checksum is zero")
+	}
+}
+
+func TestCGVariantsSolveTheSameSystem(t *testing.T) {
+	_, _, base := getClean(t, "cg")
+	for _, variant := range []string{"cg-dclovw", "cg-trunc", "cg-all"} {
+		_, _, tr := getClean(t, variant)
+		// The hardened variants must still converge; the truncation
+		// variants perturb the path, so compare loosely.
+		if r := tr.Output[0].Float(); r > 10*base.Output[0].Float()+1 {
+			t.Errorf("%s residual %v far above baseline %v", variant, r, base.Output[0].Float())
+		}
+		zb, zv := base.Output[1].Float(), tr.Output[1].Float()
+		if math.Abs(zb-zv) > 0.05*math.Abs(zb) {
+			t.Errorf("%s solution checksum %v deviates from baseline %v", variant, zv, zb)
+		}
+	}
+}
+
+func TestMGReducesResidual(t *testing.T) {
+	a, p, tr := getClean(t, "mg")
+	// Track the residual norm written into scal[0] at each main iteration:
+	// it must decrease monotonically across V-cycles.
+	scalG, _ := p.GlobalByName("scal")
+	var norms []float64
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Op == ir.OpStore && r.Dst == trace.MemLoc(scalG.Addr) {
+			norms = append(norms, r.DstVal.Float())
+		}
+	}
+	if len(norms) < mgMainIts {
+		t.Fatalf("found %d residual stores, want >= %d", len(norms), mgMainIts)
+	}
+	last := norms[len(norms)-1]
+	first := norms[len(norms)-mgMainIts]
+	if last >= first {
+		t.Errorf("MG residual did not decrease: first %v last %v (%v)", first, last, norms)
+	}
+	_ = a
+}
+
+func TestISProducesZeroInversions(t *testing.T) {
+	_, _, tr := getClean(t, "is")
+	if inv := tr.Output[1].Float(); inv != 0 {
+		t.Errorf("IS bucket inversions = %v, want 0", inv)
+	}
+	if sum := tr.Output[0].Float(); sum <= 0 {
+		t.Errorf("IS key checksum = %v, want positive", sum)
+	}
+}
+
+func TestISKeysAreBucketSorted(t *testing.T) {
+	a, p, _ := getClean(t, "is")
+	m, err := a.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sorted, _ := p.GlobalByName("key_buff")
+	prev := int64(-1)
+	for i := int64(0); i < sorted.Words; i++ {
+		k := m.Mem[sorted.Addr+i].Int()
+		if k < 0 || k >= isMaxKey {
+			t.Fatalf("key %d out of range: %d", i, k)
+		}
+		if b := k >> isShift; b < prev {
+			t.Fatalf("bucket order violated at %d: %d < %d", i, b, prev)
+		} else {
+			prev = b
+		}
+	}
+}
+
+func TestKMEANSMembershipValid(t *testing.T) {
+	a, p, _ := getClean(t, "kmeans")
+	m, err := a.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mem, _ := p.GlobalByName("membership")
+	counts := make([]int, kmClusters)
+	for i := int64(0); i < mem.Words; i++ {
+		c := m.Mem[mem.Addr+i].Int()
+		if c < 0 || c >= kmClusters {
+			t.Fatalf("membership[%d] = %d out of range", i, c)
+		}
+		counts[c]++
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("degenerate clustering: counts %v", counts)
+	}
+}
+
+func TestLULESHEnergiesFiniteAndTruncated(t *testing.T) {
+	_, _, tr := getClean(t, "lulesh")
+	if len(tr.Output) != luleshElems {
+		t.Fatalf("outputs = %d, want %d", len(tr.Output), luleshElems)
+	}
+	for i, o := range tr.Output {
+		if !o.Sci6 {
+			t.Errorf("output %d not Sci6-formatted", i)
+		}
+		v := o.Float()
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("energy %d = %v, want positive finite", i, v)
+		}
+	}
+}
+
+func TestLUAndBTAndSPNormsFinite(t *testing.T) {
+	for _, name := range []string{"lu", "bt", "sp"} {
+		_, _, tr := getClean(t, name)
+		for i, o := range tr.Output {
+			v := o.Float()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s output %d = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestLUResidualDecreases(t *testing.T) {
+	a, p, tr := getClean(t, "lu")
+	scalG, _ := p.GlobalByName("scal")
+	var norms []float64
+	for i := range tr.Recs {
+		r := &tr.Recs[i]
+		if r.Op == ir.OpStore && r.Dst == trace.MemLoc(scalG.Addr) {
+			norms = append(norms, r.DstVal.Float())
+		}
+	}
+	if len(norms) < 2 {
+		t.Fatal("no residual history")
+	}
+	if norms[len(norms)-1] >= norms[0] {
+		t.Errorf("SSOR residual did not decrease: %v", norms)
+	}
+	_ = a
+}
+
+func TestFTParseval(t *testing.T) {
+	// After each FFT we normalize by 1/n; the total energy must stay
+	// bounded and positive across iterations (evolve is unitary, the
+	// normalized FFT contracts by 1/n, so energy stays finite).
+	_, _, tr := getClean(t, "ft")
+	energy := tr.Output[1].Float()
+	if energy <= 0 || math.IsInf(energy, 0) || math.IsNaN(energy) {
+		t.Errorf("spectrum energy = %v", energy)
+	}
+}
+
+func TestDCViewsConsistent(t *testing.T) {
+	// Every view aggregates the same measures, so each view total must
+	// equal the measure sum of all batches: view totals must all agree.
+	_, _, tr := getClean(t, "dc")
+	if len(tr.Output) != 9 {
+		t.Fatalf("outputs = %d, want 9", len(tr.Output))
+	}
+	first := tr.Output[1].Float()
+	for i := 2; i < 9; i++ {
+		if math.Abs(tr.Output[i].Float()-first) > 1e-9*math.Abs(first) {
+			t.Errorf("view %d total %v != view 0 total %v", i-1, tr.Output[i].Float(), first)
+		}
+	}
+}
+
+func TestAppsExposePatternSites(t *testing.T) {
+	// Smoke-check that the rate counter sees the expected signature ops in
+	// each app's trace (IS must have shifts, CG truncation variant must
+	// have truncation, everything has conditionals).
+	cases := []struct {
+		name  string
+		check func(tr *trace.Trace) (string, bool)
+	}{
+		{"is", func(tr *trace.Trace) (string, bool) {
+			for i := range tr.Recs {
+				if tr.Recs[i].Op == ir.OpLShr {
+					return "", true
+				}
+			}
+			return "no shift ops in IS", false
+		}},
+		{"cg-trunc", func(tr *trace.Trace) (string, bool) {
+			for i := range tr.Recs {
+				if tr.Recs[i].Op == ir.OpTruncI32 {
+					return "", true
+				}
+			}
+			return "no trunc ops in cg-trunc", false
+		}},
+		{"lulesh", func(tr *trace.Trace) (string, bool) {
+			for i := range tr.Recs {
+				if tr.Recs[i].Op == ir.OpEmitSci6 {
+					return "", true
+				}
+			}
+			return "no sci6 output in lulesh", false
+		}},
+	}
+	for _, c := range cases {
+		_, _, tr := getClean(t, c.name)
+		if msg, ok := c.check(tr); !ok {
+			t.Errorf("%s: %s", c.name, msg)
+		}
+	}
+}

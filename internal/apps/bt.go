@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	btN       = 14 // btN x btN grid
+	btMainIts = 8
+)
+
+// buildBT constructs the BT benchmark analog: NPB BT solves block
+// tridiagonal systems along grid lines; here each main-loop iteration
+// performs line-implicit solves with the Thomas algorithm — forward
+// elimination (bt_a), back substitution (bt_b) — followed by the inter-line
+// coupling update and norm (bt_c).
+func buildBT(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("bt")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	n := int64(btN)
+	u := p.AllocGlobal("u", n*n, ir.F64)
+	rhs := p.AllocGlobal("rhs", n*n, ir.F64)
+	// Thomas scratch: modified diagonals and rhs per line.
+	cp := p.AllocGlobal("cprime", n, ir.F64)
+	dp := p.AllocGlobal("dprime", n, ir.F64)
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	fillRand(b, rhs, n*n, -1, 1)
+	fillConstF(b, u, n*n, 0)
+
+	// Tridiagonal coefficients of each line system: -1, 2.5, -1.
+	const diag, off = 2.5, -1.0
+
+	b.ForI(0, btMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("bt_main", func() {
+			b.ForI(0, n, func(row ir.Reg) {
+				// bt_a: forward elimination along the row.
+				b.SetLine(200)
+				b.Region("bt_a", func() {
+					// cp[0] = off/diag, dp[0] = rhs[row][0]/diag
+					b.StoreGI(cp, 0, b.ConstF(off/diag))
+					d0 := b.FDiv(load2(b, rhs, row, b.ConstI(0), n), b.ConstF(diag))
+					b.StoreGI(dp, 0, d0)
+					b.ForI(1, n, func(j ir.Reg) {
+						jm := b.AddI(j, -1)
+						denom := b.FSub(b.ConstF(diag),
+							b.FMul(b.ConstF(off), b.LoadG(cp, jm)))
+						b.StoreG(cp, j, b.FDiv(b.ConstF(off), denom))
+						num := b.FSub(load2(b, rhs, row, j, n),
+							b.FMul(b.ConstF(off), b.LoadG(dp, jm)))
+						b.StoreG(dp, j, b.FDiv(num, denom))
+					})
+				})
+				// bt_b: back substitution into u.
+				b.SetLine(240)
+				b.Region("bt_b", func() {
+					store2(b, u, row, b.ConstI(n-1), n, b.LoadGI(dp, n-1))
+					b.ForI(1, n, func(jj ir.Reg) {
+						j := b.Sub(b.ConstI(n-1), jj)
+						nxt := load2(b, u, row, b.AddI(j, 1), n)
+						val := b.FSub(b.LoadG(dp, j), b.FMul(b.LoadG(cp, j), nxt))
+						store2(b, u, row, j, n, val)
+					})
+				})
+			})
+			// bt_c: couple neighboring lines into the next rhs and
+			// compute the iteration norm.
+			b.SetLine(280)
+			b.Region("bt_c", func() {
+				norm := b.ConstF(0)
+				b.ForI(1, n-1, func(i ir.Reg) {
+					b.ForI(0, n, func(j ir.Reg) {
+						up := load2(b, u, b.AddI(i, -1), j, n)
+						dn := load2(b, u, b.AddI(i, 1), j, n)
+						cur := load2(b, u, i, j, n)
+						mix := b.FAdd(b.FMul(b.ConstF(0.5), cur),
+							b.FMul(b.ConstF(0.25), b.FAdd(up, dn)))
+						store2(b, rhs, i, j, n, mix)
+						b.BinTo(ir.OpFAdd, norm, norm, b.FMul(cur, cur))
+					})
+				})
+				b.StoreGI(scal, 0, b.FSqrt(norm))
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	ck := b.ConstF(0)
+	b.ForI(0, n*n, func(i ir.Reg) {
+		b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(u, i))
+	})
+	b.Emit(ir.F64, ck)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "bt",
+		Description:    "NPB BT: line-implicit tridiagonal (Thomas) solves with inter-line coupling",
+		Regions:        []string{"bt_a", "bt_b", "bt_c"},
+		MainLoop:       "bt_main",
+		Tol:            1e-6,
+		MainIterations: btMainIts,
+		build:          buildBT,
+	})
+}

@@ -1,0 +1,332 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+// cgOptions select the Table III hardening variants of Use Case 1 (§VII-A).
+type cgOptions struct {
+	// tmpArrays applies the DCL + data-overwriting hardening: sprnvc works
+	// on temporary arrays that are copied back, so in-flight corruption of
+	// the global v[]/iv[] is overwritten and corruption of the temporaries
+	// dies after the copy-back (Figure 12b).
+	tmpArrays bool
+	// truncate applies the truncation hardening: a window of the p·q
+	// dot product uses 32-bit integer multiplication (Figure 13b).
+	truncate bool
+}
+
+const (
+	cgN       = 48 // unknowns
+	cgNonzer  = 12 // sprnvc nonzeros per main iteration
+	cgInner   = 6  // conj_grad CG iterations per call
+	cgMainIts = 10 // main-loop iterations (Figure 6 shows 10 for CG)
+)
+
+// buildCG constructs the conjugate-gradient benchmark: a scaled-down NPB CG
+// solving A z = b for the 1-D Laplacian A = tridiag(-1, 4, -1), with an NPB
+// sprnvc-style sparse random perturbation of b each main iteration (the
+// routine Use Case 1 hardens). Regions cg_a..cg_e follow Table I's
+// five-region split of conj_grad.
+func buildCG(opt cgOptions) func(mpiMode bool) *ir.Program {
+	return func(mpiMode bool) *ir.Program {
+		name := "cg"
+		if opt.tmpArrays && opt.truncate {
+			name = "cg-all"
+		} else if opt.tmpArrays {
+			name = "cg-dclovw"
+		} else if opt.truncate {
+			name = "cg-trunc"
+		}
+		p := ir.NewProgram(name)
+		mpiCk := mpiSetup(p, mpiMode)
+
+		n := int64(cgN)
+		bvec := p.AllocGlobal("b", n, ir.F64)
+		z := p.AllocGlobal("z", n, ir.F64)
+		r := p.AllocGlobal("r", n, ir.F64)
+		pp := p.AllocGlobal("p", n, ir.F64)
+		q := p.AllocGlobal("q", n, ir.F64)
+		v := p.AllocGlobal("v", cgNonzer+1, ir.F64)
+		iv := p.AllocGlobal("iv", cgNonzer+1, ir.I64)
+		scal := p.AllocGlobal("scal", 4, ir.F64) // rho, d, rnorm, zeta
+
+		// sprnvc: generate a sparse random vector into v[]/iv[] (Figure
+		// 12a). The hardened variant works on temporaries and copies back
+		// (Figure 12b).
+		sprnvc := p.NewFunc("sprnvc", 0)
+		buildSprnvc(sprnvc, v, iv, n, opt.tmpArrays)
+		sprnvc.Done()
+
+		// conj_grad performs cgInner CG iterations on the current b.
+		cgf := p.NewFunc("conj_grad", 0)
+		buildConjGrad(cgf, bvec, z, r, pp, q, scal, n, opt.truncate)
+		cgf.Done()
+
+		b := p.NewFunc("main", 0)
+		// b = 1.0, z = 0.
+		fillConstF(b, bvec, n, 1.0)
+		b.ForI(0, cgMainIts, func(_ ir.Reg) {
+			// Each main-loop iteration is one instance of the cg_main
+			// pseudo region (the §V-C per-iteration study).
+			b.MainLoopRegion("cg_main", func() {
+				// The sprnvc phase is its own code region: the Use Case 1
+				// campaigns (Table III) inject into this region's
+				// instances, per the paper's §IV-C region-instance
+				// injection method.
+				b.Region("cg_sprnvc", func() {
+					b.Call("sprnvc")
+					// Perturb b with the sparse vector; the scan reads
+					// iv[] for every b element, so the vector state stays
+					// hot for the rest of the region.
+					b.ForI(0, cgNonzer, func(k ir.Reg) {
+						vk := b.FMul(b.ConstF(1e-3), b.LoadG(v, k))
+						target := b.LoadG(iv, k)
+						b.ForI(0, n, func(i ir.Reg) {
+							hit := b.ICmp(ir.OpICmpEQ, target, i)
+							b.If(hit, func() {
+								addr := b.Addr(bvec, i)
+								b.Store(addr, b.FAdd(b.Load(ir.F64, addr), vk))
+							})
+						})
+					})
+				})
+				b.Call("conj_grad")
+				mpiCk(b, b.LoadGI(scal, 2))
+			})
+		})
+		// Verification outputs: final residual norm, z checksum, zeta.
+		b.Emit(ir.F64, b.LoadGI(scal, 2))
+		ck := b.ConstF(0)
+		b.ForI(0, n, func(i ir.Reg) {
+			b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(z, i))
+		})
+		b.Emit(ir.F64, ck)
+		b.Emit(ir.F64, b.LoadGI(scal, 3))
+		b.RetVoid()
+		b.Done()
+		return p
+	}
+}
+
+// buildSprnvc emits the sprnvc body (Figure 12). With tmpArrays, the
+// temporaries live in their own scratch globals and are copied back at the
+// end, reproducing the hardened version's dataflow exactly.
+func buildSprnvc(b *ir.FuncBuilder, v, iv ir.Global, n int64, tmpArrays bool) {
+	p := b.Program()
+	vDst, ivDst := v, iv
+	if tmpArrays {
+		vTmp, okV := p.GlobalByName("v_tmp")
+		ivTmp, okI := p.GlobalByName("iv_tmp")
+		if !okV {
+			vTmp = p.AllocGlobal("v_tmp", v.Words, ir.F64)
+		}
+		if !okI {
+			ivTmp = p.AllocGlobal("iv_tmp", iv.Words, ir.I64)
+		}
+		// Initialization copy-in (Figure 12b lines 6-9).
+		b.ForI(0, v.Words, func(i ir.Reg) {
+			b.StoreG(vTmp, i, b.LoadG(v, i))
+			b.StoreG(ivTmp, i, b.LoadG(iv, i))
+		})
+		vDst, ivDst = vTmp, ivTmp
+	}
+	nzv := b.ConstI(0)
+	nz := b.ConstI(v.Words - 1)
+	b.While(func() ir.Reg {
+		return b.ICmp(ir.OpICmpSLT, nzv, nz)
+	}, func() {
+		vecelt := b.Host("rand01", 0, true)
+		vecloc := b.Host("rand01", 0, true)
+		// i = int(vecloc * n): icnvrt analog.
+		i := b.FPToSI(b.FMul(vecloc, b.ConstF(float64(n))))
+		// if i >= n continue (bounds guard, as in the original's i > n).
+		ok := b.ICmp(ir.OpICmpSLT, i, b.ConstI(n))
+		b.If(ok, func() {
+			// Duplicate check over iv[0..nzv) (lines 17-22).
+			wasGen := b.ConstI(0)
+			b.For(b.ConstI(0), nzv, 1, func(ii ir.Reg) {
+				eq := b.ICmp(ir.OpICmpEQ, b.LoadG(ivDst, ii), i)
+				b.If(eq, func() {
+					b.ConstITo(wasGen, 1)
+				})
+			})
+			fresh := b.ICmp(ir.OpICmpEQ, wasGen, b.ConstI(0))
+			b.If(fresh, func() {
+				b.StoreG(vDst, nzv, vecelt)
+				b.StoreG(ivDst, nzv, i)
+				b.BinTo(ir.OpAdd, nzv, nzv, b.ConstI(1))
+			})
+		})
+	})
+	if tmpArrays {
+		vTmp, _ := p.GlobalByName("v_tmp")
+		ivTmp, _ := p.GlobalByName("iv_tmp")
+		// Copy back (Figure 12b lines 28-31): overwrites any corruption in
+		// the globals, and kills any corruption in the temporaries.
+		b.ForI(0, v.Words, func(i ir.Reg) {
+			b.StoreG(v, i, b.LoadG(vTmp, i))
+			b.StoreG(iv, i, b.LoadG(ivTmp, i))
+		})
+	}
+	b.RetVoid()
+}
+
+// buildConjGrad emits the conj_grad body with the five Table I regions.
+func buildConjGrad(b *ir.FuncBuilder, bvec, z, r, pp, q, scal ir.Global, n int64, truncate bool) {
+	// Initialization: z = 0, r = b, p = r, rho = r.r (counted as part of
+	// region cg_a in our split).
+	b.SetLine(434)
+	b.Region("cg_a", func() {
+		rho := b.ConstF(0)
+		b.ForI(0, n, func(i ir.Reg) {
+			b.StoreG(z, i, b.ConstF(0))
+			bi := b.LoadG(bvec, i)
+			b.StoreG(r, i, bi)
+			b.StoreG(pp, i, bi)
+			b.BinTo(ir.OpFAdd, rho, rho, b.FMul(bi, bi))
+		})
+		b.StoreGI(scal, 0, rho)
+	})
+
+	b.ForI(0, cgInner, func(_ ir.Reg) {
+		// cg_b: q = A p (tridiagonal Laplacian matvec, lines 440-453).
+		b.SetLine(440)
+		b.Region("cg_b", func() {
+			b.ForI(0, n, func(j ir.Reg) {
+				c := b.FMul(b.ConstF(4), b.LoadG(pp, j))
+				jgt := b.ICmp(ir.OpICmpSGT, j, b.ConstI(0))
+				b.If(jgt, func() {
+					b.BinTo(ir.OpFSub, c, c, b.LoadG(pp, b.AddI(j, -1)))
+				})
+				jlt := b.ICmp(ir.OpICmpSLT, j, b.ConstI(n-1))
+				b.If(jlt, func() {
+					b.BinTo(ir.OpFSub, c, c, b.LoadG(pp, b.AddI(j, 1)))
+				})
+				b.StoreG(q, j, c)
+			})
+		})
+
+		// cg_c: d = p.q, alpha = rho/d, z += alpha p, r -= alpha q
+		// (lines 454-460; the truncation window of Figure 13b lives in
+		// the dot product).
+		b.SetLine(454)
+		b.Region("cg_c", func() {
+			d := b.ConstF(0)
+			b.ForI(0, n, func(j ir.Reg) {
+				pj := b.LoadG(pp, j)
+				qj := b.LoadG(q, j)
+				if truncate {
+					// A narrow window, like the paper's 10-iteration
+					// window: wide enough to mask faults, narrow enough
+					// that CG averages out the precision loss.
+					inWin := b.And(
+						b.ICmp(ir.OpICmpSGE, j, b.ConstI(8)),
+						b.ICmp(ir.OpICmpSLT, j, b.ConstI(16)))
+					b.IfElse(inWin, func() {
+						tmp := b.TruncI32(b.FPToSI(pj))  // truncation
+						tmp1 := b.TruncI32(b.FPToSI(qj)) // truncation
+						prod := b.SIToFP(b.Mul(tmp, tmp1))
+						b.BinTo(ir.OpFAdd, d, d, prod)
+					}, func() {
+						b.BinTo(ir.OpFAdd, d, d, b.FMul(pj, qj))
+					})
+				} else {
+					b.BinTo(ir.OpFAdd, d, d, b.FMul(pj, qj))
+				}
+			})
+			b.StoreGI(scal, 1, d)
+			rho := b.LoadGI(scal, 0)
+			alpha := b.FDiv(rho, d)
+			b.ForI(0, n, func(j ir.Reg) {
+				zj := b.FAdd(b.LoadG(z, j), b.FMul(alpha, b.LoadG(pp, j)))
+				b.StoreG(z, j, zj)
+				rj := b.FSub(b.LoadG(r, j), b.FMul(alpha, b.LoadG(q, j)))
+				b.StoreG(r, j, rj)
+			})
+		})
+
+		// cg_d: rho' = r.r, beta = rho'/rho, p = r + beta p (461-574).
+		b.SetLine(461)
+		b.Region("cg_d", func() {
+			rhoNew := b.ConstF(0)
+			b.ForI(0, n, func(j ir.Reg) {
+				rj := b.LoadG(r, j)
+				b.BinTo(ir.OpFAdd, rhoNew, rhoNew, b.FMul(rj, rj))
+			})
+			beta := b.FDiv(rhoNew, b.LoadGI(scal, 0))
+			b.StoreGI(scal, 0, rhoNew)
+			b.ForI(0, n, func(j ir.Reg) {
+				pj := b.FAdd(b.LoadG(r, j), b.FMul(beta, b.LoadG(pp, j)))
+				b.StoreG(pp, j, pj)
+			})
+		})
+	})
+
+	// cg_e: rnorm = ||b - A z|| and zeta accumulation (575-584).
+	b.SetLine(575)
+	b.Region("cg_e", func() {
+		sum := b.ConstF(0)
+		zeta := b.ConstF(0)
+		b.ForI(0, n, func(j ir.Reg) {
+			az := b.FMul(b.ConstF(4), b.LoadG(z, j))
+			jgt := b.ICmp(ir.OpICmpSGT, j, b.ConstI(0))
+			b.If(jgt, func() {
+				b.BinTo(ir.OpFSub, az, az, b.LoadG(z, b.AddI(j, -1)))
+			})
+			jlt := b.ICmp(ir.OpICmpSLT, j, b.ConstI(n-1))
+			b.If(jlt, func() {
+				b.BinTo(ir.OpFSub, az, az, b.LoadG(z, b.AddI(j, 1)))
+			})
+			diff := b.FSub(b.LoadG(bvec, j), az)
+			b.BinTo(ir.OpFAdd, sum, sum, b.FMul(diff, diff))
+			b.BinTo(ir.OpFAdd, zeta, zeta, b.FMul(b.LoadG(z, j), b.LoadG(bvec, j)))
+		})
+		b.StoreGI(scal, 2, b.FSqrt(sum))
+		old := b.LoadGI(scal, 3)
+		b.StoreGI(scal, 3, b.FAdd(old, zeta))
+	})
+	b.RetVoid()
+}
+
+// cgRegionNames lists the Table I regions of CG.
+var cgRegionNames = []string{"cg_a", "cg_b", "cg_c", "cg_d", "cg_e"}
+
+func init() {
+	register(&App{
+		Name:           "cg",
+		Description:    "NPB CG: conjugate gradient on a tridiagonal Laplacian with sprnvc perturbation",
+		Regions:        cgRegionNames,
+		MainLoop:       "cg_main",
+		Tol:            1e-6,
+		MainIterations: cgMainIts,
+		build:          buildCG(cgOptions{}),
+	})
+	register(&App{
+		Name:           "cg-dclovw",
+		Description:    "CG hardened with dead-corrupted-locations + data-overwriting in sprnvc (Table III row 2)",
+		Regions:        cgRegionNames,
+		MainLoop:       "cg_main",
+		Tol:            1e-6,
+		MainIterations: cgMainIts,
+		build:          buildCG(cgOptions{tmpArrays: true}),
+	})
+	register(&App{
+		Name:           "cg-trunc",
+		Description:    "CG hardened with integer truncation in the p.q window (Table III row 3)",
+		Regions:        cgRegionNames,
+		MainLoop:       "cg_main",
+		Tol:            1e-6,
+		MainIterations: cgMainIts,
+		build:          buildCG(cgOptions{truncate: true}),
+	})
+	register(&App{
+		Name:           "cg-all",
+		Description:    "CG with all Table III hardenings applied (row 4)",
+		Regions:        cgRegionNames,
+		MainLoop:       "cg_main",
+		Tol:            1e-6,
+		MainIterations: cgMainIts,
+		build:          buildCG(cgOptions{tmpArrays: true, truncate: true}),
+	})
+}

@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	dcTuples  = 96 // tuples per batch
+	dcMainIts = 4
+	// Attribute cardinalities: a0 in [0,8), a1 in [0,4), a2 in [0,2).
+	dcBitsA0 = 3
+	dcBitsA1 = 2
+	dcBitsA2 = 1
+)
+
+// buildDC constructs the DC benchmark analog: NPB DC computes a data cube —
+// group-by aggregates over every subset of dimensions. Each tuple carries
+// three integer attributes and a float measure; view keys are packed with
+// shifts and masks (DC has the highest shift rate of Table IV), and view
+// selection uses per-dimension conditionals. Regions: dc_a = tuple
+// generation, dc_b = cube aggregation over all 8 views, dc_c = view
+// checksums.
+func buildDC(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("dc")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	attrs := p.AllocGlobal("attrs", dcTuples*3, ir.I64)
+	meas := p.AllocGlobal("measure", dcTuples, ir.F64)
+	// Eight views, each sized for the full key space (64 slots covers
+	// every subset key).
+	views := p.AllocGlobal("views", 8*64, ir.F64)
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	fillConstF(b, views, 8*64, 0)
+
+	b.ForI(0, dcMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("dc_main", func() {
+			// dc_a: generate a batch of tuples.
+			b.SetLine(400)
+			b.Region("dc_a", func() {
+				b.ForI(0, dcTuples, func(i ir.Reg) {
+					a0 := b.FPToSI(b.FMul(b.Host("rand01", 0, true), b.ConstF(1<<dcBitsA0)))
+					a1 := b.FPToSI(b.FMul(b.Host("rand01", 0, true), b.ConstF(1<<dcBitsA1)))
+					a2 := b.FPToSI(b.FMul(b.Host("rand01", 0, true), b.ConstF(1<<dcBitsA2)))
+					base := b.MulI(i, 3)
+					b.StoreG(attrs, base, a0)
+					b.StoreG(attrs, b.AddI(base, 1), a1)
+					b.StoreG(attrs, b.AddI(base, 2), a2)
+					b.StoreG(meas, i, b.Host("rand01", 0, true))
+				})
+			})
+			// dc_b: aggregate every view. View v includes dimension d iff
+			// bit d of v is set; keys pack the included attributes with
+			// shifts and ors.
+			b.SetLine(440)
+			b.Region("dc_b", func() {
+				b.ForI(0, 8, func(view ir.Reg) {
+					b.ForI(0, dcTuples, func(i ir.Reg) {
+						base := b.MulI(i, 3)
+						key := b.ConstI(0)
+						// Include a0?
+						inc0 := b.And(view, b.ConstI(1))
+						use0 := b.ICmp(ir.OpICmpNE, inc0, b.ConstI(0))
+						b.If(use0, func() {
+							a0 := b.LoadG(attrs, base)
+							b.BinTo(ir.OpOr, key, key,
+								b.Shl(a0, b.ConstI(dcBitsA1+dcBitsA2)))
+						})
+						inc1 := b.And(view, b.ConstI(2))
+						use1 := b.ICmp(ir.OpICmpNE, inc1, b.ConstI(0))
+						b.If(use1, func() {
+							a1 := b.LoadG(attrs, b.AddI(base, 1))
+							b.BinTo(ir.OpOr, key, key, b.Shl(a1, b.ConstI(dcBitsA2)))
+						})
+						inc2 := b.And(view, b.ConstI(4))
+						use2 := b.ICmp(ir.OpICmpNE, inc2, b.ConstI(0))
+						b.If(use2, func() {
+							a2 := b.LoadG(attrs, b.AddI(base, 2))
+							b.BinTo(ir.OpOr, key, key, a2)
+						})
+						slot := b.Add(b.MulI(view, 64), key)
+						addr := b.Addr(views, slot)
+						b.Store(addr, b.FAdd(b.Load(ir.F64, addr), b.LoadG(meas, i)))
+					})
+				})
+			})
+			// dc_c: checksum across all view tables.
+			b.SetLine(480)
+			b.Region("dc_c", func() {
+				ck := b.ConstF(0)
+				b.ForI(0, 8*64, func(i ir.Reg) {
+					b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(views, i))
+				})
+				b.StoreGI(scal, 0, ck)
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	// Verification: the global cube checksum and each view's total.
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	b.ForI(0, 8, func(view ir.Reg) {
+		vsum := b.ConstF(0)
+		b.ForI(0, 64, func(k ir.Reg) {
+			b.BinTo(ir.OpFAdd, vsum, vsum, b.LoadG(views, b.Add(b.MulI(view, 64), k)))
+		})
+		b.Emit(ir.F64, vsum)
+	})
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "dc",
+		Description:    "NPB DC: data-cube group-by aggregation with shift-packed view keys",
+		Regions:        []string{"dc_a", "dc_b", "dc_c"},
+		MainLoop:       "dc_main",
+		Tol:            1e-9,
+		MainIterations: dcMainIts,
+		build:          buildDC,
+	})
+}

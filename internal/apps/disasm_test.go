@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDisassembleAllApps smoke-tests the disassembler over every real
+// workload (exercising every instruction String path on production IR) and
+// checks that each app's regions and globals appear in the listing.
+func TestDisassembleAllApps(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Get(name)
+		p, err := a.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Disassemble()
+		if len(d) < 1000 {
+			t.Errorf("%s: suspiciously short disassembly (%d bytes)", name, len(d))
+		}
+		if !strings.Contains(d, "func main") {
+			t.Errorf("%s: no main in disassembly", name)
+		}
+		for _, r := range a.Regions {
+			if !strings.Contains(d, r) {
+				t.Errorf("%s: region %s missing from disassembly", name, r)
+			}
+		}
+	}
+}
+
+// TestRegionLineRangesOrdered checks the Table I bookkeeping: every region's
+// recorded pseudo line range is sane.
+func TestRegionLineRangesOrdered(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Get(name)
+		p, err := a.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range p.Regions {
+			if r.FirstLine <= 0 || r.LastLine < r.FirstLine {
+				t.Errorf("%s/%s: line range %d-%d", name, r.Name, r.FirstLine, r.LastLine)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/trace"
+)
+
+// TestFaultSweepAllApps injects a handful of random faults into every
+// registered workload and checks the contract that holds the whole
+// evaluation together: every faulty run terminates with a classified
+// status, the machine never errors, and verification never panics.
+func TestFaultSweepAllApps(t *testing.T) {
+	const faultsPerApp = 12
+	for _, name := range Names() {
+		a, _ := Get(name)
+		clean, err := a.CleanTrace(interp.TraceOff)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for k := 0; k < faultsPerApp; k++ {
+			f := interp.Fault{
+				Step: uint64(rng.Int63n(int64(clean.Steps))),
+				Bit:  uint8(rng.Intn(64)),
+				Kind: interp.FaultDst,
+			}
+			m, err := a.NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Fault = &f
+			tr, err := m.Run()
+			if err != nil {
+				t.Fatalf("%s fault %v: %v", name, f, err)
+			}
+			switch tr.Status {
+			case trace.RunOK, trace.RunCrashed, trace.RunHang:
+			default:
+				t.Fatalf("%s fault %v: status %v", name, f, tr.Status)
+			}
+			_ = a.Verify(tr) // must not panic regardless of status
+		}
+	}
+}
+
+// TestFaultChangesOutcomeSomewhere confirms faults are actually observable:
+// across a modest sweep, at least one injection per app must change the
+// output or crash (an injector that never perturbs anything is broken).
+func TestFaultChangesOutcomeSomewhere(t *testing.T) {
+	for _, name := range []string{"cg", "mg", "is", "kmeans", "lulesh"} {
+		a, _ := Get(name)
+		clean, err := a.CleanTrace(interp.TraceOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		changed := false
+		for k := 0; k < 20 && !changed; k++ {
+			m, _ := a.NewMachine()
+			m.Fault = &interp.Fault{
+				Step: uint64(rng.Int63n(int64(clean.Steps))),
+				Bit:  62, // exponent bit: large perturbation
+				Kind: interp.FaultDst,
+			}
+			tr, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Status != trace.RunOK || !a.Verify(tr) {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Errorf("%s: 20 exponent-bit faults all invisible", name)
+		}
+	}
+}

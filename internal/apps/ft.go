@@ -1,0 +1,149 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	ftN       = 32 // FFT length (power of two)
+	ftLogN    = 5
+	ftMainIts = 6
+)
+
+// buildFT constructs the FT benchmark analog: NPB FT evolves a spectrum and
+// repeatedly Fourier-transforms it, checksumming the result each iteration.
+// This implementation runs an iterative radix-2 Cooley-Tukey FFT (bit
+// reversal uses shift/mask loops, butterflies use host cos/sin twiddles) on
+// a deterministic random signal. Regions: ft_a = evolve (phase multiply),
+// ft_b = FFT, ft_c = checksum.
+func buildFT(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("ft")
+	mpiCk := mpiSetup(p, mpiMode)
+	p.DeclareHost("cos", 1, true)
+	p.DeclareHost("sin", 1, true)
+
+	n := int64(ftN)
+	re := p.AllocGlobal("re", n, ir.F64)
+	im := p.AllocGlobal("im", n, ir.F64)
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	fillRand(b, re, n, -1, 1)
+	fillRand(b, im, n, -1, 1)
+
+	const tau = 6.283185307179586
+
+	b.ForI(0, ftMainIts, func(it ir.Reg) {
+		b.MainLoopRegion("ft_main", func() {
+			// ft_a: evolve — multiply element k by exp(i * theta * k),
+			// theta advancing with the iteration (NPB's evolve kernel).
+			b.SetLine(500)
+			b.Region("ft_a", func() {
+				theta := b.FMul(b.ConstF(0.1), b.SIToFP(b.AddI(it, 1)))
+				b.ForI(0, n, func(k ir.Reg) {
+					ang := b.FMul(theta, b.SIToFP(k))
+					c := b.Host("cos", 1, true, ang)
+					s := b.Host("sin", 1, true, ang)
+					rk := b.LoadG(re, k)
+					ik := b.LoadG(im, k)
+					b.StoreG(re, k, b.FSub(b.FMul(rk, c), b.FMul(ik, s)))
+					b.StoreG(im, k, b.FAdd(b.FMul(rk, s), b.FMul(ik, c)))
+				})
+			})
+
+			// ft_b: in-place radix-2 FFT.
+			b.SetLine(540)
+			b.Region("ft_b", func() {
+				// Bit-reversal permutation: swap i with rev(i) when i < rev(i).
+				b.ForI(0, n, func(i ir.Reg) {
+					rev := b.ConstI(0)
+					tmp := b.MovI(i)
+					for bit := 0; bit < ftLogN; bit++ {
+						lsb := b.And(tmp, b.ConstI(1))
+						b.BinTo(ir.OpOr, rev, b.Shl(rev, b.ConstI(1)), lsb)
+						b.BinTo(ir.OpLShr, tmp, tmp, b.ConstI(1))
+					}
+					lt := b.ICmp(ir.OpICmpSLT, i, rev)
+					b.If(lt, func() {
+						ra, rb := b.Addr(re, i), b.Addr(re, rev)
+						t1, t2 := b.Load(ir.F64, ra), b.Load(ir.F64, rb)
+						b.Store(ra, t2)
+						b.Store(rb, t1)
+						ia, ib := b.Addr(im, i), b.Addr(im, rev)
+						t3, t4 := b.Load(ir.F64, ia), b.Load(ir.F64, ib)
+						b.Store(ia, t4)
+						b.Store(ib, t3)
+					})
+				})
+				// Butterfly stages.
+				for size := int64(2); size <= n; size <<= 1 {
+					half := size / 2
+					angStep := -tau / float64(size)
+					b.For(b.ConstI(0), b.ConstI(n), size, func(start ir.Reg) {
+						b.ForI(0, half, func(j ir.Reg) {
+							ang := b.FMul(b.ConstF(angStep), b.SIToFP(j))
+							wr := b.Host("cos", 1, true, ang)
+							wi := b.Host("sin", 1, true, ang)
+							iTop := b.Add(start, j)
+							iBot := b.AddI(iTop, half)
+							tr := b.LoadG(re, iBot)
+							ti := b.LoadG(im, iBot)
+							xr := b.FSub(b.FMul(tr, wr), b.FMul(ti, wi))
+							xi := b.FAdd(b.FMul(tr, wi), b.FMul(ti, wr))
+							ur := b.LoadG(re, iTop)
+							ui := b.LoadG(im, iTop)
+							b.StoreG(re, iTop, b.FAdd(ur, xr))
+							b.StoreG(im, iTop, b.FAdd(ui, xi))
+							b.StoreG(re, iBot, b.FSub(ur, xr))
+							b.StoreG(im, iBot, b.FSub(ui, xi))
+						})
+					})
+				}
+				// Normalize so magnitudes stay bounded across iterations.
+				inv := b.ConstF(1.0 / float64(n))
+				b.ForI(0, n, func(i ir.Reg) {
+					b.StoreG(re, i, b.FMul(b.LoadG(re, i), inv))
+					b.StoreG(im, i, b.FMul(b.LoadG(im, i), inv))
+				})
+			})
+
+			// ft_c: checksum — sum of a strided subset (NPB style).
+			b.SetLine(590)
+			b.Region("ft_c", func() {
+				ckr := b.ConstF(0)
+				cki := b.ConstF(0)
+				b.For(b.ConstI(0), b.ConstI(n), 3, func(k ir.Reg) {
+					b.BinTo(ir.OpFAdd, ckr, ckr, b.LoadG(re, k))
+					b.BinTo(ir.OpFAdd, cki, cki, b.LoadG(im, k))
+				})
+				b.StoreGI(scal, 0, b.FAdd(ckr, cki))
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	// Verification: final checksum and full spectrum energy.
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	energy := b.ConstF(0)
+	b.ForI(0, n, func(i ir.Reg) {
+		rk := b.LoadG(re, i)
+		ik := b.LoadG(im, i)
+		b.BinTo(ir.OpFAdd, energy, energy, b.FAdd(b.FMul(rk, rk), b.FMul(ik, ik)))
+	})
+	b.Emit(ir.F64, energy)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "ft",
+		Description:    "NPB FT: iterative radix-2 FFT with spectrum evolution and checksums",
+		Regions:        []string{"ft_a", "ft_b", "ft_c"},
+		MainLoop:       "ft_main",
+		Tol:            1e-6,
+		MainIterations: ftMainIts,
+		build:          buildFT,
+	})
+}

@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	isKeys    = 256  // keys per iteration
+	isMaxKey  = 1024 // key range [0, 2^10)
+	isBuckets = 16   // 2^4 buckets
+	isShift   = 6    // bucket = key >> 6 (the Figure 11 shift)
+	isMainIts = 10   // Figure 6 shows 10 iterations for IS
+)
+
+// buildIS constructs the integer-sort benchmark: NPB IS's bucket sort. The
+// bucket-assignment shift (Figure 11: bucket_size[key_array[i] >> shift]++)
+// is the shifting resilience pattern site. Regions follow Table I: is_a =
+// key generation, is_b = bucket counting (the shift), is_c = rank/scatter
+// plus partial verification.
+func buildIS(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("is")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	keys := p.AllocGlobal("key_array", isKeys, ir.I64)
+	bsize := p.AllocGlobal("bucket_size", isBuckets, ir.I64)
+	bptr := p.AllocGlobal("bucket_ptr", isBuckets, ir.I64)
+	sorted := p.AllocGlobal("key_buff", isKeys, ir.I64)
+	scal := p.AllocGlobal("scal", 2, ir.F64) // keysum, inversions
+
+	b := p.NewFunc("main", 0)
+	b.ForI(0, isMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("is_main", func() {
+			// is_a: key generation (lines 435-472).
+			b.SetLine(435)
+			b.Region("is_a", func() {
+				b.ForI(0, isKeys, func(i ir.Reg) {
+					rv := b.Host("rand01", 0, true)
+					k := b.FPToSI(b.FMul(rv, b.ConstF(float64(isMaxKey))))
+					b.StoreG(keys, i, k)
+				})
+			})
+
+			// is_b: bucket counting via key shifting (473-478, Figure 11).
+			// NPB stores keys as 32-bit INT_TYPE; the TruncI32 on each
+			// load models that narrower storage on our 64-bit words (and
+			// masks flips of bits 32-63 exactly as 32-bit storage would
+			// never see them).
+			b.SetLine(473)
+			b.Region("is_b", func() {
+				b.ForI(0, isBuckets, func(i ir.Reg) {
+					b.StoreG(bsize, i, b.ConstI(0))
+				})
+				sh := b.ConstI(isShift)
+				b.ForI(0, isKeys, func(i ir.Reg) {
+					bkt := b.LShr(b.TruncI32(b.LoadG(keys, i)), sh)
+					addr := b.Addr(bsize, bkt)
+					b.Store(addr, b.Add(b.Load(ir.I64, addr), b.ConstI(1)))
+				})
+			})
+
+			// is_c: rank computation, scatter, and partial verification
+			// (500-638).
+			b.SetLine(500)
+			b.Region("is_c", func() {
+				// Exclusive prefix sum into bucket_ptr.
+				run := b.ConstI(0)
+				b.ForI(0, isBuckets, func(i ir.Reg) {
+					b.StoreG(bptr, i, run)
+					b.BinTo(ir.OpAdd, run, run, b.LoadG(bsize, i))
+				})
+				// Scatter keys into their bucket windows (bucket-ordered,
+				// not fully sorted within buckets — NPB IS ranks the
+				// same way before full verification).
+				sh := b.ConstI(isShift)
+				b.ForI(0, isKeys, func(i ir.Reg) {
+					k := b.TruncI32(b.LoadG(keys, i))
+					bkt := b.LShr(k, sh)
+					paddr := b.Addr(bptr, bkt)
+					pos := b.Load(ir.I64, paddr)
+					b.StoreG(sorted, pos, k)
+					b.Store(paddr, b.Add(pos, b.ConstI(1)))
+				})
+				// Partial verification: bucket-level ordering violations
+				// (must be zero) and the key checksum.
+				inv := b.ConstI(0)
+				sum := b.ConstI(0)
+				b.ForI(0, isKeys, func(i ir.Reg) {
+					b.BinTo(ir.OpAdd, sum, sum, b.LoadG(sorted, i))
+				})
+				b.ForI(1, isKeys, func(i ir.Reg) {
+					prev := b.LShr(b.LoadG(sorted, b.AddI(i, -1)), sh)
+					cur := b.LShr(b.LoadG(sorted, i), sh)
+					bad := b.ICmp(ir.OpICmpSGT, prev, cur)
+					b.If(bad, func() {
+						b.BinTo(ir.OpAdd, inv, inv, b.ConstI(1))
+					})
+				})
+				b.StoreGI(scal, 0, b.SIToFP(sum))
+				b.StoreGI(scal, 1, b.SIToFP(inv))
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	// Verification: last iteration's key checksum and the inversion count
+	// (which must be exactly zero).
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	b.Emit(ir.F64, b.LoadGI(scal, 1))
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "is",
+		Description:    "NPB IS: bucket sort of random integer keys with shift-based bucketing",
+		Regions:        []string{"is_a", "is_b", "is_c"},
+		MainLoop:       "is_main",
+		Tol:            1e-9,
+		MainIterations: isMainIts,
+		build:          buildIS,
+	})
+}

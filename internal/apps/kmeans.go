@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	kmPoints   = 64
+	kmFeatures = 3
+	kmClusters = 4
+	kmMainIts  = 3
+)
+
+// buildKMEANS constructs the Rodinia KMEANS benchmark: Lloyd's algorithm
+// over random points. The minimum-distance search (Figure 10) is the
+// conditional-statement pattern site: faults in the feature array are
+// tolerated as long as the argmin cluster is unchanged. Regions follow
+// Table I: k_a = feature scaling, k_b = center initialization, k_c =
+// assignment (distance + min conditional), k_d = center update and scratch
+// recycling.
+func buildKMEANS(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("kmeans")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	feat := p.AllocGlobal("feature", kmPoints*kmFeatures, ir.F64)
+	centers := p.AllocGlobal("clusters", kmClusters*kmFeatures, ir.F64)
+	member := p.AllocGlobal("membership", kmPoints, ir.I64)
+	newC := p.AllocGlobal("new_centers", kmClusters*kmFeatures, ir.F64)
+	newN := p.AllocGlobal("new_centers_len", kmClusters, ir.I64)
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+
+	// k_a: read + scale features (lines 131-142).
+	b.SetLine(131)
+	b.Region("k_a", func() {
+		fillRand(b, feat, kmPoints*kmFeatures, 0, 10)
+	})
+
+	// k_b: initial centers = first k points (144-153).
+	b.SetLine(144)
+	b.Region("k_b", func() {
+		b.ForI(0, kmClusters*kmFeatures, func(i ir.Reg) {
+			b.StoreG(centers, i, b.LoadG(feat, i))
+		})
+	})
+
+	b.ForI(0, kmMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("k_main", func() {
+			// k_c: assignment — find the min-distance center (156-187,
+			// Figure 10).
+			b.SetLine(156)
+			b.Region("k_c", func() {
+				b.ForI(0, kmPoints, func(pt ir.Reg) {
+					minDist := b.ConstF(1e30)
+					index := b.ConstI(0)
+					b.ForI(0, kmClusters, func(c ir.Reg) {
+						// dist = euclid_dist_2(pt, centers[c])
+						dist := b.ConstF(0)
+						b.ForI(0, kmFeatures, func(f ir.Reg) {
+							fv := b.LoadG(feat, b.Add(b.MulI(pt, kmFeatures), f))
+							cv := b.LoadG(centers, b.Add(b.MulI(c, kmFeatures), f))
+							d := b.FSub(fv, cv)
+							b.BinTo(ir.OpFAdd, dist, dist, b.FMul(d, d))
+						})
+						// if (dist < min_dist) { min_dist = dist; index = c; }
+						lt := b.FCmp(ir.OpFCmpLT, dist, minDist)
+						b.If(lt, func() {
+							b.MovFTo(minDist, dist)
+							b.MovITo(index, c)
+						})
+					})
+					b.StoreG(member, pt, index)
+				})
+			})
+
+			// k_d: center update; the scratch arrays are zeroed after the
+			// copy, the "free temporal corrupted locations" behaviour the
+			// paper sees in k_d (190-194).
+			b.SetLine(190)
+			b.Region("k_d", func() {
+				b.ForI(0, kmClusters*kmFeatures, func(i ir.Reg) {
+					b.StoreG(newC, i, b.ConstF(0))
+				})
+				b.ForI(0, kmClusters, func(i ir.Reg) {
+					b.StoreG(newN, i, b.ConstI(0))
+				})
+				b.ForI(0, kmPoints, func(pt ir.Reg) {
+					c := b.LoadG(member, pt)
+					naddr := b.Addr(newN, c)
+					b.Store(naddr, b.Add(b.Load(ir.I64, naddr), b.ConstI(1)))
+					b.ForI(0, kmFeatures, func(f ir.Reg) {
+						fv := b.LoadG(feat, b.Add(b.MulI(pt, kmFeatures), f))
+						caddr := b.Addr(newC, b.Add(b.MulI(c, kmFeatures), f))
+						b.Store(caddr, b.FAdd(b.Load(ir.F64, caddr), fv))
+					})
+				})
+				b.ForI(0, kmClusters, func(c ir.Reg) {
+					n := b.LoadG(newN, c)
+					pos := b.ICmp(ir.OpICmpSGT, n, b.ConstI(0))
+					b.If(pos, func() {
+						nf := b.SIToFP(n)
+						b.ForI(0, kmFeatures, func(f ir.Reg) {
+							idx := b.Add(b.MulI(c, kmFeatures), f)
+							b.StoreG(centers, idx, b.FDiv(b.LoadG(newC, idx), nf))
+						})
+					})
+				})
+			})
+			// Iteration checksum: sum of centers.
+			ck := b.ConstF(0)
+			b.ForI(0, kmClusters*kmFeatures, func(i ir.Reg) {
+				b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(centers, i))
+			})
+			b.StoreGI(scal, 0, ck)
+			mpiCk(b, ck)
+		})
+	})
+
+	// Verification: final centers (each emitted) and membership checksum.
+	b.ForI(0, kmClusters*kmFeatures, func(i ir.Reg) {
+		b.Emit(ir.F64, b.LoadG(centers, i))
+	})
+	msum := b.ConstI(0)
+	b.ForI(0, kmPoints, func(i ir.Reg) {
+		b.BinTo(ir.OpAdd, msum, msum, b.LoadG(member, i))
+	})
+	b.Emit(ir.I64, msum)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "kmeans",
+		Description:    "Rodinia KMEANS: Lloyd's algorithm with min-distance conditional masking",
+		Regions:        []string{"k_a", "k_b", "k_c", "k_d"},
+		MainLoop:       "k_main",
+		Tol:            1e-3, // centers tolerate small numeric drift
+		MainIterations: kmMainIts,
+		build:          buildKMEANS,
+	})
+}

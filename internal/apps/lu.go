@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	luN       = 16 // grid is luN x luN
+	luMainIts = 8
+	luOmega   = 1.2 // SSOR relaxation factor
+)
+
+// buildLU constructs the LU benchmark analog: NPB LU's SSOR solver reduced
+// to a 2-D 5-point Poisson problem. Each main-loop iteration performs one
+// symmetric successive-over-relaxation pass: a forward (lower-triangular)
+// sweep, a backward (upper-triangular) sweep, and a residual evaluation.
+func buildLU(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("lu")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	n := int64(luN)
+	u := p.AllocGlobal("u", n*n, ir.F64)
+	f := p.AllocGlobal("frhs", n*n, ir.F64)
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	fillRand(b, f, n*n, -1, 1)
+	fillConstF(b, u, n*n, 0)
+
+	// One SSOR relaxation of u[i][j] toward (f + neighbor sum)/4.
+	relax := func(i, j ir.Reg) {
+		up := load2(b, u, b.AddI(i, -1), j, n)
+		dn := load2(b, u, b.AddI(i, 1), j, n)
+		lf := load2(b, u, i, b.AddI(j, -1), n)
+		rt := load2(b, u, i, b.AddI(j, 1), n)
+		nb := b.FAdd(b.FAdd(up, dn), b.FAdd(lf, rt))
+		gs := b.FMul(b.ConstF(0.25), b.FAdd(load2(b, f, i, j, n), nb))
+		old := load2(b, u, i, j, n)
+		val := b.FAdd(b.FMul(b.ConstF(1-luOmega), old), b.FMul(b.ConstF(luOmega), gs))
+		store2(b, u, i, j, n, val)
+	}
+
+	b.ForI(0, luMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("lu_main", func() {
+			// lu_a: forward sweep (blts analog).
+			b.SetLine(100)
+			b.Region("lu_a", func() {
+				b.ForI(1, n-1, func(i ir.Reg) {
+					b.ForI(1, n-1, func(j ir.Reg) {
+						relax(i, j)
+					})
+				})
+			})
+			// lu_b: backward sweep (buts analog) — descending order via
+			// index mirroring.
+			b.SetLine(140)
+			b.Region("lu_b", func() {
+				b.ForI(1, n-1, func(ii ir.Reg) {
+					i := b.Sub(b.ConstI(n-1), ii)
+					b.ForI(1, n-1, func(jj ir.Reg) {
+						j := b.Sub(b.ConstI(n-1), jj)
+						relax(i, j)
+					})
+				})
+			})
+			// lu_c: residual norm.
+			b.SetLine(180)
+			b.Region("lu_c", func() {
+				norm := b.ConstF(0)
+				b.ForI(1, n-1, func(i ir.Reg) {
+					b.ForI(1, n-1, func(j ir.Reg) {
+						up := load2(b, u, b.AddI(i, -1), j, n)
+						dn := load2(b, u, b.AddI(i, 1), j, n)
+						lf := load2(b, u, i, b.AddI(j, -1), n)
+						rt := load2(b, u, i, b.AddI(j, 1), n)
+						lap := b.FSub(b.FMul(b.ConstF(4), load2(b, u, i, j, n)),
+							b.FAdd(b.FAdd(up, dn), b.FAdd(lf, rt)))
+						d := b.FSub(load2(b, f, i, j, n), lap)
+						b.BinTo(ir.OpFAdd, norm, norm, b.FMul(d, d))
+					})
+				})
+				b.StoreGI(scal, 0, b.FSqrt(norm))
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	// Verification: final residual norm and interior checksum.
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	ck := b.ConstF(0)
+	b.ForI(0, n*n, func(i ir.Reg) {
+		b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(u, i))
+	})
+	b.Emit(ir.F64, ck)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "lu",
+		Description:    "NPB LU: SSOR forward/backward sweeps on a 2-D Poisson problem",
+		Regions:        []string{"lu_a", "lu_b", "lu_c"},
+		MainLoop:       "lu_main",
+		Tol:            1e-6,
+		MainIterations: luMainIts,
+		build:          buildLU,
+	})
+}

@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	luleshElems   = 12 // elements in the 1-D chain of hexahedra proxies
+	luleshNodes   = luleshElems + 1
+	luleshMainIts = 10 // Figure 6 shows 10 iterations for LULESH
+)
+
+// buildLULESH constructs the LULESH proxy: an explicit Lagrangian hydro
+// time step over a chain of elements. The LagrangeNodal phase reproduces the
+// hourglass-force aggregation of Figure 8 verbatim — hourgam[8][4] temporal
+// arrays aggregated through hxx[4] into hgfz[8], after which the corrupted
+// temporaries are dead (the dead-corrupted-locations pattern). Final
+// energies are reported through the "%12.6e"-style truncating formatter
+// (the data-truncation pattern). Table I gives LULESH a single code region
+// l_a (lines 2652-2693).
+func buildLULESH(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("lulesh")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	x := p.AllocGlobal("x", luleshNodes, ir.F64)   // node positions
+	xd := p.AllocGlobal("xd", luleshNodes, ir.F64) // node velocities
+	force := p.AllocGlobal("force", luleshNodes, ir.F64)
+	e := p.AllocGlobal("e", luleshElems, ir.F64)     // element energies
+	vol := p.AllocGlobal("vol", luleshElems, ir.F64) // element volumes
+	hourgam := p.AllocGlobal("hourgam", 8*4, ir.F64) // Figure 8 temporal
+	hxx := p.AllocGlobal("hxx", 4, ir.F64)
+	hgfz := p.AllocGlobal("hgfz", 8, ir.F64)
+	xdl := p.AllocGlobal("xd_local", 8, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	// Initial mesh: unit spacing, small random velocities, unit energies.
+	b.ForI(0, luleshNodes, func(i ir.Reg) {
+		b.StoreG(x, i, b.SIToFP(i))
+		b.StoreG(force, i, b.ConstF(0))
+	})
+	fillRand(b, xd, luleshNodes, -0.01, 0.01)
+	fillConstF(b, e, luleshElems, 1.0)
+	fillConstF(b, vol, luleshElems, 1.0)
+
+	const dt = 1e-3
+	b.ForI(0, luleshMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("lulesh_main", func() {
+			b.SetLine(2652)
+			b.Region("l_a", func() {
+				// --- LagrangeNodal: forces from stress + hourglass ---
+				b.ForI(0, luleshNodes, func(i ir.Reg) {
+					b.StoreG(force, i, b.ConstF(0))
+				})
+				b.ForI(0, luleshElems, func(el ir.Reg) {
+					// Stress force: pressure ~ e/vol acting on both nodes.
+					prs := b.FDiv(b.LoadG(e, el), b.LoadG(vol, el))
+					la := b.Addr(force, el)
+					b.Store(la, b.FAdd(b.Load(ir.F64, la), prs))
+					ra := b.Addr(force, b.AddI(el, 1))
+					b.Store(ra, b.FSub(b.Load(ir.F64, ra), prs))
+
+					// Hourglass control (Figure 8). Gather 8 pseudo-node
+					// velocities around this element (mod the chain).
+					b.ForI(0, 8, func(k ir.Reg) {
+						idx := b.SRem(b.Add(el, k), b.ConstI(luleshNodes))
+						b.StoreG(xdl, k, b.LoadG(xd, idx))
+					})
+					// hourgam[j][i]: deterministic shape coefficients
+					// mixed with local velocities (temporal, per element).
+					b.ForI(0, 8, func(j ir.Reg) {
+						b.ForI(0, 4, func(i ir.Reg) {
+							s := b.FAdd(b.SIToFP(b.Add(b.MulI(j, 4), i)), b.ConstF(1))
+							sgn := b.SRem(b.Add(j, i), b.ConstI(2))
+							isOdd := b.ICmp(ir.OpICmpEQ, sgn, b.ConstI(1))
+							coefR := b.ConstF(0.0625)
+							b.If(isOdd, func() {
+								b.ConstFTo(coefR, -0.0625)
+							})
+							val := b.FMul(coefR, s)
+							store2(b, hourgam, j, i, 4, val)
+						})
+					})
+					// hxx[i] = sum_j hourgam[j][i] * xd_local[j]
+					b.ForI(0, 4, func(i ir.Reg) {
+						acc := b.ConstF(0)
+						b.ForI(0, 8, func(j ir.Reg) {
+							hg := load2(b, hourgam, j, i, 4)
+							b.BinTo(ir.OpFAdd, acc, acc, b.FMul(hg, b.LoadG(xdl, j)))
+						})
+						b.StoreG(hxx, i, acc)
+					})
+					// hgfz[j] = coefficient * sum_i hourgam[j][i] * hxx[i]
+					coeff := b.ConstF(-0.01)
+					b.ForI(0, 8, func(j ir.Reg) {
+						acc := b.ConstF(0)
+						b.ForI(0, 4, func(i ir.Reg) {
+							hg := load2(b, hourgam, j, i, 4)
+							b.BinTo(ir.OpFAdd, acc, acc, b.FMul(hg, b.LoadG(hxx, i)))
+						})
+						b.StoreG(hgfz, j, b.FMul(coeff, acc))
+					})
+					// Apply the hourglass force to the element's two real
+					// nodes; hourgam/hxx are now dead until the next
+					// element overwrites them.
+					b.Store(la, b.FAdd(b.Load(ir.F64, la), b.LoadG(hgfz, b.ConstI(0))))
+					b.Store(ra, b.FAdd(b.Load(ir.F64, ra), b.LoadG(hgfz, b.ConstI(1))))
+				})
+				// Integrate nodes: xd += dt * force, x += dt * xd.
+				dtR := b.ConstF(dt)
+				b.ForI(0, luleshNodes, func(i ir.Reg) {
+					nxd := b.FAdd(b.LoadG(xd, i), b.FMul(dtR, b.LoadG(force, i)))
+					b.StoreG(xd, i, nxd)
+					b.StoreG(x, i, b.FAdd(b.LoadG(x, i), b.FMul(dtR, nxd)))
+				})
+
+				// --- LagrangeElements: volumes and energy work ---
+				b.ForI(0, luleshElems, func(el ir.Reg) {
+					xl := b.LoadG(x, el)
+					xr := b.LoadG(x, b.AddI(el, 1))
+					nv := b.FSub(xr, xl)
+					// Guard against collapse: vol = max(nv, 0.1).
+					small := b.FCmp(ir.OpFCmpLT, nv, b.ConstF(0.1))
+					b.If(small, func() {
+						b.ConstFTo(nv, 0.1)
+					})
+					old := b.LoadG(vol, el)
+					dv := b.FSub(nv, old)
+					prs := b.FDiv(b.LoadG(e, el), old)
+					// e -= p * dV (compression work).
+					b.StoreG(e, el, b.FSub(b.LoadG(e, el), b.FMul(prs, dv)))
+					b.StoreG(vol, el, nv)
+				})
+			})
+			// Iteration checksum for the MPI variant.
+			ck := b.ConstF(0)
+			b.ForI(0, luleshElems, func(i ir.Reg) {
+				b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(e, i))
+			})
+			mpiCk(b, ck)
+		})
+	})
+
+	// Final report: element energies through the truncating %12.6e
+	// formatter — exactly LULESH's output path (pattern 5).
+	b.ForI(0, luleshElems, func(i ir.Reg) {
+		b.EmitSci6(b.LoadG(e, i))
+	})
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "lulesh",
+		Description:    "LULESH proxy: Lagrangian hydro step with Figure 8 hourglass-force aggregation",
+		Regions:        []string{"l_a"},
+		MainLoop:       "lulesh_main",
+		Tol:            1e-5,
+		MainIterations: luleshMainIts,
+		build:          buildLULESH,
+	})
+}

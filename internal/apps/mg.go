@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	mgFinest  = 64 // finest grid points (power of two)
+	mgLevels  = 4  // 64 -> 32 -> 16 -> 8
+	mgMainIts = 4  // mg3P is called four times (Table II, Figure 6)
+)
+
+// buildMG constructs the multigrid benchmark: a 1-D V-cycle solver for the
+// discrete Poisson problem, scaled down from NPB MG. The psinv smoother is
+// the repeated-additions site of Figure 9 / Table II: u[i] is repeatedly
+// added with stencil combinations of the residual. Regions follow Table I:
+// mg_a = resid, mg_b = rprj (restriction), mg_c = interp (prolongation),
+// mg_d = psinv (smoother).
+func buildMG(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("mg")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	// Level l has size mgFinest>>l points; all levels live concatenated in
+	// u[] and r[]. off[l] is the level's first word.
+	sizes := make([]int64, mgLevels)
+	offs := make([]int64, mgLevels)
+	var total int64
+	for l := 0; l < mgLevels; l++ {
+		sizes[l] = int64(mgFinest >> l)
+		offs[l] = total
+		total += sizes[l]
+	}
+	u := p.AllocGlobal("u", total, ir.F64)
+	r := p.AllocGlobal("r", total, ir.F64)
+	v := p.AllocGlobal("v", sizes[0], ir.F64)
+	scal := p.AllocGlobal("scal", 1, ir.F64) // residual norm
+
+	b := p.NewFunc("main", 0)
+	// Random charge distribution in v, zero initial guess.
+	fillRand(b, v, sizes[0], -0.5, 0.5)
+	fillConstF(b, u, total, 0)
+	fillConstF(b, r, total, 0)
+
+	// Smoother coefficients (NPB's c[0..2] analog).
+	const c0, c1 = 0.5, 0.25
+
+	// resid at level 0: r0 = v - A u0, A = tridiag(-1,2,-1).
+	resid := func() {
+		b.SetLine(425)
+		b.Region("mg_a", func() {
+			n := sizes[0]
+			b.ForI(1, n-1, func(i ir.Reg) {
+				ui := b.LoadG(u, i)
+				um := b.LoadG(u, b.AddI(i, -1))
+				up := b.LoadG(u, b.AddI(i, 1))
+				au := b.FSub(b.FMul(b.ConstF(2), ui), b.FAdd(um, up))
+				b.StoreG(r, i, b.FSub(b.LoadG(v, i), au))
+			})
+		})
+	}
+
+	// restrictTo(l): r_{l} = restrict(r_{l-1}).
+	restrictTo := func(l int) {
+		b.SetLine(430)
+		b.Region("mg_b", func() {
+			nf, nc := sizes[l-1], sizes[l]
+			fo, co := offs[l-1], offs[l]
+			b.ForI(1, nc-1, func(i ir.Reg) {
+				fi := b.AddI(b.Add(i, i), fo) // 2*i + fine offset
+				rm := b.LoadG(r, b.AddI(fi, -1))
+				rc := b.LoadG(r, fi)
+				rp := b.LoadG(r, b.AddI(fi, 1))
+				avg := b.FMul(b.ConstF(0.25),
+					b.FAdd(b.FAdd(rm, rp), b.FMul(b.ConstF(2), rc)))
+				b.StoreG(r, b.AddI(i, co), avg)
+				_ = nf
+			})
+		})
+	}
+
+	// psinv(l): u_l[i] += c0*r_l[i] + c1*(r_l[i-1] + r_l[i+1]) — the
+	// repeated-additions pattern (Figure 9).
+	psinv := func(l int) {
+		b.SetLine(457)
+		b.Region("mg_d", func() {
+			n, o := sizes[l], offs[l]
+			b.ForI(1, n-1, func(i ir.Reg) {
+				io := b.AddI(i, o)
+				ri := b.LoadG(r, io)
+				rm := b.LoadG(r, b.AddI(io, -1))
+				rp := b.LoadG(r, b.AddI(io, 1))
+				upd := b.FAdd(b.LoadG(u, io),
+					b.FAdd(b.FMul(b.ConstF(c0), ri),
+						b.FMul(b.ConstF(c1), b.FAdd(rm, rp))))
+				b.StoreG(u, io, upd)
+			})
+		})
+	}
+
+	// interpFrom(l): u_{l-1} += prolongate(u_l), then zero u_l for the
+	// next cycle (data overwriting of the coarse scratch).
+	interpFrom := func(l int) {
+		b.SetLine(438)
+		b.Region("mg_c", func() {
+			nc := sizes[l]
+			fo, co := offs[l-1], offs[l]
+			b.ForI(1, nc-1, func(i ir.Reg) {
+				ci := b.AddI(i, co)
+				uc := b.LoadG(u, ci)
+				ucn := b.LoadG(u, b.AddI(ci, 1))
+				fi := b.AddI(b.Add(i, i), fo)
+				b.StoreG(u, fi, b.FAdd(b.LoadG(u, fi), uc))
+				fip := b.AddI(fi, 1)
+				half := b.FMul(b.ConstF(0.5), b.FAdd(uc, ucn))
+				b.StoreG(u, fip, b.FAdd(b.LoadG(u, fip), half))
+			})
+			// Clear the coarse correction (overwrite pattern).
+			b.ForI(0, nc, func(i ir.Reg) {
+				b.StoreG(u, b.AddI(i, co), b.ConstF(0))
+			})
+		})
+	}
+
+	b.ForI(0, mgMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("mg_main", func() {
+			// mg3P: one V-cycle.
+			resid()
+			for l := 1; l < mgLevels; l++ {
+				restrictTo(l)
+			}
+			psinv(mgLevels - 1)
+			for l := mgLevels - 1; l >= 1; l-- {
+				interpFrom(l)
+				psinv(l - 1)
+			}
+			// Residual norm for verification and the MPI checksum.
+			norm := b.ConstF(0)
+			b.ForI(1, sizes[0]-1, func(i ir.Reg) {
+				ui := b.LoadG(u, i)
+				um := b.LoadG(u, b.AddI(i, -1))
+				up := b.LoadG(u, b.AddI(i, 1))
+				au := b.FSub(b.FMul(b.ConstF(2), ui), b.FAdd(um, up))
+				d := b.FSub(b.LoadG(v, i), au)
+				b.BinTo(ir.OpFAdd, norm, norm, b.FMul(d, d))
+			})
+			b.StoreGI(scal, 0, b.FSqrt(norm))
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	// Verification: final residual norm and solution checksum; the final
+	// comparison against a threshold is the conditional-statement pattern
+	// the paper notes in MG's verification phase.
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	ck := b.ConstF(0)
+	b.ForI(0, sizes[0], func(i ir.Reg) {
+		b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(u, i))
+	})
+	b.Emit(ir.F64, ck)
+	pass := b.FCmp(ir.OpFCmpLT, b.LoadGI(scal, 0), b.ConstF(1e3))
+	b.Emit(ir.I64, pass)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "mg",
+		Description:    "NPB MG: 1-D multigrid V-cycle Poisson solver with psinv repeated additions",
+		Regions:        []string{"mg_a", "mg_b", "mg_c", "mg_d"},
+		MainLoop:       "mg_main",
+		Tol:            1e-6,
+		MainIterations: mgMainIts,
+		build:          buildMG,
+	})
+}

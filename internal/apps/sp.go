@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fliptracker/internal/ir"
+)
+
+const (
+	spN       = 14 // spN x spN grid
+	spMainIts = 8
+)
+
+// buildSP constructs the SP benchmark analog: NPB SP's scalar pentadiagonal
+// ADI solver reduced to alternating-direction sweeps with a 5-point-wide
+// (i±1, i±2) stencil. Each main iteration does an x-sweep (sp_a), a y-sweep
+// (sp_b), and the add/norm phase (sp_c).
+func buildSP(mpiMode bool) *ir.Program {
+	p := ir.NewProgram("sp")
+	mpiCk := mpiSetup(p, mpiMode)
+
+	n := int64(spN)
+	u := p.AllocGlobal("u", n*n, ir.F64)
+	rhsv := p.AllocGlobal("rhs", n*n, ir.F64)
+	tmp := p.AllocGlobal("lhs", n*n, ir.F64) // sweep scratch
+	scal := p.AllocGlobal("scal", 1, ir.F64)
+
+	b := p.NewFunc("main", 0)
+	fillRand(b, u, n*n, -1, 1)
+	fillConstF(b, rhsv, n*n, 0)
+
+	// Pentadiagonal smoothing weights.
+	const w0, w1, w2 = 0.5, 0.2, 0.05
+
+	b.ForI(0, spMainIts, func(_ ir.Reg) {
+		b.MainLoopRegion("sp_main", func() {
+			// sp_a: x-direction pentadiagonal sweep into tmp.
+			b.SetLine(300)
+			b.Region("sp_a", func() {
+				b.ForI(0, n, func(i ir.Reg) {
+					b.ForI(2, n-2, func(j ir.Reg) {
+						c := load2(b, u, i, j, n)
+						l1 := load2(b, u, i, b.AddI(j, -1), n)
+						r1 := load2(b, u, i, b.AddI(j, 1), n)
+						l2 := load2(b, u, i, b.AddI(j, -2), n)
+						r2 := load2(b, u, i, b.AddI(j, 2), n)
+						v := b.FAdd(b.FMul(b.ConstF(w0), c),
+							b.FAdd(b.FMul(b.ConstF(w1), b.FAdd(l1, r1)),
+								b.FMul(b.ConstF(w2), b.FAdd(l2, r2))))
+						store2(b, tmp, i, j, n, v)
+					})
+				})
+			})
+			// sp_b: y-direction pentadiagonal sweep back into u.
+			b.SetLine(340)
+			b.Region("sp_b", func() {
+				b.ForI(2, n-2, func(i ir.Reg) {
+					b.ForI(2, n-2, func(j ir.Reg) {
+						c := load2(b, tmp, i, j, n)
+						u1 := load2(b, tmp, b.AddI(i, -1), j, n)
+						d1 := load2(b, tmp, b.AddI(i, 1), j, n)
+						u2 := load2(b, tmp, b.AddI(i, -2), j, n)
+						d2 := load2(b, tmp, b.AddI(i, 2), j, n)
+						v := b.FAdd(b.FMul(b.ConstF(w0), c),
+							b.FAdd(b.FMul(b.ConstF(w1), b.FAdd(u1, d1)),
+								b.FMul(b.ConstF(w2), b.FAdd(u2, d2))))
+						store2(b, u, i, j, n, v)
+					})
+				})
+			})
+			// sp_c: accumulate into rhs and compute the norm.
+			b.SetLine(380)
+			b.Region("sp_c", func() {
+				norm := b.ConstF(0)
+				b.ForI(0, n*n, func(i ir.Reg) {
+					acc := b.FAdd(b.LoadG(rhsv, i), b.LoadG(u, i))
+					b.StoreG(rhsv, i, acc)
+					ui := b.LoadG(u, i)
+					b.BinTo(ir.OpFAdd, norm, norm, b.FMul(ui, ui))
+				})
+				b.StoreGI(scal, 0, b.FSqrt(norm))
+			})
+			mpiCk(b, b.LoadGI(scal, 0))
+		})
+	})
+
+	b.Emit(ir.F64, b.LoadGI(scal, 0))
+	ck := b.ConstF(0)
+	b.ForI(0, n*n, func(i ir.Reg) {
+		b.BinTo(ir.OpFAdd, ck, ck, b.LoadG(rhsv, i))
+	})
+	b.Emit(ir.F64, ck)
+	b.RetVoid()
+	b.Done()
+	return p
+}
+
+func init() {
+	register(&App{
+		Name:           "sp",
+		Description:    "NPB SP: alternating-direction pentadiagonal sweeps",
+		Regions:        []string{"sp_a", "sp_b", "sp_c"},
+		MainLoop:       "sp_main",
+		Tol:            1e-6,
+		MainIterations: spMainIts,
+		build:          buildSP,
+	})
+}

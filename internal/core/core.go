@@ -1,0 +1,370 @@
+// Package core is FlipTracker's orchestration layer: it wires the tracer,
+// the code-region model, the DDDG, the ACL table and the pattern detectors
+// into the end-to-end pipeline of Figure 1 — (a) partition the application
+// into code regions, (b)-(c) run fault injections, (d) analyze corrupted
+// variables and extract resilience computation patterns.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fliptracker/internal/acl"
+	"fliptracker/internal/apps"
+	"fliptracker/internal/dddg"
+	"fliptracker/internal/inject"
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/patterns"
+	"fliptracker/internal/trace"
+)
+
+// Analyzer drives the FlipTracker pipeline for one application.
+type Analyzer struct {
+	App  *apps.App
+	Prog *ir.Program
+
+	cleanOnce sync.Once
+	clean     *trace.Trace
+	cleanErr  error
+}
+
+// NewAnalyzer builds an analyzer for a registered application.
+func NewAnalyzer(appName string) (*Analyzer, error) {
+	a, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown application %q (have %v)", appName, apps.Names())
+	}
+	p, err := a.Program()
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{App: a, Prog: p}, nil
+}
+
+// CleanTrace returns the cached fault-free full trace (Figure 1 step (a)).
+func (an *Analyzer) CleanTrace() (*trace.Trace, error) {
+	an.cleanOnce.Do(func() {
+		an.clean, an.cleanErr = an.App.CleanTrace(interp.TraceFull)
+	})
+	return an.clean, an.cleanErr
+}
+
+// Region resolves a region by name.
+func (an *Analyzer) Region(name string) (ir.Region, error) {
+	r, ok := an.Prog.RegionByName(name)
+	if !ok {
+		return ir.Region{}, fmt.Errorf("core: %s has no region %q", an.App.Name, name)
+	}
+	return r, nil
+}
+
+// RegionInstance returns the clean-trace span of one region instance.
+func (an *Analyzer) RegionInstance(name string, instance int) (trace.Span, error) {
+	r, err := an.Region(name)
+	if err != nil {
+		return trace.Span{}, err
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return trace.Span{}, err
+	}
+	s, ok := clean.Instance(int32(r.ID), instance)
+	if !ok {
+		return trace.Span{}, fmt.Errorf("core: %s region %q has no instance %d", an.App.Name, name, instance)
+	}
+	return s, nil
+}
+
+// RegionInputLocs identifies the memory input locations of a region instance
+// via its DDDG (Figure 1 step (b): "identify the input and output variables
+// of each code region").
+func (an *Analyzer) RegionInputLocs(name string, instance int) ([]trace.Loc, error) {
+	s, err := an.RegionInstance(name, instance)
+	if err != nil {
+		return nil, err
+	}
+	clean, _ := an.CleanTrace()
+	g := dddg.Build(clean, s)
+	return g.InputMemLocs(), nil
+}
+
+// RegionDDDG builds the DDDG of a clean region instance.
+func (an *Analyzer) RegionDDDG(name string, instance int) (*dddg.Graph, error) {
+	s, err := an.RegionInstance(name, instance)
+	if err != nil {
+		return nil, err
+	}
+	clean, _ := an.CleanTrace()
+	return dddg.Build(clean, s), nil
+}
+
+// RegionReport is the per-region-instance view of one fault analysis.
+type RegionReport struct {
+	Region   ir.Region
+	Instance int
+	// Comparison classifies the §III-D cases (corrupted inputs/outputs,
+	// error magnitudes, Case 1/Case 2).
+	Comparison *dddg.RegionComparison
+	// Patterns are the resilience computation patterns detected inside
+	// this instance.
+	Patterns *patterns.Detection
+	// ACLDrop is how far the alive-corrupted-location count fell from its
+	// in-span peak by the end of the span.
+	ACLDrop int32
+}
+
+// FaultAnalysis is the complete fine-grained analysis of one faulty run.
+type FaultAnalysis struct {
+	Fault   interp.Fault
+	Faulty  *trace.Trace
+	Outcome inject.Outcome
+	// ACL is the alive-corrupted-locations analysis (§III-C); nil when the
+	// faulty run crashed so early no trace was collected.
+	ACL *acl.Result
+	// Regions reports every region instance the corruption touched.
+	Regions []RegionReport
+}
+
+// PatternsFound aggregates pattern detections across all touched regions.
+func (fa *FaultAnalysis) PatternsFound() [patterns.NumPatterns]bool {
+	var out [patterns.NumPatterns]bool
+	for _, rr := range fa.Regions {
+		if rr.Patterns == nil {
+			continue
+		}
+		for p := 0; p < patterns.NumPatterns; p++ {
+			if rr.Patterns.Found[p] {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeFault runs the app once with the fault, matches the faulty trace
+// against the clean trace, builds the ACL table, compares region DDDGs, and
+// detects resilience patterns (Figure 1 steps (c)-(d)).
+func (an *Analyzer) AnalyzeFault(f interp.Fault) (*FaultAnalysis, error) {
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return nil, err
+	}
+	faulty, err := an.App.FaultyTrace(interp.TraceFull, f)
+	if err != nil {
+		return nil, err
+	}
+
+	fa := &FaultAnalysis{Fault: f, Faulty: faulty}
+	switch faulty.Status {
+	case trace.RunCrashed, trace.RunHang:
+		fa.Outcome = inject.Crashed
+	default:
+		if an.App.Verify(faulty) {
+			fa.Outcome = inject.Success
+		} else {
+			fa.Outcome = inject.Failed
+		}
+	}
+
+	fa.ACL = acl.Analyze(faulty, clean)
+
+	// Identify region instances whose span overlaps any corruption
+	// interval and analyze each.
+	if fa.ACL.InjectionIndex >= 0 {
+		cleanSpans := clean.SplitRegions()
+		faultySpans := faulty.SplitRegions()
+		type key struct {
+			id   int32
+			inst int
+		}
+		fIdx := make(map[key]trace.Span, len(faultySpans))
+		for _, s := range faultySpans {
+			fIdx[key{s.RegionID, s.Instance}] = s
+		}
+		touched := map[int32]bool{}
+		for _, cs := range cleanSpans {
+			fs, ok := fIdx[key{cs.RegionID, cs.Instance}]
+			if !ok {
+				continue
+			}
+			if !spanTouchesCorruption(fs, fa.ACL) {
+				continue
+			}
+			reg := an.Prog.Regions[cs.RegionID]
+			rr := RegionReport{
+				Region:     reg,
+				Instance:   cs.Instance,
+				Comparison: dddg.CompareRegion(clean, cs, faulty, fs),
+				Patterns:   patterns.Detect(an.Prog, faulty, clean, fs, fa.ACL),
+				ACLDrop:    fa.ACL.DropWithinSpan(fs),
+			}
+			fa.Regions = append(fa.Regions, rr)
+			touched[cs.RegionID] = true
+		}
+		// Repeated additions usually amortize *across* instances of a
+		// region (Table II: four mg3P invocations), which per-instance
+		// detection cannot see. Re-run the detector over all instances of
+		// each touched region and attribute hits to that region's first
+		// report.
+		for regionID := range touched {
+			var spans []trace.Span
+			for _, s := range faultySpans {
+				if s.RegionID == regionID {
+					spans = append(spans, s)
+				}
+			}
+			if len(spans) < 2 {
+				continue
+			}
+			for _, ra := range patterns.DetectRepeatedAdditionsInSpans(faulty, clean, spans) {
+				for i := range fa.Regions {
+					if fa.Regions[i].Region.ID == int(regionID) {
+						fa.Regions[i].Patterns.Found[patterns.RepeatedAddition] = true
+						fa.Regions[i].Patterns.Evidence = append(fa.Regions[i].Patterns.Evidence,
+							patterns.Evidence{
+								Pattern:  patterns.RepeatedAddition,
+								RecIndex: ra.LastRecIndex,
+								Loc:      ra.Loc,
+								Note: fmt.Sprintf("error magnitude shrank %.3g -> %.3g over %d additions (across instances)",
+									ra.FirstMag, ra.LastMag, ra.Writes),
+							})
+						break
+					}
+				}
+			}
+		}
+	}
+	return fa, nil
+}
+
+// spanTouchesCorruption reports whether any corruption interval overlaps the
+// span.
+func spanTouchesCorruption(s trace.Span, res *acl.Result) bool {
+	for _, iv := range res.Intervals {
+		if iv.Begin < s.End && iv.End > s.Start {
+			return true
+		}
+	}
+	// Injection inside the span counts even if the corruption died on
+	// arrival.
+	return res.InjectionIndex >= s.Start && res.InjectionIndex < s.End
+}
+
+// PatternRates counts the §VII-B pattern rates from the clean trace.
+func (an *Analyzer) PatternRates() (patterns.Rates, error) {
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return patterns.Rates{}, err
+	}
+	return patterns.CountRates(clean), nil
+}
+
+// RegionPopulation counts the fault-injection sites of one region-instance
+// target, per §IV-C: "we calculate the number of fault injection sites by
+// analyzing the dynamic LLVM instruction trace". Internal targets count one
+// site per destination-writing dynamic instruction per bit; input targets
+// count one site per input memory word per bit.
+func (an *Analyzer) RegionPopulation(name string, instance int, target string) (uint64, error) {
+	s, err := an.RegionInstance(name, instance)
+	if err != nil {
+		return 0, err
+	}
+	clean, _ := an.CleanTrace()
+	switch target {
+	case "internal":
+		var writes uint64
+		for i := s.Start; i < s.End; i++ {
+			if clean.Recs[i].HasDst() {
+				writes++
+			}
+		}
+		return writes * 64, nil
+	case "input":
+		locs, err := an.RegionInputLocs(name, instance)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(len(locs)) * 64, nil
+	}
+	return 0, fmt.Errorf("core: unknown target %q (want internal or input)", target)
+}
+
+// RegionCampaign measures the success rate of faults injected into one
+// region instance (§V-C). target selects the population: "internal" draws
+// uniform dynamic instructions within the instance (FaultDst), "input"
+// flips bits of the region's memory input locations at region entry
+// (FaultMem).
+func (an *Analyzer) RegionCampaign(name string, instance int, target string, tests int, seed int64) (inject.Result, error) {
+	s, err := an.RegionInstance(name, instance)
+	if err != nil {
+		return inject.Result{}, err
+	}
+	clean, _ := an.CleanTrace()
+	var picker inject.TargetPicker
+	switch target {
+	case "internal":
+		lo := clean.Recs[s.Start].Step
+		hi := clean.Recs[s.End-1].Step + 1
+		picker = inject.StepRangeDst{Lo: lo, Hi: hi}
+	case "input":
+		locs, err := an.RegionInputLocs(name, instance)
+		if err != nil {
+			return inject.Result{}, err
+		}
+		if len(locs) == 0 {
+			return inject.Result{}, fmt.Errorf("core: region %q instance %d has no memory inputs", name, instance)
+		}
+		addrs := make([]int64, len(locs))
+		for i, l := range locs {
+			addrs[i] = l.Addr()
+		}
+		picker = inject.MemAtStep{Step: clean.Recs[s.Start].Step, Addrs: addrs}
+	default:
+		return inject.Result{}, fmt.Errorf("core: unknown target %q (want internal or input)", target)
+	}
+	return inject.Run(inject.Spec{
+		MakeMachine: an.App.NewMachine,
+		Verify:      an.App.Verify,
+		Targets:     picker,
+		Tests:       tests,
+		Seed:        seed,
+	})
+}
+
+// WholeProgramCampaign measures the application-level success rate with
+// uniform injections across the full run (the Table IV "measured SR").
+func (an *Analyzer) WholeProgramCampaign(tests int, seed int64) (inject.Result, error) {
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return inject.Result{}, err
+	}
+	return inject.Run(inject.Spec{
+		MakeMachine: an.App.NewMachine,
+		Verify:      an.App.Verify,
+		Targets:     inject.UniformDst{TotalSteps: clean.Steps},
+		Tests:       tests,
+		Seed:        seed,
+	})
+}
+
+// HybridCampaign measures the success rate under a mixed population: half
+// instruction-result flips, half memory-word flips over the program's data
+// (ECC-escaped memory SDC). The Table III use case uses this population
+// because its hardenings protect data at rest.
+func (an *Analyzer) HybridCampaign(tests int, seed int64) (inject.Result, error) {
+	clean, err := an.CleanTrace()
+	if err != nil {
+		return inject.Result{}, err
+	}
+	return inject.Run(inject.Spec{
+		MakeMachine: an.App.NewMachine,
+		Verify:      an.App.Verify,
+		Targets: inject.Mixed{Pickers: []inject.TargetPicker{
+			inject.UniformDst{TotalSteps: clean.Steps},
+			inject.UniformMem{TotalSteps: clean.Steps, FirstAddr: 1, LastAddr: an.Prog.MemWords},
+		}},
+		Tests: tests,
+		Seed:  seed,
+	})
+}

@@ -1,0 +1,145 @@
+package dddg
+
+import (
+	"math"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// ErrMag computes the paper's error magnitude (Equation 2): the relative
+// error of a faulty value with respect to its correct value. Integer words
+// are compared as exact integers converted to float64. A corrupted zero
+// yields +Inf, matching Table II's first row.
+func ErrMag(correct, faulty ir.Word, t ir.Type) float64 {
+	if correct == faulty {
+		return 0
+	}
+	var c, f float64
+	if t == ir.F64 {
+		c, f = correct.Float(), faulty.Float()
+	} else {
+		c, f = float64(correct.Int()), float64(faulty.Int())
+	}
+	if c == f { // distinct bits, equal values (e.g. -0.0 vs +0.0)
+		return 0
+	}
+	if c == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(c-f) / math.Abs(c)
+}
+
+// LocDelta reports one location whose value differs between the fault-free
+// and faulty runs at a region boundary.
+type LocDelta struct {
+	Loc     trace.Loc
+	Correct ir.Word
+	Faulty  ir.Word
+	Typ     ir.Type
+	ErrMag  float64
+}
+
+// RegionComparison is the §III-D faulty-vs-fault-free analysis of one code
+// region instance.
+type RegionComparison struct {
+	// CorruptedInputs are input locations whose incoming values differ.
+	CorruptedInputs []LocDelta
+	// CorruptedOutputs are output locations whose final values differ.
+	CorruptedOutputs []LocDelta
+	// DivergedAt is the first operation index at which control flow
+	// diverged within the region, or -1.
+	DivergedAt int
+	// MaxInputErr and MaxOutputErr are the largest finite error magnitudes
+	// observed (0 when no corruption).
+	MaxInputErr, MaxOutputErr float64
+	// Case1 holds when at least one input is corrupted but every output is
+	// correct: the region masked the error outright.
+	Case1 bool
+	// Case2 holds when inputs and outputs are corrupted but the error
+	// magnitude shrank across the region.
+	Case2 bool
+}
+
+// Tolerant reports whether the region exhibited fault tolerance under either
+// of the paper's two cases.
+func (c *RegionComparison) Tolerant() bool { return c.Case1 || c.Case2 }
+
+// CompareRegion matches one region instance between a fault-free trace and a
+// faulty trace and classifies its fault tolerance. Both spans should refer
+// to the same region and instance number; the traces must come from runs of
+// the same sealed program with identical host behaviour (§V-B's determinism
+// requirement, which the interpreter's seeded RNG provides).
+func CompareRegion(clean *trace.Trace, cs trace.Span, faulty *trace.Trace, fs trace.Span) *RegionComparison {
+	gClean := Build(clean, cs)
+	gFaulty := Build(faulty, fs)
+
+	res := &RegionComparison{DivergedAt: Diverged(clean, cs, faulty, fs)}
+
+	// Inputs: memory locations read-before-written in the clean region.
+	for _, loc := range gClean.InputMemLocs() {
+		cv, _ := inputValue(gClean, loc)
+		fv, ok := inputValue(gFaulty, loc)
+		if !ok {
+			continue // control-flow divergence removed the read
+		}
+		if cv != fv {
+			d := LocDelta{Loc: loc, Correct: cv, Faulty: fv, Typ: inputType(gClean, loc), ErrMag: ErrMag(cv, fv, inputType(gClean, loc))}
+			res.CorruptedInputs = append(res.CorruptedInputs, d)
+			if !math.IsInf(d.ErrMag, 1) && d.ErrMag > res.MaxInputErr {
+				res.MaxInputErr = d.ErrMag
+			}
+		}
+	}
+
+	// Outputs: memory locations written in the clean region, compared at
+	// their final values.
+	for _, loc := range gClean.WrittenMemLocs() {
+		cv, _ := gClean.FinalValue(loc)
+		fv, ok := gFaulty.FinalValue(loc)
+		if !ok {
+			// The faulty run never wrote it: treat the incoming faulty
+			// value as its final value if present, else skip.
+			continue
+		}
+		if cv != fv {
+			t := finalType(gClean, loc)
+			d := LocDelta{Loc: loc, Correct: cv, Faulty: fv, Typ: t, ErrMag: ErrMag(cv, fv, t)}
+			res.CorruptedOutputs = append(res.CorruptedOutputs, d)
+			if !math.IsInf(d.ErrMag, 1) && d.ErrMag > res.MaxOutputErr {
+				res.MaxOutputErr = d.ErrMag
+			}
+		}
+	}
+
+	if len(res.CorruptedInputs) > 0 && len(res.CorruptedOutputs) == 0 {
+		res.Case1 = true
+	}
+	if len(res.CorruptedInputs) > 0 && len(res.CorruptedOutputs) > 0 &&
+		res.MaxOutputErr < res.MaxInputErr {
+		res.Case2 = true
+	}
+	return res
+}
+
+func inputValue(g *Graph, loc trace.Loc) (ir.Word, bool) {
+	id, ok := g.externals[loc]
+	if !ok {
+		return 0, false
+	}
+	return g.Nodes[id].Val, true
+}
+
+func inputType(g *Graph, loc trace.Loc) ir.Type {
+	if id, ok := g.externals[loc]; ok {
+		return g.Nodes[id].Typ
+	}
+	return ir.F64
+}
+
+func finalType(g *Graph, loc trace.Loc) ir.Type {
+	if id, ok := g.final[loc]; ok {
+		return g.Nodes[id].Typ
+	}
+	return ir.F64
+}

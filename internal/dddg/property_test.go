@@ -1,0 +1,99 @@
+package dddg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// TestGraphInvariants checks structural invariants of DDDGs built from real
+// traces: edges reference valid nodes, external nodes have no producer
+// record, non-external nodes index a record in the span, and the final-
+// version map points at real nodes.
+func TestGraphInvariants(t *testing.T) {
+	p, tr := buildRegionProg(t)
+	r, _ := p.RegionByName("sumreg")
+	span, _ := tr.Instance(int32(r.ID), 0)
+	g := Build(tr, span)
+
+	for _, e := range g.Edges {
+		if e.From < 0 || int(e.From) >= len(g.Nodes) || e.To < 0 || int(e.To) >= len(g.Nodes) {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if g.Nodes[e.To].External {
+			t.Fatalf("edge into external node %v", e)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.External && n.RecIndex != -1 {
+			t.Errorf("external node %v has a producer record", n)
+		}
+		if !n.External && (n.RecIndex < span.Start || n.RecIndex >= span.End) {
+			t.Errorf("node %v produced outside the span", n)
+		}
+	}
+	for loc, id := range g.final {
+		if int(id) >= len(g.Nodes) {
+			t.Fatalf("final map for %v out of range", loc)
+		}
+		if g.Nodes[id].Loc != loc {
+			t.Fatalf("final map mismatch for %v", loc)
+		}
+	}
+}
+
+// TestDDDGVersioningProperty: for a random sequence of writes to few
+// locations, the final value tracked by the graph matches a direct replay.
+func TestDDDGVersioningProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 40 {
+			vals = vals[:40]
+		}
+		p := ir.NewProgram("ver")
+		g := p.AllocGlobal("g", 4, ir.F64)
+		b := p.NewFunc("main", 0)
+		want := map[int64]float64{}
+		b.Region("r", func() {
+			for i, v := range vals {
+				slot := int64(i % 4)
+				fv := float64(v)
+				b.StoreGI(g, slot, b.ConstF(fv))
+				want[slot] = fv
+			}
+		})
+		b.Emit(ir.F64, b.LoadGI(g, 0))
+		b.RetVoid()
+		b.Done()
+		if err := p.Seal(); err != nil {
+			return false
+		}
+		m, _ := interp.NewMachine(p)
+		m.Mode = interp.TraceFull
+		tr, err := m.Run()
+		if err != nil || tr.Status != trace.RunOK {
+			return false
+		}
+		r, _ := p.RegionByName("r")
+		span, ok := tr.Instance(int32(r.ID), 0)
+		if !ok {
+			return false
+		}
+		graph := Build(tr, span)
+		for slot, fv := range want {
+			got, ok := graph.FinalValue(trace.MemLoc(g.Addr + slot))
+			if !ok || got.Float() != fv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

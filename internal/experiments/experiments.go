@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V-§VII). Each harness returns a typed result with a Format
+// method that prints the same rows/series the paper reports; cmd/ftbench
+// and the root bench_test.go drive them. Absolute numbers differ from the
+// paper (our substrate is an interpreter, not LLNL hardware) — the
+// reproduced artifact is the shape: which regions are resilient, which
+// patterns appear where, how the model predicts.
+package experiments
+
+import (
+	"fmt"
+
+	"fliptracker/internal/stats"
+)
+
+// Options configure the harnesses.
+type Options struct {
+	// Quick shrinks injection campaigns for fast regeneration; full mode
+	// sizes campaigns with the paper's statistical rule (95%/3% for the
+	// §V studies, 99%/1% for §VII).
+	Quick bool
+	// Seed drives every campaign's fault stream.
+	Seed int64
+	// Ranks is the MPI world size for the Figure 4 overhead study (the
+	// paper uses 64 ranks on 8 nodes).
+	Ranks int
+	// Runs is the number of timing repetitions for Table III.
+	Runs int
+}
+
+// DefaultOptions returns quick-mode defaults.
+func DefaultOptions() Options {
+	return Options{Quick: true, Seed: 20181111, Ranks: 8, Runs: 5}
+}
+
+// campaignTests picks the number of injections per target.
+func (o Options) campaignTests(population uint64, confidence, margin float64) int {
+	n := stats.SampleSize(population, confidence, margin)
+	if !o.Quick {
+		return n
+	}
+	const quickCap = 120
+	if n > quickCap {
+		return quickCap
+	}
+	return n
+}
+
+// IDs of all experiments, in paper order.
+func IDs() []string {
+	return []string{"fig4", "fig5", "fig6", "fig7", "tab1", "tab2", "tab3", "tab4"}
+}
+
+// Run executes one experiment by id and returns its formatted report.
+func Run(id string, opts Options) (string, error) {
+	switch id {
+	case "fig4":
+		r, err := TracingOverhead(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig5":
+		r, err := PerRegionSuccessRates(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig6":
+		r, err := PerIterationSuccessRates(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig7":
+		r, err := ACLSeries(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "tab1":
+		r, err := PatternInventory(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "tab2":
+		r, err := RepeatedAdditionsMagnitude(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "tab3":
+		r, err := ResilienceAwareCG(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "tab4":
+		r, err := Prediction(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}
+	return "", fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrink everything so the whole suite runs in seconds.
+func tinyOptions() Options {
+	return Options{Quick: true, Seed: 7, Ranks: 2, Runs: 2}
+}
+
+func TestIDsAndUnknown(t *testing.T) {
+	if len(IDs()) != 8 {
+		t.Fatalf("IDs = %v", IDs())
+	}
+	if _, err := Run("nope", tinyOptions()); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestFig4TracingOverhead(t *testing.T) {
+	r, err := TracingOverhead(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Traced <= 0 || row.Untraced <= 0 {
+			t.Errorf("%s: non-positive times %v %v", row.App, row.Untraced, row.Traced)
+		}
+		// Tracing must cost something on any non-trivial program.
+		if row.Traced < row.Untraced/2 {
+			t.Errorf("%s: traced faster than half untraced?", row.App)
+		}
+	}
+	out := r.Format()
+	for _, want := range []string{"Figure 4", "CG", "LULESH", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFig5PerRegionRates(t *testing.T) {
+	opts := tinyOptions()
+	r, err := PerRegionSuccessRates(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5(cg) + 4(mg) + 4(kmeans) + 3(is) + 1(lulesh) regions.
+	if len(r.Rows) != 17 {
+		t.Fatalf("rows = %d, want 17", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Internal < 0 || row.Internal > 1 {
+			t.Errorf("%s/%s internal SR %v out of range", row.App, row.Region, row.Internal)
+		}
+		if row.Input > 1 {
+			t.Errorf("%s/%s input SR %v out of range", row.App, row.Region, row.Input)
+		}
+	}
+	if !strings.Contains(r.Format(), "Figure 5") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFig6PerIterationRates(t *testing.T) {
+	opts := tinyOptions()
+	r, err := PerIterationSuccessRates(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10+4+3+10+10 iterations.
+	if len(r.Rows) != 37 {
+		t.Fatalf("rows = %d, want 37", len(r.Rows))
+	}
+	if !strings.Contains(r.Format(), "Figure 6") {
+		t.Error("format header missing")
+	}
+}
+
+func TestFig7ACLSeries(t *testing.T) {
+	r, err := ACLSeries(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InjectionIndex < 0 {
+		t.Fatal("injection not observed")
+	}
+	if r.Peak < 1 {
+		t.Fatalf("peak = %d", r.Peak)
+	}
+	// The hourglass temporaries must die: the series must come back down
+	// from its peak before the end of the run.
+	last := r.Series[len(r.Series)-1]
+	if last >= r.Peak {
+		t.Errorf("ACL never decreased: peak %d, final %d", r.Peak, last)
+	}
+	if len(r.IterationSpans) == 0 {
+		t.Error("no iteration spans")
+	}
+	if !strings.Contains(r.Format(), "Figure 7") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTab1PatternInventory(t *testing.T) {
+	r, err := PatternInventory(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 17 {
+		t.Fatalf("rows = %d, want 17", len(r.Rows))
+	}
+	var anyFound int
+	for _, row := range r.Rows {
+		if row.InstrPerIter <= 0 {
+			t.Errorf("%s/%s: empty region", row.App, row.Region)
+		}
+		if row.AnyFound {
+			anyFound++
+		}
+	}
+	// The paper finds patterns in 11 of 17 regions; with tiny injection
+	// counts we just require a solid majority of regions to show some
+	// pattern.
+	if anyFound < 8 {
+		t.Errorf("patterns found in only %d/17 regions", anyFound)
+	}
+	if !strings.Contains(r.Format(), "Table I") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTab2RepeatedAdditions(t *testing.T) {
+	r, err := RepeatedAdditionsMagnitude(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("rows = %d, want >= 2 (got %+v)", len(r.Rows), r)
+	}
+	if !r.Shrinks {
+		t.Errorf("error magnitude did not shrink: %+v", r.Rows)
+	}
+	if !strings.Contains(r.Format(), "Table II") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTab3ResilienceAwareCG(t *testing.T) {
+	opts := tinyOptions()
+	r, err := ResilienceAwareCG(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SR < 0 || row.SR > 1 {
+			t.Errorf("%s SR %v", row.Variant, row.SR)
+		}
+		if row.MeanTime <= 0 {
+			t.Errorf("%s has no timing", row.Variant)
+		}
+	}
+	if !strings.Contains(r.Format(), "Table III") {
+		t.Error("format header missing")
+	}
+}
+
+func TestTab4Prediction(t *testing.T) {
+	r, err := Prediction(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MeasuredSR < 0 || row.MeasuredSR > 1 {
+			t.Errorf("%s measured SR %v", row.Benchmark, row.MeasuredSR)
+		}
+		if row.Predicted < 0 || row.Predicted > 1 {
+			t.Errorf("%s predicted SR %v", row.Benchmark, row.Predicted)
+		}
+		if row.Rates.Overwrite <= 0 {
+			t.Errorf("%s overwrite rate %v, want > 0", row.Benchmark, row.Rates.Overwrite)
+		}
+	}
+	if r.RSquared < 0.3 {
+		t.Errorf("R-squared %.3f unexpectedly low (paper: 0.964)", r.RSquared)
+	}
+	if len(r.StdCoefficients) != 6 {
+		t.Fatalf("coefficients = %d", len(r.StdCoefficients))
+	}
+	if !strings.Contains(r.Format(), "Table IV") {
+		t.Error("format header missing")
+	}
+}

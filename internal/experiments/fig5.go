@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
+)
+
+// Fig5Row is one region's bar pair in Figure 5: success rates for faults on
+// internal locations and on input locations, at iteration 0 of the main
+// loop.
+type Fig5Row struct {
+	App      string
+	Region   string
+	Internal float64
+	// Input is the input-location success rate; -1 when the region has no
+	// memory inputs to target.
+	Input float64
+	Tests int
+}
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// PerRegionSuccessRates reproduces Figure 5: per-code-region fault
+// injections (internal and input populations) on the first instance of each
+// region (§V-C "Per-Code-Region Results").
+func PerRegionSuccessRates(opts Options) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, name := range apps.Fig5Names() {
+		an, err := core.NewAnalyzer(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, region := range an.App.Regions {
+			// Population per §IV-C: injection sites counted from the
+			// dynamic trace of the region instance.
+			pop, err := an.RegionPopulation(region, 0, "internal")
+			if err != nil {
+				return nil, err
+			}
+			tests := opts.campaignTests(pop, 0.95, 0.03)
+			row := Fig5Row{App: name, Region: region, Tests: tests, Input: -1}
+
+			ri, err := an.RegionCampaign(region, 0, "internal", tests, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig5: %s/%s internal: %w", name, region, err)
+			}
+			row.Internal = ri.SuccessRate()
+
+			if locs, err := an.RegionInputLocs(region, 0); err == nil && len(locs) > 0 {
+				rin, err := an.RegionCampaign(region, 0, "input", tests, opts.Seed+1)
+				if err != nil {
+					return nil, fmt.Errorf("fig5: %s/%s input: %w", name, region, err)
+				}
+				row.Input = rin.SuccessRate()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Format prints the Figure 5 bars.
+func (r *Fig5Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: fault injection success rates per code region (iteration 0)\n")
+	fmt.Fprintf(&sb, "%-10s %-8s %10s %10s %7s\n", "App", "Region", "internal", "input", "tests")
+	last := ""
+	for _, row := range r.Rows {
+		app := strings.ToUpper(row.App)
+		if app == last {
+			app = ""
+		} else {
+			last = app
+		}
+		input := "   n/a"
+		if row.Input >= 0 {
+			input = fmt.Sprintf("%10.3f", row.Input)
+		}
+		fmt.Fprintf(&sb, "%-10s %-8s %10.3f %10s %7d\n", app, row.Region, row.Internal, input, row.Tests)
+	}
+	return sb.String()
+}

@@ -1,0 +1,290 @@
+// Package inject runs fault-injection campaigns, the FlipIt analog of the
+// paper (§IV-C): single bit flips into a user-specified population of
+// dynamic instructions and operands, with outcomes classified into the three
+// fault manifestations of §II-A (Verification Success, Verification Failed,
+// Crashed) and the success-rate metric of Equation 1.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/trace"
+)
+
+// Outcome is one fault manifestation.
+type Outcome uint8
+
+const (
+	// Success: the run completed and passed verification (§II-A case a/b).
+	Success Outcome = iota
+	// Failed: the run completed but verification rejected the output (SDC).
+	Failed
+	// Crashed: the run crashed or hung.
+	Crashed
+	// NotApplied: the fault never fired (e.g. the target step was never
+	// reached because problem size shrank). Excluded from the rate.
+	NotApplied
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "success"
+	case Failed:
+		return "failed"
+	case Crashed:
+		return "crashed"
+	case NotApplied:
+		return "not-applied"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// TargetPicker draws one fault from the campaign's injection-site population.
+type TargetPicker interface {
+	Pick(r *rand.Rand) interp.Fault
+}
+
+// UniformDst injects into the result of a uniformly chosen dynamic
+// instruction across the whole run — the population used for whole-program
+// success rates (Table IV).
+type UniformDst struct {
+	// TotalSteps is the dynamic instruction count of a fault-free run.
+	TotalSteps uint64
+}
+
+// Pick draws a step and bit uniformly.
+func (u UniformDst) Pick(r *rand.Rand) interp.Fault {
+	return interp.Fault{
+		Step: uint64(r.Int63n(int64(u.TotalSteps))),
+		Bit:  uint8(r.Intn(64)),
+		Kind: interp.FaultDst,
+	}
+}
+
+// StepRangeDst injects into the result of a uniformly chosen dynamic
+// instruction within [Lo, Hi) — the "internal locations of a code region
+// instance" population (§V-C).
+type StepRangeDst struct {
+	Lo, Hi uint64
+}
+
+// Pick draws a step in range and a bit uniformly.
+func (s StepRangeDst) Pick(r *rand.Rand) interp.Fault {
+	if s.Hi <= s.Lo {
+		return interp.Fault{Step: s.Lo, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
+	}
+	return interp.Fault{
+		Step: s.Lo + uint64(r.Int63n(int64(s.Hi-s.Lo))),
+		Bit:  uint8(r.Intn(64)),
+		Kind: interp.FaultDst,
+	}
+}
+
+// UniformMem injects into a uniformly chosen memory word at a uniformly
+// chosen dynamic step — the model of an ECC-escaped memory soft error
+// striking program data at an arbitrary moment. Used by the Table III use
+// case, where the hardenings act on data at rest (scratch arrays healed by
+// copy-back, low mantissa bits healed by truncation).
+type UniformMem struct {
+	TotalSteps uint64
+	// FirstAddr/LastAddr bound the data region (word addresses,
+	// inclusive/exclusive); typically the program's global span.
+	FirstAddr, LastAddr int64
+}
+
+// Pick draws a step, address, and bit uniformly.
+func (u UniformMem) Pick(r *rand.Rand) interp.Fault {
+	return interp.Fault{
+		Step: uint64(r.Int63n(int64(u.TotalSteps))),
+		Bit:  uint8(r.Intn(64)),
+		Kind: interp.FaultMem,
+		Addr: u.FirstAddr + r.Int63n(u.LastAddr-u.FirstAddr),
+	}
+}
+
+// Mixed draws from each sub-population with equal probability, modeling a
+// fault population spanning both computation (instruction results) and
+// stored data.
+type Mixed struct {
+	Pickers []TargetPicker
+}
+
+// Pick selects a sub-population uniformly, then draws from it.
+func (m Mixed) Pick(r *rand.Rand) interp.Fault {
+	return m.Pickers[r.Intn(len(m.Pickers))].Pick(r)
+}
+
+// MemAtStep injects into a uniformly chosen memory word (from Addrs) at a
+// fixed dynamic step — the "input locations at region entry" population
+// (§III-B: isolated fault injections at the entry of code regions).
+type MemAtStep struct {
+	Step  uint64
+	Addrs []int64
+}
+
+// Pick draws an address and bit uniformly.
+func (m MemAtStep) Pick(r *rand.Rand) interp.Fault {
+	return interp.Fault{
+		Step: m.Step,
+		Bit:  uint8(r.Intn(64)),
+		Kind: interp.FaultMem,
+		Addr: m.Addrs[r.Intn(len(m.Addrs))],
+	}
+}
+
+// Spec configures one campaign.
+type Spec struct {
+	// MakeMachine builds a fresh machine per injection (hosts bound,
+	// RNG seeded). Runs must be deterministic apart from the fault.
+	MakeMachine func() (*interp.Machine, error)
+	// Verify classifies a completed run's output as pass/fail. It is only
+	// consulted when the run status is RunOK.
+	Verify func(*trace.Trace) bool
+	// Targets draws injection sites.
+	Targets TargetPicker
+	// Tests is the number of injections (see stats.SampleSize).
+	Tests int
+	// Seed makes the campaign reproducible; faults are pre-drawn from a
+	// single stream so results do not depend on Parallelism.
+	Seed int64
+	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Result aggregates campaign outcomes.
+type Result struct {
+	Tests      int
+	Success    int
+	Failed     int
+	Crashed    int
+	NotApplied int
+}
+
+// SuccessRate is Equation 1: Verification Successes over all tests.
+func (r Result) SuccessRate() float64 {
+	if r.Tests == 0 {
+		return 0
+	}
+	return float64(r.Success) / float64(r.Tests)
+}
+
+// CrashRate is the fraction of runs that crashed or hung.
+func (r Result) CrashRate() float64 {
+	if r.Tests == 0 {
+		return 0
+	}
+	return float64(r.Crashed) / float64(r.Tests)
+}
+
+// Add accumulates another result into r.
+func (r *Result) Add(o Result) {
+	r.Tests += o.Tests
+	r.Success += o.Success
+	r.Failed += o.Failed
+	r.Crashed += o.Crashed
+	r.NotApplied += o.NotApplied
+}
+
+// Run executes the campaign: Tests independent runs, each with one fault.
+func Run(spec Spec) (Result, error) {
+	if spec.MakeMachine == nil || spec.Verify == nil || spec.Targets == nil {
+		return Result{}, fmt.Errorf("inject: incomplete spec")
+	}
+	if spec.Tests <= 0 {
+		return Result{}, fmt.Errorf("inject: Tests must be positive")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	faults := make([]interp.Fault, spec.Tests)
+	for i := range faults {
+		faults[i] = spec.Targets.Pick(rng)
+	}
+
+	workers := spec.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Tests {
+		workers = spec.Tests
+	}
+
+	outcomes := make([]Outcome, spec.Tests)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, spec.Tests)
+	for i := 0; i < spec.Tests; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outcomes[i] = o
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	var res Result
+	res.Tests = spec.Tests
+	for _, o := range outcomes {
+		switch o {
+		case Success:
+			res.Success++
+		case Failed:
+			res.Failed++
+		case Crashed:
+			res.Crashed++
+		case NotApplied:
+			res.NotApplied++
+		}
+	}
+	return res, nil
+}
+
+// RunOne performs a single injection run and classifies it.
+func RunOne(mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, f interp.Fault) (Outcome, error) {
+	m, err := mk()
+	if err != nil {
+		return NotApplied, fmt.Errorf("inject: make machine: %w", err)
+	}
+	m.Mode = interp.TraceOff
+	m.Fault = &f
+	tr, err := m.Run()
+	if err != nil {
+		return NotApplied, fmt.Errorf("inject: run: %w", err)
+	}
+	switch tr.Status {
+	case trace.RunCrashed, trace.RunHang:
+		return Crashed, nil
+	}
+	if !m.FaultApplied {
+		// The run completed without the fault firing; verify anyway so a
+		// mis-specified target still counts honestly.
+		if verify(tr) {
+			return NotApplied, nil
+		}
+		return Failed, nil
+	}
+	if verify(tr) {
+		return Success, nil
+	}
+	return Failed, nil
+}

@@ -1,0 +1,168 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+func TestHostErrorCrashesRun(t *testing.T) {
+	p := ir.NewProgram("hosterr")
+	p.DeclareHost("boom", 0, true)
+	b := p.NewFunc("main", 0)
+	b.Host("boom", 0, true)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	if err := m.BindHost("boom", func(_ *Machine, _ []ir.Word) (ir.Word, error) {
+		return 0, fmt.Errorf("deliberate failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != trace.RunCrashed {
+		t.Fatalf("status %v, want crashed", tr.Status)
+	}
+	if m.CrashMessage() == "" {
+		t.Error("no crash message")
+	}
+}
+
+func TestBindHostUndeclared(t *testing.T) {
+	p, _ := buildSum(2)
+	m, _ := NewMachine(p)
+	if err := m.BindHost("ghost", func(_ *Machine, _ []ir.Word) (ir.Word, error) { return 0, nil }); err == nil {
+		t.Error("binding undeclared host should fail")
+	}
+}
+
+func TestIntMinDivCrashes(t *testing.T) {
+	for _, op := range []ir.Opcode{ir.OpSDiv, ir.OpSRem} {
+		p := ir.NewProgram("minint")
+		b := p.NewFunc("main", 0)
+		b.Bin(op, b.ConstI(math.MinInt64), b.ConstI(-1))
+		b.RetVoid()
+		b.Done()
+		if err := p.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewMachine(p)
+		tr, _ := m.Run()
+		if tr.Status != trace.RunCrashed {
+			t.Errorf("%v MinInt64/-1: status %v, want crashed (x86 trap)", op, tr.Status)
+		}
+	}
+}
+
+func TestFPToSIOverflowSaturates(t *testing.T) {
+	p := ir.NewProgram("sat")
+	g := p.AllocGlobal("g", 2, ir.I64)
+	b := p.NewFunc("main", 0)
+	b.StoreGI(g, 0, b.FPToSI(b.ConstF(1e300)))
+	b.StoreGI(g, 1, b.FPToSI(b.ConstF(math.Inf(-1))))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	tr, _ := m.Run()
+	if tr.Status != trace.RunOK {
+		t.Fatalf("status %v", tr.Status)
+	}
+	if m.Mem[g.Addr].Int() != math.MinInt64 || m.Mem[g.Addr+1].Int() != math.MinInt64 {
+		t.Error("overflow should saturate to MinInt64 (cvttsd2si semantics)")
+	}
+}
+
+func TestNopExecutes(t *testing.T) {
+	p := ir.NewProgram("nop")
+	g := p.AllocGlobal("g", 1, ir.I64)
+	b := p.NewFunc("main", 0)
+	// Emit a nop by hand through the generic path.
+	b.StoreGI(g, 0, b.ConstI(7))
+	b.RetVoid()
+	f := b.Done()
+	// Splice a nop at the front (before sealing).
+	f.Code = append([]ir.Instr{{Op: ir.OpNop, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg}}, f.Code...)
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	tr, _ := m.Run()
+	if tr.Status != trace.RunOK || m.Mem[g.Addr].Int() != 7 {
+		t.Errorf("nop broke execution: %v %d", tr.Status, m.Mem[g.Addr].Int())
+	}
+}
+
+func TestVoidCallIgnoresReturn(t *testing.T) {
+	p := ir.NewProgram("void")
+	g := p.AllocGlobal("g", 1, ir.I64)
+	side := p.NewFunc("side", 0)
+	side.StoreGI(g, 0, side.ConstI(9))
+	side.RetVoid()
+	side.Done()
+	b := p.NewFunc("main", 0)
+	b.Call("side")
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	m.Mode = TraceFull
+	tr, _ := m.Run()
+	if tr.Status != trace.RunOK || m.Mem[g.Addr].Int() != 9 {
+		t.Fatalf("void call failed: %v", tr.Status)
+	}
+}
+
+func TestCorruptedAddressBitCrashes(t *testing.T) {
+	// Flipping a high bit of an address register must crash, not corrupt
+	// unrelated state silently — the mechanism behind the campaign's
+	// Crashed outcomes.
+	p := ir.NewProgram("addrflip")
+	g := p.AllocGlobal("g", 4, ir.F64)
+	b := p.NewFunc("main", 0)
+	addr := b.ConstI(g.Addr) // step 0
+	b.Store(addr, b.ConstF(1))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	m.Fault = &Fault{Step: 0, Bit: 40, Kind: FaultDst}
+	tr, _ := m.Run()
+	if tr.Status != trace.RunCrashed {
+		t.Fatalf("status %v, want crashed", tr.Status)
+	}
+}
+
+func TestRand01Bounds(t *testing.T) {
+	m := &Machine{rng: 12345}
+	for i := 0; i < 10000; i++ {
+		v := m.Rand01()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Rand01 out of range: %v", v)
+		}
+	}
+}
+
+func TestSeedZeroNormalized(t *testing.T) {
+	p, _ := buildSum(2)
+	m, _ := NewMachine(p)
+	m.SeedRNG(0) // must not wedge the xorshift state
+	if m.Rand01() == m.Rand01() {
+		t.Error("rng stuck after zero seed")
+	}
+}

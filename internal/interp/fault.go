@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"fmt"
+
+	"fliptracker/internal/ir"
+)
+
+// FaultKind selects what state a fault flips.
+type FaultKind uint8
+
+const (
+	// FaultDst flips one bit of the value produced by the dynamic
+	// instruction at Step, before it is written to its destination. This
+	// models a soft error in a functional unit or result bus, and is the
+	// paper's per-instruction injection into "the user-specified population
+	// of instructions and operands" (§IV-C).
+	FaultDst FaultKind = iota
+	// FaultMem flips one bit of memory word Addr just before executing the
+	// instruction at Step. Used for injecting into region *input*
+	// locations at a region-instance boundary (§III-B).
+	FaultMem
+	// FaultReg flips one bit of register Reg in the frame executing at
+	// Step, just before that instruction runs.
+	FaultReg
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDst:
+		return "dst"
+	case FaultMem:
+		return "mem"
+	case FaultReg:
+		return "reg"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Fault describes one single-bit flip to apply during a run. The single-bit
+// model follows the paper's fault model (§II-A): multi-bit soft errors are
+// rare enough to ignore.
+type Fault struct {
+	// Step is the 0-based dynamic instruction index at which to apply.
+	Step uint64
+	// Bit in [0,63] is the bit to flip.
+	Bit uint8
+	// Kind selects the target state.
+	Kind FaultKind
+	// Addr is the memory word for FaultMem.
+	Addr int64
+	// Reg is the register for FaultReg.
+	Reg ir.Reg
+}
+
+// String renders the fault for reports.
+func (f *Fault) String() string {
+	switch f.Kind {
+	case FaultMem:
+		return fmt.Sprintf("flip bit %d of mem[%d] at step %d", f.Bit, f.Addr, f.Step)
+	case FaultReg:
+		return fmt.Sprintf("flip bit %d of r%d at step %d", f.Bit, f.Reg, f.Step)
+	default:
+		return fmt.Sprintf("flip bit %d of dst at step %d", f.Bit, f.Step)
+	}
+}

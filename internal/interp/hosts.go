@@ -1,0 +1,57 @@
+package interp
+
+import (
+	"fmt"
+
+	"fliptracker/internal/ir"
+)
+
+// Standard host functions shared by the workloads. These model the pieces
+// the paper's benchmarks get from libc and the MPI runtime — which
+// LLVM-Tracer deliberately leaves uninstrumented (§IV-A): their effects are
+// visible to the analysis only through the values they return into
+// program-visible state.
+
+// HostRand01 is the name of the deterministic uniform [0,1) source.
+const HostRand01 = "rand01"
+
+// HostSeed reseeds the machine RNG from an IR value.
+const HostSeed = "seed"
+
+// xorshift64star advances the machine RNG.
+func (m *Machine) nextRand() uint64 {
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Rand01 returns the next deterministic uniform double in [0,1).
+func (m *Machine) Rand01() float64 {
+	return float64(m.nextRand()>>11) / (1 << 53)
+}
+
+// BindStandardHosts binds rand01/seed if the program declares them.
+func (m *Machine) BindStandardHosts() error {
+	if _, ok := m.Prog.HostIndex(HostRand01); ok {
+		if err := m.BindHost(HostRand01, func(mm *Machine, _ []ir.Word) (ir.Word, error) {
+			return ir.F64Word(mm.Rand01()), nil
+		}); err != nil {
+			return err
+		}
+	}
+	if _, ok := m.Prog.HostIndex(HostSeed); ok {
+		if err := m.BindHost(HostSeed, func(mm *Machine, args []ir.Word) (ir.Word, error) {
+			if len(args) != 1 {
+				return 0, fmt.Errorf("seed wants 1 arg")
+			}
+			mm.SeedRNG(uint64(args[0]))
+			return 0, nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

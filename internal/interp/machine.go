@@ -1,0 +1,563 @@
+// Package interp executes IR programs. It is the reproduction's stand-in for
+// the paper's compiled-binary substrate: it runs the workloads, optionally
+// records the dynamic instruction trace that LLVM-Tracer would produce
+// (§IV-A), and applies single-bit-flip faults the way FlipIt would (§IV-C).
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// TraceMode selects how much the machine records while running.
+type TraceMode uint8
+
+const (
+	// TraceOff records nothing (fastest; used for injection campaigns).
+	TraceOff TraceMode = iota
+	// TraceMarkers records only region enter/exit markers, enough to
+	// recover region-instance step ranges cheaply.
+	TraceMarkers
+	// TraceFull records every dynamic instruction with operand values.
+	TraceFull
+)
+
+// HostFn is a native function callable from IR via OpHost. Args arrive as raw
+// words; the returned word is written to the destination register when the
+// declaration has a result. Returning an error crashes the run.
+type HostFn func(m *Machine, args []ir.Word) (ir.Word, error)
+
+// Machine executes one sealed program. A Machine is single-use per Run but
+// cheap to create; campaigns create one per injection.
+type Machine struct {
+	Prog *ir.Program
+	Mem  []ir.Word
+	// StepLimit bounds dynamic instructions; exceeding it reports RunHang.
+	StepLimit uint64
+	// MaxDepth bounds the call stack; exceeding it reports RunCrashed.
+	MaxDepth int
+	// Mode selects trace collection.
+	Mode TraceMode
+	// Fault, when non-nil, is applied once at its dynamic step.
+	Fault *Fault
+	// FaultApplied reports whether the fault actually fired.
+	FaultApplied bool
+	// TraceHint preallocates the record buffer for TraceFull runs (e.g.
+	// the step count of a prior untraced run); 0 means grow on demand.
+	TraceHint uint64
+	// TraceFuncs, when non-nil, restricts TraceFull recording to the
+	// functions whose indexes are present (selective tracing — the
+	// paper's mitigation for large-scale trace collection, §V-B: "one can
+	// selectively collect traces for individual functions"). Region
+	// markers are always recorded so spans stay recoverable.
+	TraceFuncs map[int]bool
+
+	hosts  []HostFn
+	output []trace.OutVal
+	recs   []trace.Rec
+	steps  uint64
+	frames uint64
+	depth  int
+	rng    uint64
+
+	status   trace.RunStatus
+	crashMsg string
+
+	framePool [][]ir.Word
+	ran       bool
+}
+
+type runTerminated struct{ status trace.RunStatus }
+
+// NewMachine builds a machine for a sealed program with default limits.
+func NewMachine(p *ir.Program) (*Machine, error) {
+	if !p.Sealed() {
+		return nil, fmt.Errorf("interp: program %q not sealed", p.Name)
+	}
+	m := &Machine{
+		Prog:      p,
+		Mem:       make([]ir.Word, p.MemWords),
+		StepLimit: 200_000_000,
+		MaxDepth:  256,
+		hosts:     make([]HostFn, len(p.HostDecls)),
+		rng:       0x9E3779B97F4A7C15,
+	}
+	return m, nil
+}
+
+// BindHost attaches a native implementation to a declared host function.
+func (m *Machine) BindHost(name string, fn HostFn) error {
+	i, ok := m.Prog.HostIndex(name)
+	if !ok {
+		return fmt.Errorf("interp: host %q not declared by program %q", name, m.Prog.Name)
+	}
+	m.hosts[i] = fn
+	return nil
+}
+
+// SeedRNG reseeds the machine-local xorshift generator behind the standard
+// "rand01" host (see hosts.go). Runs are deterministic for a fixed seed,
+// which is what makes faulty/fault-free trace matching possible (§V-B).
+func (m *Machine) SeedRNG(seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	m.rng = seed
+}
+
+// Steps returns the number of dynamic instructions executed so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Output returns the emitted output values.
+func (m *Machine) Output() []trace.OutVal { return m.output }
+
+// CrashMessage returns the crash description after a RunCrashed result.
+func (m *Machine) CrashMessage() string { return m.crashMsg }
+
+func (m *Machine) crash(format string, args ...any) {
+	m.crashMsg = fmt.Sprintf(format, args...)
+	panic(runTerminated{trace.RunCrashed})
+}
+
+// Run executes the program to completion (or crash/hang) and returns the
+// trace. The returned trace always carries Status, Steps and Output; Recs is
+// populated according to Mode.
+func (m *Machine) Run() (*trace.Trace, error) {
+	if m.ran {
+		return nil, fmt.Errorf("interp: machine for %q already ran", m.Prog.Name)
+	}
+	m.ran = true
+	for i, h := range m.hosts {
+		if h == nil {
+			return nil, fmt.Errorf("interp: host %q declared but not bound", m.Prog.HostDecls[i].Name)
+		}
+	}
+	m.status = trace.RunOK
+	if m.Mode == TraceFull && m.TraceHint > 0 {
+		const maxReserve = 64 << 20 // cap preallocation at 64M records
+		hint := m.TraceHint
+		if hint > maxReserve {
+			hint = maxReserve
+		}
+		m.recs = make([]trace.Rec, 0, hint)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rt, ok := r.(runTerminated); ok {
+					m.status = rt.status
+					return
+				}
+				panic(r)
+			}
+		}()
+		m.execFunc(m.Prog.Entry, 0, m.grabFrame(m.Prog.Entry.NumRegs))
+	}()
+	t := &trace.Trace{
+		ProgName: m.Prog.Name,
+		Recs:     m.recs,
+		Output:   m.output,
+		Status:   m.status,
+		Steps:    m.steps,
+	}
+	if m.Fault != nil {
+		t.FaultNote = m.Fault.String()
+	}
+	return t, nil
+}
+
+func (m *Machine) grabFrame(n int) []ir.Word {
+	if len(m.framePool) > 0 {
+		f := m.framePool[len(m.framePool)-1]
+		m.framePool = m.framePool[:len(m.framePool)-1]
+		if cap(f) >= n {
+			f = f[:n]
+			for i := range f {
+				f[i] = 0
+			}
+			return f
+		}
+	}
+	return make([]ir.Word, n)
+}
+
+func (m *Machine) releaseFrame(f []ir.Word) {
+	m.framePool = append(m.framePool, f)
+}
+
+// execFunc runs one function body in frame fid with register file regs.
+// Returns the returned word and whether a value was returned.
+func (m *Machine) execFunc(f *ir.Function, fid uint64, regs []ir.Word) (ir.Word, bool) {
+	if m.depth++; m.depth > m.MaxDepth {
+		m.crash("call depth %d exceeded in %s", m.depth, f.Name)
+	}
+	defer func() { m.depth-- }()
+
+	code := f.Code
+	pc := 0
+	full := m.Mode == TraceFull && (m.TraceFuncs == nil || m.TraceFuncs[f.Index])
+	for {
+		if pc < 0 || pc >= len(code) {
+			m.crash("pc %d out of range in %s", pc, f.Name)
+		}
+		in := &code[pc]
+		step := m.steps
+		m.steps++
+		if m.steps > m.StepLimit {
+			panic(runTerminated{trace.RunHang})
+		}
+
+		// Pre-execution fault application (register/memory targets).
+		flipDst := false
+		if m.Fault != nil && !m.FaultApplied && step == m.Fault.Step {
+			switch m.Fault.Kind {
+			case FaultReg:
+				if int(m.Fault.Reg) < len(regs) {
+					regs[m.Fault.Reg] ^= ir.Word(1) << m.Fault.Bit
+					m.FaultApplied = true
+				}
+			case FaultMem:
+				if m.Fault.Addr >= 0 && m.Fault.Addr < int64(len(m.Mem)) {
+					m.Mem[m.Fault.Addr] ^= ir.Word(1) << m.Fault.Bit
+					m.FaultApplied = true
+				}
+			case FaultDst:
+				flipDst = true
+			}
+		}
+
+		var rec trace.Rec
+		if full {
+			rec = trace.Rec{SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step}
+		}
+
+		switch in.Op {
+		case ir.OpNop:
+			pc++
+			continue
+
+		case ir.OpConst:
+			v := in.Imm
+			if flipDst {
+				v ^= ir.Word(1) << m.Fault.Bit
+				m.FaultApplied = true
+			}
+			regs[in.Dst] = v
+			if full {
+				rec.Dst = trace.RegLoc(fid, in.Dst)
+				rec.DstVal = v
+				m.recs = append(m.recs, rec)
+			}
+			pc++
+			continue
+
+		case ir.OpLoad:
+			addr := regs[in.A].Int()
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				m.crash("load from invalid address %d (sid %d)", addr, f.Base+pc)
+			}
+			v := m.Mem[addr]
+			if flipDst {
+				v ^= ir.Word(1) << m.Fault.Bit
+				m.FaultApplied = true
+			}
+			regs[in.Dst] = v
+			if full {
+				rec.Dst = trace.RegLoc(fid, in.Dst)
+				rec.DstVal = v
+				rec.NSrc = 2
+				rec.Src[0] = trace.MemLoc(addr)
+				rec.SrcVal[0] = m.Mem[addr]
+				rec.Src[1] = trace.RegLoc(fid, in.A)
+				rec.SrcVal[1] = regs[in.A]
+				m.recs = append(m.recs, rec)
+			}
+			pc++
+			continue
+
+		case ir.OpStore:
+			addr := regs[in.A].Int()
+			if addr < 0 || addr >= int64(len(m.Mem)) {
+				m.crash("store to invalid address %d (sid %d)", addr, f.Base+pc)
+			}
+			v := regs[in.B]
+			if flipDst {
+				v ^= ir.Word(1) << m.Fault.Bit
+				m.FaultApplied = true
+			}
+			m.Mem[addr] = v
+			if full {
+				rec.Dst = trace.MemLoc(addr)
+				rec.DstVal = v
+				rec.NSrc = 2
+				rec.Src[0] = trace.RegLoc(fid, in.B)
+				rec.SrcVal[0] = regs[in.B]
+				rec.Src[1] = trace.RegLoc(fid, in.A)
+				rec.SrcVal[1] = regs[in.A]
+				m.recs = append(m.recs, rec)
+			}
+			pc++
+			continue
+
+		case ir.OpBr:
+			pc = int(in.Imm.Int())
+			continue
+
+		case ir.OpCondBr:
+			taken := regs[in.A] != 0
+			if full {
+				rec.NSrc = 1
+				rec.Src[0] = trace.RegLoc(fid, in.A)
+				rec.SrcVal[0] = regs[in.A]
+				rec.Taken = taken
+				m.recs = append(m.recs, rec)
+			}
+			if taken {
+				pc = int(in.Imm.Int())
+			} else {
+				pc = int(in.Imm2.Int())
+			}
+			continue
+
+		case ir.OpCall:
+			callee := m.Prog.Funcs[in.Callee]
+			m.frames++
+			nfid := m.frames
+			nregs := m.grabFrame(callee.NumRegs)
+			for i, a := range in.Args {
+				nregs[i] = regs[a]
+				if full {
+					m.recs = append(m.recs, trace.Rec{
+						SID: int32(f.Base + pc), Op: ir.OpCall, Typ: in.Type, RegionID: -1, Step: step,
+						Dst: trace.RegLoc(nfid, ir.Reg(i)), DstVal: regs[a],
+						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(fid, a)},
+						SrcVal: [2]ir.Word{regs[a]},
+					})
+				}
+			}
+			ret, hasRet := m.execFunc(callee, nfid, nregs)
+			m.releaseFrame(nregs)
+			if in.Dst != ir.NoReg && hasRet {
+				v := ret
+				if flipDst {
+					v ^= ir.Word(1) << m.Fault.Bit
+					m.FaultApplied = true
+				}
+				regs[in.Dst] = v
+				if full {
+					m.recs = append(m.recs, trace.Rec{
+						SID: int32(f.Base + pc), Op: ir.OpRet, Typ: in.Type, RegionID: -1, Step: step,
+						Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
+						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(nfid, ir.Reg(0))},
+						SrcVal: [2]ir.Word{ret},
+					})
+				}
+			}
+			pc++
+			continue
+
+		case ir.OpHost:
+			d := m.Prog.HostDecls[in.Callee]
+			var argv [8]ir.Word
+			args := argv[:0]
+			for _, a := range in.Args {
+				args = append(args, regs[a])
+			}
+			ret, err := m.hosts[in.Callee](m, args)
+			if err != nil {
+				m.crash("host %s: %v", d.Name, err)
+			}
+			if d.HasRet {
+				if flipDst {
+					ret ^= ir.Word(1) << m.Fault.Bit
+					m.FaultApplied = true
+				}
+				regs[in.Dst] = ret
+				if full {
+					rec.Dst = trace.RegLoc(fid, in.Dst)
+					rec.DstVal = ret
+					if len(in.Args) > 0 {
+						rec.NSrc = 1
+						rec.Src[0] = trace.RegLoc(fid, in.Args[0])
+						rec.SrcVal[0] = regs[in.Args[0]]
+					}
+					m.recs = append(m.recs, rec)
+				}
+			}
+			pc++
+			continue
+
+		case ir.OpRet:
+			if in.A == ir.NoReg {
+				return 0, false
+			}
+			return regs[in.A], true
+
+		case ir.OpEmit, ir.OpEmitSci6:
+			v := regs[in.A]
+			sci := in.Op == ir.OpEmitSci6
+			if sci {
+				v = truncSci6(v)
+			}
+			if full {
+				rec.Dst = trace.OutLoc(len(m.output))
+				rec.DstVal = v
+				rec.NSrc = 1
+				rec.Src[0] = trace.RegLoc(fid, in.A)
+				rec.SrcVal[0] = regs[in.A]
+				m.recs = append(m.recs, rec)
+			}
+			m.output = append(m.output, trace.OutVal{Val: v, Typ: in.Type, Sci6: sci})
+			pc++
+			continue
+
+		case ir.OpRegionEnter, ir.OpRegionExit:
+			if m.Mode != TraceOff {
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type,
+					RegionID: int32(in.Imm.Int()), Step: step,
+				})
+			}
+			pc++
+			continue
+		}
+
+		// Remaining ops are register-to-register compute: unary or binary.
+		var v ir.Word
+		a := regs[in.A]
+		var bv ir.Word
+		if in.Op.IsBinary() {
+			bv = regs[in.B]
+		}
+		switch in.Op {
+		case ir.OpAdd:
+			v = ir.I64Word(a.Int() + bv.Int())
+		case ir.OpSub:
+			v = ir.I64Word(a.Int() - bv.Int())
+		case ir.OpMul:
+			v = ir.I64Word(a.Int() * bv.Int())
+		case ir.OpSDiv:
+			if bv.Int() == 0 || (a.Int() == math.MinInt64 && bv.Int() == -1) {
+				m.crash("integer division fault at sid %d", f.Base+pc)
+			}
+			v = ir.I64Word(a.Int() / bv.Int())
+		case ir.OpSRem:
+			if bv.Int() == 0 || (a.Int() == math.MinInt64 && bv.Int() == -1) {
+				m.crash("integer remainder fault at sid %d", f.Base+pc)
+			}
+			v = ir.I64Word(a.Int() % bv.Int())
+		case ir.OpFAdd:
+			v = ir.F64Word(a.Float() + bv.Float())
+		case ir.OpFSub:
+			v = ir.F64Word(a.Float() - bv.Float())
+		case ir.OpFMul:
+			v = ir.F64Word(a.Float() * bv.Float())
+		case ir.OpFDiv:
+			v = ir.F64Word(a.Float() / bv.Float())
+		case ir.OpFNeg:
+			v = ir.F64Word(-a.Float())
+		case ir.OpFAbs:
+			v = ir.F64Word(math.Abs(a.Float()))
+		case ir.OpFSqrt:
+			v = ir.F64Word(math.Sqrt(a.Float()))
+		case ir.OpShl:
+			v = ir.Word(uint64(a) << (uint64(bv) & 63))
+		case ir.OpLShr:
+			v = ir.Word(uint64(a) >> (uint64(bv) & 63))
+		case ir.OpAShr:
+			v = ir.I64Word(a.Int() >> (uint64(bv) & 63))
+		case ir.OpAnd:
+			v = a & bv
+		case ir.OpOr:
+			v = a | bv
+		case ir.OpXor:
+			v = a ^ bv
+		case ir.OpICmpEQ:
+			v = boolWord(a.Int() == bv.Int())
+		case ir.OpICmpNE:
+			v = boolWord(a.Int() != bv.Int())
+		case ir.OpICmpSLT:
+			v = boolWord(a.Int() < bv.Int())
+		case ir.OpICmpSLE:
+			v = boolWord(a.Int() <= bv.Int())
+		case ir.OpICmpSGT:
+			v = boolWord(a.Int() > bv.Int())
+		case ir.OpICmpSGE:
+			v = boolWord(a.Int() >= bv.Int())
+		case ir.OpFCmpEQ:
+			v = boolWord(a.Float() == bv.Float())
+		case ir.OpFCmpNE:
+			v = boolWord(a.Float() != bv.Float())
+		case ir.OpFCmpLT:
+			v = boolWord(a.Float() < bv.Float())
+		case ir.OpFCmpLE:
+			v = boolWord(a.Float() <= bv.Float())
+		case ir.OpFCmpGT:
+			v = boolWord(a.Float() > bv.Float())
+		case ir.OpFCmpGE:
+			v = boolWord(a.Float() >= bv.Float())
+		case ir.OpSIToFP:
+			v = ir.F64Word(float64(a.Int()))
+		case ir.OpFPToSI:
+			v = fpToSI(a.Float())
+		case ir.OpFPTrunc:
+			v = ir.F64Word(float64(float32(a.Float())))
+		case ir.OpTruncI32:
+			v = ir.I64Word(int64(int32(a.Int())))
+		default:
+			m.crash("unimplemented opcode %s at sid %d", in.Op, f.Base+pc)
+		}
+		if flipDst {
+			v ^= ir.Word(1) << m.Fault.Bit
+			m.FaultApplied = true
+		}
+		regs[in.Dst] = v
+		if full {
+			rec.Dst = trace.RegLoc(fid, in.Dst)
+			rec.DstVal = v
+			rec.NSrc = 1
+			rec.Src[0] = trace.RegLoc(fid, in.A)
+			rec.SrcVal[0] = a
+			if in.Op.IsBinary() {
+				rec.NSrc = 2
+				rec.Src[1] = trace.RegLoc(fid, in.B)
+				rec.SrcVal[1] = bv
+			}
+			m.recs = append(m.recs, rec)
+		}
+		pc++
+	}
+}
+
+func boolWord(b bool) ir.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fpToSI converts with x86 cvttsd2si semantics: NaN and out-of-range values
+// become MinInt64 rather than trapping.
+func fpToSI(f float64) ir.Word {
+	if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+		return ir.I64Word(math.MinInt64)
+	}
+	return ir.I64Word(int64(f))
+}
+
+// truncSci6 formats the float64 word with 6 significant decimal digits and
+// parses it back — the exact information loss of printf("%12.6e"), the data
+// truncation sink of resilience pattern 5.
+func truncSci6(w ir.Word) ir.Word {
+	f := w.Float()
+	s := strconv.FormatFloat(f, 'e', 6, 64)
+	g, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return w
+	}
+	return ir.F64Word(g)
+}

@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// TestFaultAtEveryStepNeverPanics sweeps a fault across every dynamic step
+// and every bit class of a small program: the machine must always terminate
+// with a classified status, never panic — the core robustness contract of
+// the injector (faults produce crashes, not interpreter bugs).
+func TestFaultAtEveryStepNeverPanics(t *testing.T) {
+	p, _ := buildSum(6)
+	m0, _ := NewMachine(p)
+	tr0, err := m0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := []uint8{0, 1, 31, 52, 62, 63}
+	for step := uint64(0); step < tr0.Steps; step++ {
+		for _, bit := range bits {
+			m, _ := NewMachine(p)
+			m.StepLimit = 1_000_000
+			m.Fault = &Fault{Step: step, Bit: bit, Kind: FaultDst}
+			tr, err := m.Run()
+			if err != nil {
+				t.Fatalf("step %d bit %d: %v", step, bit, err)
+			}
+			switch tr.Status {
+			case trace.RunOK, trace.RunCrashed, trace.RunHang:
+			default:
+				t.Fatalf("step %d bit %d: unclassified status %v", step, bit, tr.Status)
+			}
+		}
+	}
+}
+
+// TestMemFaultSweep flips every bit of every memory word at a fixed step:
+// same contract as above, for the memory-target kind.
+func TestMemFaultSweep(t *testing.T) {
+	p, _ := buildSum(4)
+	for addr := int64(0); addr < p.MemWords; addr++ {
+		for bit := 0; bit < 64; bit += 7 {
+			m, _ := NewMachine(p)
+			m.StepLimit = 1_000_000
+			m.Fault = &Fault{Step: 10, Bit: uint8(bit), Kind: FaultMem, Addr: addr}
+			tr, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = tr
+		}
+	}
+}
+
+func TestFaultRegKind(t *testing.T) {
+	p, out := buildSum(4)
+	// Flip the sign bit of register 0 right before step 5 executes.
+	m, _ := NewMachine(p)
+	m.Fault = &Fault{Step: 5, Bit: 63, Kind: FaultReg, Reg: 0}
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.FaultApplied {
+		t.Fatal("register fault did not fire")
+	}
+	_ = out
+	_ = tr
+}
+
+func TestFaultRegOutOfRangeNeverFires(t *testing.T) {
+	p, _ := buildSum(4)
+	m, _ := NewMachine(p)
+	m.Fault = &Fault{Step: 5, Bit: 1, Kind: FaultReg, Reg: 10_000}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FaultApplied {
+		t.Fatal("out-of-range register fault should not fire")
+	}
+}
+
+func TestTraceHintPreallocates(t *testing.T) {
+	p, _ := buildSum(16)
+	m0, _ := NewMachine(p)
+	tr0, _ := m0.Run()
+
+	m, _ := NewMachine(p)
+	m.Mode = TraceFull
+	m.TraceHint = tr0.Steps
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(tr.Recs)) > tr0.Steps {
+		t.Fatalf("more records (%d) than steps (%d)?", len(tr.Recs), tr0.Steps)
+	}
+	// Equivalence with the unhinted trace.
+	m2, _ := NewMachine(p)
+	m2.Mode = TraceFull
+	tr2, _ := m2.Run()
+	if len(tr.Recs) != len(tr2.Recs) {
+		t.Fatalf("hinted trace differs: %d vs %d records", len(tr.Recs), len(tr2.Recs))
+	}
+	for i := range tr.Recs {
+		if tr.Recs[i] != tr2.Recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestRandomProgramsProperty generates random straight-line arithmetic
+// programs and checks interpreter invariants: deterministic replay and
+// record/step accounting.
+func TestRandomProgramsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := ir.NewProgram("rand")
+		g := p.AllocGlobal("g", 8, ir.F64)
+		b := p.NewFunc("main", 0)
+		regs := []ir.Reg{b.ConstF(rng.Float64()), b.ConstF(rng.Float64() + 1)}
+		ops := []ir.Opcode{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv}
+		for i := 0; i < 30; i++ {
+			a := regs[rng.Intn(len(regs))]
+			c := regs[rng.Intn(len(regs))]
+			regs = append(regs, b.Bin(ops[rng.Intn(len(ops))], a, c))
+		}
+		b.StoreGI(g, 0, regs[len(regs)-1])
+		b.Emit(ir.F64, regs[len(regs)-1])
+		b.RetVoid()
+		b.Done()
+		if err := p.Seal(); err != nil {
+			return false
+		}
+		run := func() *trace.Trace {
+			m, _ := NewMachine(p)
+			m.Mode = TraceFull
+			tr, err := m.Run()
+			if err != nil {
+				return nil
+			}
+			return tr
+		}
+		t1, t2 := run(), run()
+		if t1 == nil || t2 == nil {
+			return false
+		}
+		if t1.Steps != t2.Steps || len(t1.Recs) != len(t2.Recs) {
+			return false
+		}
+		// Records never outnumber steps; steps of records strictly increase.
+		if uint64(len(t1.Recs)) > t1.Steps {
+			return false
+		}
+		for i := 1; i < len(t1.Recs); i++ {
+			if t1.Recs[i].Step <= t1.Recs[i-1].Step {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"testing"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// buildTwoFuncs: main initializes an array, then calls hot() which sums it
+// inside a region.
+func buildTwoFuncs(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("sel")
+	a := p.AllocGlobal("a", 8, ir.F64)
+	out := p.AllocGlobal("out", 1, ir.F64)
+
+	hot := p.NewFunc("hot", 0)
+	hot.Region("hotloop", func() {
+		acc := hot.ConstF(0)
+		hot.ForI(0, 8, func(i ir.Reg) {
+			hot.BinTo(ir.OpFAdd, acc, acc, hot.LoadG(a, i))
+		})
+		hot.StoreGI(out, 0, acc)
+	})
+	hot.RetVoid()
+	hot.Done()
+
+	b := p.NewFunc("main", 0)
+	b.ForI(0, 8, func(i ir.Reg) {
+		b.StoreG(a, i, b.SIToFP(i))
+	})
+	b.Call("hot")
+	b.Emit(ir.F64, b.LoadGI(out, 0))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSelectiveTracingRestrictsRecords(t *testing.T) {
+	p := buildTwoFuncs(t)
+	hot := p.FuncByName["hot"]
+
+	mAll, _ := NewMachine(p)
+	mAll.Mode = TraceFull
+	trAll, err := mAll.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mSel, _ := NewMachine(p)
+	mSel.Mode = TraceFull
+	mSel.TraceFuncs = map[int]bool{hot.Index: true}
+	trSel, err := mSel.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(trSel.Recs) >= len(trAll.Recs) {
+		t.Fatalf("selective trace not smaller: %d vs %d", len(trSel.Recs), len(trAll.Recs))
+	}
+	// Every selective record must belong to hot (or be a region marker).
+	for _, r := range trSel.Recs {
+		f, _ := p.FuncOf(int(r.SID))
+		if f.Name != "hot" {
+			t.Fatalf("record from %s leaked into selective trace: %v", f.Name, r)
+		}
+	}
+	// Region spans must still be recoverable.
+	reg, _ := p.RegionByName("hotloop")
+	if _, ok := trSel.Instance(int32(reg.ID), 0); !ok {
+		t.Fatal("region instance lost under selective tracing")
+	}
+	// Steps are identical regardless of tracing scope.
+	if trSel.Steps != trAll.Steps {
+		t.Errorf("steps differ: %d vs %d", trSel.Steps, trAll.Steps)
+	}
+}
+
+func TestSelectiveTracingEmptySetRecordsOnlyMarkers(t *testing.T) {
+	p := buildTwoFuncs(t)
+	m, _ := NewMachine(p)
+	m.Mode = TraceFull
+	m.TraceFuncs = map[int]bool{}
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr.Recs {
+		if r.Op != ir.OpRegionEnter && r.Op != ir.OpRegionExit {
+			t.Fatalf("non-marker record with empty TraceFuncs: %v", r)
+		}
+	}
+	if tr.Status != trace.RunOK {
+		t.Fatalf("status %v", tr.Status)
+	}
+}

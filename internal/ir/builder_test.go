@@ -1,0 +1,318 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstEmission(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	ri := b.ConstI(42)
+	rf := b.ConstF(3.5)
+	if ri == rf {
+		t.Fatalf("ConstI and ConstF returned the same register %d", ri)
+	}
+	b.RetVoid()
+	f := b.Done()
+	if f.Code[0].Op != OpConst || f.Code[0].Imm.Int() != 42 {
+		t.Errorf("first instr = %v, want const 42", f.Code[0])
+	}
+	if f.Code[1].Imm.Float() != 3.5 {
+		t.Errorf("second instr imm = %v, want 3.5", f.Code[1].Imm.Float())
+	}
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	p := NewProgram("t")
+	p.NewFunc("main", 0).Done()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate function")
+		}
+	}()
+	p.NewFunc("main", 0)
+}
+
+func TestDuplicateGlobalPanics(t *testing.T) {
+	p := NewProgram("t")
+	p.AllocGlobal("u", 8, F64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate global")
+		}
+	}()
+	p.AllocGlobal("u", 8, F64)
+}
+
+func TestGlobalLayoutReservesWordZero(t *testing.T) {
+	p := NewProgram("t")
+	a := p.AllocGlobal("a", 4, F64)
+	c := p.AllocGlobal("c", 2, I64)
+	if a.Addr != 1 {
+		t.Errorf("first global at %d, want 1 (word 0 reserved)", a.Addr)
+	}
+	if c.Addr != a.Addr+a.Words {
+		t.Errorf("globals not contiguous: c at %d", c.Addr)
+	}
+	if p.MemWords != 7 {
+		t.Errorf("MemWords = %d, want 7", p.MemWords)
+	}
+	g, ok := p.GlobalAt(5)
+	if !ok || g.Name != "c" {
+		t.Errorf("GlobalAt(5) = %v, %v; want c", g, ok)
+	}
+	if _, ok := p.GlobalAt(0); ok {
+		t.Error("GlobalAt(0) should find nothing (reserved word)")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	g := p.AllocGlobal("a", 10, I64)
+	b.ForI(0, 10, func(i Reg) {
+		b.StoreG(g, i, i)
+	})
+	b.RetVoid()
+	f := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	var nCond, nBr, nStore int
+	for _, in := range f.Code {
+		switch in.Op {
+		case OpCondBr:
+			nCond++
+		case OpBr:
+			nBr++
+		case OpStore:
+			nStore++
+		}
+	}
+	if nCond != 1 || nStore != 1 {
+		t.Errorf("loop shape: %d condbr, %d store; want 1 and 1", nCond, nStore)
+	}
+	if nBr < 2 {
+		t.Errorf("loop shape: %d br, want >= 2 (entry + backedge)", nBr)
+	}
+}
+
+func TestIfElseBothArmsReachable(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	g := p.AllocGlobal("out", 1, I64)
+	c := b.ICmp(OpICmpSLT, b.ConstI(1), b.ConstI(2))
+	b.IfElse(c,
+		func() { b.StoreGI(g, 0, b.ConstI(111)) },
+		func() { b.StoreGI(g, 0, b.ConstI(222)) },
+	)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+}
+
+func TestRegionMarkersBalancedAndNamed(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	id := b.Region("cg_b", func() {
+		b.ConstI(1)
+	})
+	b.RetVoid()
+	f := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	r, ok := p.RegionByName("cg_b")
+	if !ok || r.ID != id {
+		t.Fatalf("RegionByName(cg_b) = %v, %v", r, ok)
+	}
+	if f.Code[0].Op != OpRegionEnter || f.Code[2].Op != OpRegionExit {
+		t.Errorf("region markers misplaced: %v / %v", f.Code[0], f.Code[2])
+	}
+}
+
+func TestUnbalancedRegionFailsValidation(t *testing.T) {
+	p := NewProgram("t")
+	p.AddRegion("r", false)
+	b := p.NewFunc("main", 0)
+	b.emit(Instr{Op: OpRegionEnter, Dst: NoReg, A: NoReg, B: NoReg})
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err == nil {
+		t.Fatal("Seal should fail on unbalanced region markers")
+	}
+}
+
+func TestCallArityChecked(t *testing.T) {
+	p := NewProgram("t")
+	cb := p.NewFunc("callee", 2)
+	cb.Ret(cb.Arg(0))
+	cb.Done()
+	b := p.NewFunc("main", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong call arity")
+		}
+	}()
+	b.Call("callee", b.ConstI(1))
+}
+
+func TestCallUndefinedPanics(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on call to undefined function")
+		}
+	}()
+	b.Call("nope")
+}
+
+func TestSealRequiresMain(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("helper", 0)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err == nil {
+		t.Fatal("Seal should fail without main")
+	}
+}
+
+func TestSealAssignsGlobalIDs(t *testing.T) {
+	p := NewProgram("t")
+	b1 := p.NewFunc("helper", 0)
+	b1.ConstI(1)
+	b1.RetVoid()
+	b1.Done()
+	b2 := p.NewFunc("main", 0)
+	b2.ConstI(2)
+	b2.RetVoid()
+	b2.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	h := p.FuncByName["helper"]
+	m := p.FuncByName["main"]
+	if h.Base != 0 || m.Base != len(h.Code) {
+		t.Errorf("bases: helper=%d main=%d", h.Base, m.Base)
+	}
+	if p.TotalInstrs != len(h.Code)+len(m.Code) {
+		t.Errorf("TotalInstrs = %d", p.TotalInstrs)
+	}
+	f, off := p.FuncOf(m.Base + 1)
+	if f != m || off != 1 {
+		t.Errorf("FuncOf = %v, %d", f, off)
+	}
+	if got := p.InstrAt(m.Base); got.Op != OpConst {
+		t.Errorf("InstrAt(main.Base) = %v", got)
+	}
+}
+
+func TestLabelAtFunctionEndGetsImplicitRet(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	c := b.ICmp(OpICmpEQ, b.ConstI(0), b.ConstI(1))
+	end := b.NewLabel()
+	body := b.NewLabel()
+	b.CondBr(c, body, end)
+	b.Bind(body)
+	b.ConstI(9)
+	b.Br(end)
+	b.Bind(end) // nothing after: Done must add an implicit ret here
+	f := b.Done()
+	if f.Code[len(f.Code)-1].Op != OpRet {
+		t.Fatalf("last instr = %v, want ret", f.Code[len(f.Code)-1])
+	}
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+}
+
+func TestDisassembleMentionsEverything(t *testing.T) {
+	p := NewProgram("demo")
+	g := p.AllocGlobal("u", 4, F64)
+	b := p.NewFunc("main", 0)
+	b.Region("r0", func() {
+		b.StoreGI(g, 0, b.ConstF(1.5))
+	})
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	d := p.Disassemble()
+	for _, want := range []string{"demo", "global u", "region", "r0", "func main", "store"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+	if _, ok := p.DisassembleFunc("nope"); ok {
+		t.Error("DisassembleFunc should report missing function")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -3.25e40, 1e-300} {
+		if got := F64Word(f).Float(); got != f {
+			t.Errorf("F64Word(%g).Float() = %g", f, got)
+		}
+	}
+	for _, i := range []int64{0, 1, -1, 1 << 62, -(1 << 62)} {
+		if got := I64Word(i).Int(); got != i {
+			t.Errorf("I64Word(%d).Int() = %d", i, got)
+		}
+	}
+}
+
+func TestOpcodeStringAndClasses(t *testing.T) {
+	if OpFAdd.String() != "fadd" || OpShl.String() != "shl" {
+		t.Error("opcode names wrong")
+	}
+	if !OpFAdd.IsBinary() || OpFAdd.IsUnary() {
+		t.Error("OpFAdd classification wrong")
+	}
+	if !OpLoad.IsUnary() || !OpLoad.HasDst() {
+		t.Error("OpLoad classification wrong")
+	}
+	if !OpICmpSLT.IsCompare() || !OpFCmpGE.IsCompare() || OpAdd.IsCompare() {
+		t.Error("compare classification wrong")
+	}
+	if !OpBr.IsTerminator() || OpStore.IsTerminator() {
+		t.Error("terminator classification wrong")
+	}
+	if !OpFMul.IsFloat() || OpMul.IsFloat() {
+		t.Error("float classification wrong")
+	}
+	if Opcode(200).String() == "" {
+		t.Error("unknown opcode should still stringify")
+	}
+}
+
+func TestValidateCatchesBadBranchTarget(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	b.emit(Instr{Op: OpBr, Dst: NoReg, A: NoReg, B: NoReg, Imm: I64Word(99)})
+	b.f.NumRegs = b.nextReg
+	b.done = true
+	if err := p.Seal(); err == nil {
+		t.Fatal("Seal should reject out-of-range branch target")
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	p := NewProgram("t")
+	b := p.NewFunc("main", 0)
+	b.emit(Instr{Op: OpAdd, Type: I64, Dst: 0, A: 50, B: 51})
+	b.emit(Instr{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg})
+	b.f.NumRegs = 1
+	b.done = true
+	if err := p.Seal(); err == nil {
+		t.Fatal("Seal should reject out-of-range registers")
+	}
+}

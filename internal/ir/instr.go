@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reg names a virtual register within a function frame. Registers are
+// function-local; the interpreter qualifies them with a dynamic frame id so
+// that analyses can treat every live register as a distinct location.
+type Reg int32
+
+// NoReg marks an absent register operand (e.g. a void return).
+const NoReg Reg = -1
+
+// Type tags the interpretation of a 64-bit word.
+type Type uint8
+
+const (
+	// I64 marks two's-complement signed integer words.
+	I64 Type = iota
+	// F64 marks IEEE-754 double words.
+	F64
+)
+
+// String returns "i64" or "f64".
+func (t Type) String() string {
+	if t == F64 {
+		return "f64"
+	}
+	return "i64"
+}
+
+// Word is the raw 64-bit value flowing through registers and memory. Its
+// interpretation (I64 or F64) comes from the producing instruction. Keeping
+// values as raw bits makes single-bit fault injection trivial and exact.
+type Word uint64
+
+// F64Word packs a float64 into a Word.
+func F64Word(f float64) Word { return Word(math.Float64bits(f)) }
+
+// I64Word packs an int64 into a Word.
+func I64Word(i int64) Word { return Word(uint64(i)) }
+
+// Float returns the word reinterpreted as float64.
+func (w Word) Float() float64 { return math.Float64frombits(uint64(w)) }
+
+// Int returns the word reinterpreted as int64.
+func (w Word) Int() int64 { return int64(w) }
+
+// Instr is a single IR instruction. The struct is deliberately flat and
+// value-typed: the interpreter iterates a []Instr in a tight loop, and the
+// fault injector addresses instructions by their global static id.
+type Instr struct {
+	Op   Opcode
+	Type Type // result type for Dst-writing ops
+	Dst  Reg
+	A, B Reg
+	// Imm holds: the constant for OpConst, the branch target for OpBr and
+	// the taken-target for OpCondBr, and the region id for region markers.
+	Imm Word
+	// Imm2 holds the fall-through target for OpCondBr.
+	Imm2 Word
+	// Callee indexes Program.Funcs for OpCall or Program.HostDecls for OpHost.
+	Callee int32
+	// Args are the argument registers for OpCall/OpHost, copied into the
+	// callee's parameter registers r0..r(n-1).
+	Args []Reg
+	// Line is the pseudo source line assigned by the builder; pattern
+	// reports reference it the way the paper's Table I references C lines.
+	Line int32
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op == OpConst && in.Type == F64:
+		return fmt.Sprintf("r%d = const %g", in.Dst, in.Imm.Float())
+	case in.Op == OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm.Int())
+	case in.Op.IsBinary():
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	case in.Op.IsUnary():
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	case in.Op == OpStore:
+		return fmt.Sprintf("store [r%d] = r%d", in.A, in.B)
+	case in.Op == OpBr:
+		return fmt.Sprintf("br @%d", in.Imm.Int())
+	case in.Op == OpCondBr:
+		return fmt.Sprintf("condbr r%d @%d @%d", in.A, in.Imm.Int(), in.Imm2.Int())
+	case in.Op == OpCall, in.Op == OpHost:
+		return fmt.Sprintf("r%d = %s #%d %v", in.Dst, in.Op, in.Callee, in.Args)
+	case in.Op == OpRet && in.A == NoReg:
+		return "ret"
+	case in.Op == OpRet:
+		return fmt.Sprintf("ret r%d", in.A)
+	case in.Op == OpEmit, in.Op == OpEmitSci6:
+		return fmt.Sprintf("%s r%d", in.Op, in.A)
+	case in.Op == OpRegionEnter, in.Op == OpRegionExit:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm.Int())
+	default:
+		return in.Op.String()
+	}
+}

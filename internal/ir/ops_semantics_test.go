@@ -1,0 +1,210 @@
+package ir_test
+
+// Semantic tests of every arithmetic/logic opcode, executed through the
+// interpreter: each case builds a two-operand program with the builder's
+// convenience wrappers and checks the computed value. This doubles as a
+// regression net for the instruction-set semantics every analysis depends
+// on (exact bit patterns matter for fault injection).
+
+import (
+	"math"
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+)
+
+func runBinary(t *testing.T, build func(b *ir.FuncBuilder) ir.Reg) ir.Word {
+	t.Helper()
+	p := ir.NewProgram("ops")
+	g := p.AllocGlobal("g", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	b.StoreGI(g, 0, build(b))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status.String() != "ok" {
+		t.Fatalf("status %v: %s", tr.Status, m.CrashMessage())
+	}
+	return m.Mem[g.Addr]
+}
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *ir.FuncBuilder) ir.Reg
+		want  int64
+	}{
+		{"add", func(b *ir.FuncBuilder) ir.Reg { return b.Add(b.ConstI(20), b.ConstI(22)) }, 42},
+		{"sub", func(b *ir.FuncBuilder) ir.Reg { return b.Sub(b.ConstI(20), b.ConstI(22)) }, -2},
+		{"mul", func(b *ir.FuncBuilder) ir.Reg { return b.Mul(b.ConstI(-6), b.ConstI(7)) }, -42},
+		{"sdiv", func(b *ir.FuncBuilder) ir.Reg { return b.SDiv(b.ConstI(-43), b.ConstI(7)) }, -6},
+		{"srem", func(b *ir.FuncBuilder) ir.Reg { return b.SRem(b.ConstI(-43), b.ConstI(7)) }, -1},
+		{"shl", func(b *ir.FuncBuilder) ir.Reg { return b.Shl(b.ConstI(3), b.ConstI(4)) }, 48},
+		{"lshr", func(b *ir.FuncBuilder) ir.Reg { return b.LShr(b.ConstI(-1), b.ConstI(60)) }, 15},
+		{"ashr", func(b *ir.FuncBuilder) ir.Reg { return b.AShr(b.ConstI(-16), b.ConstI(2)) }, -4},
+		{"and", func(b *ir.FuncBuilder) ir.Reg { return b.And(b.ConstI(0b1100), b.ConstI(0b1010)) }, 0b1000},
+		{"or", func(b *ir.FuncBuilder) ir.Reg { return b.Or(b.ConstI(0b1100), b.ConstI(0b1010)) }, 0b1110},
+		{"xor", func(b *ir.FuncBuilder) ir.Reg { return b.Xor(b.ConstI(0b1100), b.ConstI(0b1010)) }, 0b0110},
+		{"addi", func(b *ir.FuncBuilder) ir.Reg { return b.AddI(b.ConstI(40), 2) }, 42},
+		{"muli", func(b *ir.FuncBuilder) ir.Reg { return b.MulI(b.ConstI(6), 7) }, 42},
+		{"movi", func(b *ir.FuncBuilder) ir.Reg { return b.MovI(b.ConstI(42)) }, 42},
+		{"trunci32", func(b *ir.FuncBuilder) ir.Reg { return b.TruncI32(b.ConstI(1<<40 | 5)) }, 5},
+		{"trunci32-neg", func(b *ir.FuncBuilder) ir.Reg { return b.TruncI32(b.ConstI(int64(uint32(0xFFFFFFFF)))) }, -1},
+		{"fptosi", func(b *ir.FuncBuilder) ir.Reg { return b.FPToSI(b.ConstF(-3.9)) }, -3},
+		{"fptosi-nan", func(b *ir.FuncBuilder) ir.Reg { return b.FPToSI(b.ConstF(math.NaN())) }, math.MinInt64},
+		{"icmp-slt-true", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpSLT, b.ConstI(1), b.ConstI(2)) }, 1},
+		{"icmp-sge-false", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpSGE, b.ConstI(1), b.ConstI(2)) }, 0},
+		{"icmp-eq", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpEQ, b.ConstI(7), b.ConstI(7)) }, 1},
+		{"icmp-ne", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpNE, b.ConstI(7), b.ConstI(7)) }, 0},
+		{"icmp-sle", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpSLE, b.ConstI(7), b.ConstI(7)) }, 1},
+		{"icmp-sgt", func(b *ir.FuncBuilder) ir.Reg { return b.ICmp(ir.OpICmpSGT, b.ConstI(8), b.ConstI(7)) }, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runBinary(t, c.build).Int(); got != c.want {
+				t.Errorf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *ir.FuncBuilder) ir.Reg
+		want  float64
+	}{
+		{"fadd", func(b *ir.FuncBuilder) ir.Reg { return b.FAdd(b.ConstF(1.5), b.ConstF(2.25)) }, 3.75},
+		{"fsub", func(b *ir.FuncBuilder) ir.Reg { return b.FSub(b.ConstF(1.5), b.ConstF(2.25)) }, -0.75},
+		{"fmul", func(b *ir.FuncBuilder) ir.Reg { return b.FMul(b.ConstF(1.5), b.ConstF(-2)) }, -3},
+		{"fdiv", func(b *ir.FuncBuilder) ir.Reg { return b.FDiv(b.ConstF(7), b.ConstF(2)) }, 3.5},
+		{"fneg", func(b *ir.FuncBuilder) ir.Reg { return b.FNeg(b.ConstF(2.5)) }, -2.5},
+		{"fabs", func(b *ir.FuncBuilder) ir.Reg { return b.FAbs(b.ConstF(-2.5)) }, 2.5},
+		{"fsqrt", func(b *ir.FuncBuilder) ir.Reg { return b.FSqrt(b.ConstF(9)) }, 3},
+		{"sitofp", func(b *ir.FuncBuilder) ir.Reg { return b.SIToFP(b.ConstI(-7)) }, -7},
+		{"fptrunc", func(b *ir.FuncBuilder) ir.Reg { return b.FPTrunc(b.ConstF(1.1)) }, float64(float32(1.1))},
+		{"movf", func(b *ir.FuncBuilder) ir.Reg { return b.MovF(b.ConstF(2.5)) }, 2.5},
+		{"fcmp-lt", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpLT, b.ConstF(1), b.ConstF(2)))
+		}, 1},
+		{"fcmp-ge", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpGE, b.ConstF(1), b.ConstF(2)))
+		}, 0},
+		{"fcmp-eq", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpEQ, b.ConstF(2), b.ConstF(2)))
+		}, 1},
+		{"fcmp-ne", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpNE, b.ConstF(2), b.ConstF(2)))
+		}, 0},
+		{"fcmp-le", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpLE, b.ConstF(2), b.ConstF(2)))
+		}, 1},
+		{"fcmp-gt", func(b *ir.FuncBuilder) ir.Reg {
+			return b.SIToFP(b.FCmp(ir.OpFCmpGT, b.ConstF(3), b.ConstF(2)))
+		}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := runBinary(t, c.build).Float(); got != c.want {
+				t.Errorf("got %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestConstToVariants(t *testing.T) {
+	p := ir.NewProgram("cto")
+	g := p.AllocGlobal("g", 2, ir.F64)
+	b := p.NewFunc("main", 0)
+	ri := b.NewReg()
+	b.ConstITo(ri, 41)
+	b.ConstITo(ri, 42) // overwrite
+	rf := b.NewReg()
+	b.ConstFTo(rf, 2.5)
+	b.StoreGI(g, 0, b.SIToFP(ri))
+	b.StoreGI(g, 1, rf)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := interp.NewMachine(p)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[g.Addr].Float() != 42 || m.Mem[g.Addr+1].Float() != 2.5 {
+		t.Errorf("ConstTo variants wrong: %v %v", m.Mem[g.Addr].Float(), m.Mem[g.Addr+1].Float())
+	}
+}
+
+func TestWhileAndMovTo(t *testing.T) {
+	// while (i < 5) { sum += i; i++ } via the builder's While helper.
+	p := ir.NewProgram("while")
+	g := p.AllocGlobal("g", 1, ir.I64)
+	b := p.NewFunc("main", 0)
+	i := b.ConstI(0)
+	sum := b.ConstI(0)
+	five := b.ConstI(5)
+	b.While(func() ir.Reg {
+		return b.ICmp(ir.OpICmpSLT, i, five)
+	}, func() {
+		b.BinTo(ir.OpAdd, sum, sum, i)
+		b.BinTo(ir.OpAdd, i, i, b.ConstI(1))
+	})
+	cp := b.NewReg()
+	b.MovITo(cp, sum)
+	b.StoreGI(g, 0, cp)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := interp.NewMachine(p)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem[g.Addr].Int(); got != 10 {
+		t.Errorf("while sum = %d, want 10", got)
+	}
+}
+
+func TestUnBinPanicOnWrongClass(t *testing.T) {
+	p := ir.NewProgram("panics")
+	b := p.NewFunc("main", 0)
+	r := b.ConstI(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Bin with unary opcode should panic")
+			}
+		}()
+		b.Bin(ir.OpFNeg, r, r)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Un with binary opcode should panic")
+			}
+		}()
+		b.Un(ir.OpFAdd, r)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Arg out of range should panic")
+			}
+		}()
+		b.Arg(2)
+	}()
+}

@@ -1,0 +1,424 @@
+// Package mpi is the message-passing substrate of the reproduction: an SPMD
+// simulator that runs one interpreter per rank (goroutines) and exposes
+// MPI-like host calls to IR programs. It stands in for the MPI runtime of
+// the paper's workloads (§IV-A): per-process traces are collected exactly as
+// the extended LLVM-Tracer does, message-passing internals stay
+// uninstrumented, and record-and-replay (§V-B) pins down the arrival order
+// of wildcard receives so faulty runs can be matched against fault-free
+// runs.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// Host function names available to IR programs.
+const (
+	HostRank         = "mpi_rank"          // () -> rank
+	HostSize         = "mpi_size"          // () -> world size
+	HostSend         = "mpi_send"          // (dest, addr, count)
+	HostRecv         = "mpi_recv"          // (src, addr, count)
+	HostRecvAny      = "mpi_recv_any"      // (addr, count) -> src
+	HostBarrier      = "mpi_barrier"       // ()
+	HostAllreduceSum = "mpi_allreduce_sum" // (addr, count) elementwise f64 sum
+)
+
+// DeclareHosts declares every MPI host function on a program, so builders
+// can emit the calls before the world exists.
+func DeclareHosts(p *ir.Program) {
+	p.DeclareHost(HostRank, 0, true)
+	p.DeclareHost(HostSize, 0, true)
+	p.DeclareHost(HostSend, 3, false)
+	p.DeclareHost(HostRecv, 3, false)
+	p.DeclareHost(HostRecvAny, 2, true)
+	p.DeclareHost(HostBarrier, 0, false)
+	p.DeclareHost(HostAllreduceSum, 2, false)
+}
+
+// Recording captures the arrival order of wildcard receives per rank, the
+// record-and-replay mechanism of §V-B.
+type Recording struct {
+	// AnySources[rank] lists, in order, the source rank satisfied by each
+	// mpi_recv_any call that rank made.
+	AnySources [][]int32
+}
+
+// Config configures one world run.
+type Config struct {
+	// Ranks is the world size (>= 1).
+	Ranks int
+	// Mode is the per-rank trace mode.
+	Mode interp.TraceMode
+	// FaultRank selects the rank receiving Fault (ignored if Fault nil).
+	FaultRank int
+	// Fault is injected into exactly one rank, as in the paper ("we focus
+	// on the single process where the fault is injected").
+	Fault *interp.Fault
+	// Seed seeds each rank's RNG as Seed+rank, keeping ranks decorrelated
+	// but runs reproducible.
+	Seed uint64
+	// Replay, when non-nil, forces wildcard receives to follow a prior
+	// recording.
+	Replay *Recording
+	// StepLimit overrides the default per-rank step limit when nonzero.
+	StepLimit uint64
+	// TraceHint preallocates per-rank trace buffers (use a prior untraced
+	// run's per-rank step count).
+	TraceHint uint64
+	// ExtraBind, when non-nil, binds additional app hosts on each machine.
+	ExtraBind func(m *interp.Machine, rank int) error
+}
+
+// RankResult is one rank's outcome.
+type RankResult struct {
+	Rank  int
+	Trace *trace.Trace
+}
+
+// Result is a completed world run.
+type Result struct {
+	Ranks []RankResult
+	// Recording is the wildcard-receive log (always captured).
+	Recording *Recording
+}
+
+// Status returns the worst status across ranks (crash dominates hang
+// dominates ok) — an MPI job fails if any rank fails.
+func (r *Result) Status() trace.RunStatus {
+	worst := trace.RunOK
+	for _, rr := range r.Ranks {
+		switch rr.Trace.Status {
+		case trace.RunCrashed:
+			return trace.RunCrashed
+		case trace.RunHang:
+			worst = trace.RunHang
+		}
+	}
+	return worst
+}
+
+type message struct {
+	src  int
+	data []ir.Word
+}
+
+type rankState struct {
+	inbox   chan message
+	pending map[int][]message
+	anyLog  []int32
+	anyNext int // replay cursor
+}
+
+type world struct {
+	size   int
+	ranks  []*rankState
+	replay *Recording
+
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// allreduce barrier state
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     uint64
+	buf     []float64
+	bufN    int
+	// result holds the completed round's sums. It is only replaced when a
+	// round completes, which cannot happen before every waiter of the
+	// previous round has read it (each reader holds mu while reading).
+	result []float64
+}
+
+var errAborted = fmt.Errorf("mpi: world aborted (another rank failed)")
+
+func newWorld(size int, replay *Recording) *world {
+	w := &world{size: size, replay: replay, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	for i := 0; i < size; i++ {
+		w.ranks = append(w.ranks, &rankState{
+			inbox:   make(chan message, 1024),
+			pending: make(map[int][]message),
+		})
+	}
+	return w
+}
+
+func (w *world) abort() {
+	w.doneOnce.Do(func() { close(w.done) })
+	w.mu.Lock()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *world) send(src, dst int, data []ir.Word) error {
+	if dst < 0 || dst >= w.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	cp := make([]ir.Word, len(data))
+	copy(cp, data)
+	select {
+	case w.ranks[dst].inbox <- message{src: src, data: cp}:
+		return nil
+	case <-w.done:
+		return errAborted
+	}
+}
+
+// recvFrom blocks until a message from src arrives at rank.
+func (w *world) recvFrom(rank, src int) ([]ir.Word, error) {
+	st := w.ranks[rank]
+	if q := st.pending[src]; len(q) > 0 {
+		st.pending[src] = q[1:]
+		return q[0].data, nil
+	}
+	for {
+		select {
+		case m := <-st.inbox:
+			if m.src == src {
+				return m.data, nil
+			}
+			st.pending[m.src] = append(st.pending[m.src], m)
+		case <-w.done:
+			return nil, errAborted
+		}
+	}
+}
+
+// recvAny receives the next message from any source; in replay mode it
+// follows the recorded source order.
+func (w *world) recvAny(rank int) (int, []ir.Word, error) {
+	st := w.ranks[rank]
+	if w.replay != nil && rank < len(w.replay.AnySources) {
+		log := w.replay.AnySources[rank]
+		if st.anyNext < len(log) {
+			src := int(log[st.anyNext])
+			st.anyNext++
+			data, err := w.recvFrom(rank, src)
+			if err == nil {
+				st.anyLog = append(st.anyLog, int32(src))
+			}
+			return src, data, err
+		}
+	}
+	// Natural (nondeterministic) order: pending first, then inbox.
+	for src, q := range st.pending {
+		if len(q) > 0 {
+			st.pending[src] = q[1:]
+			st.anyLog = append(st.anyLog, int32(src))
+			return src, q[0].data, nil
+		}
+	}
+	select {
+	case m := <-st.inbox:
+		st.anyLog = append(st.anyLog, int32(m.src))
+		return m.src, m.data, nil
+	case <-w.done:
+		return 0, nil, errAborted
+	}
+}
+
+// allreduceSum performs an elementwise float64 sum across all ranks. Every
+// rank must call it with the same count.
+func (w *world) allreduceSum(local []float64) ([]float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-w.done:
+		return nil, errAborted
+	default:
+	}
+	if w.arrived == 0 {
+		w.buf = make([]float64, len(local))
+		w.bufN = len(local)
+	}
+	if len(local) != w.bufN {
+		return nil, fmt.Errorf("mpi: allreduce count mismatch: %d vs %d", len(local), w.bufN)
+	}
+	for i, v := range local {
+		w.buf[i] += v
+	}
+	w.arrived++
+	gen := w.gen
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.result = w.buf
+		w.buf = nil
+		w.cond.Broadcast()
+	} else {
+		for w.gen == gen {
+			w.cond.Wait()
+			select {
+			case <-w.done:
+				return nil, errAborted
+			default:
+			}
+		}
+	}
+	return w.result, nil
+}
+
+// barrier synchronizes all ranks (an allreduce of nothing).
+func (w *world) barrier() error {
+	_, err := w.allreduceSum(nil)
+	return err
+}
+
+// Run executes the program SPMD across cfg.Ranks ranks and returns the
+// per-rank traces and the wildcard-receive recording.
+func Run(p *ir.Program, cfg Config) (*Result, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("mpi: need at least 1 rank")
+	}
+	if !p.Sealed() {
+		return nil, fmt.Errorf("mpi: program not sealed")
+	}
+	w := newWorld(cfg.Ranks, cfg.Replay)
+	results := make([]RankResult, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := w.runRank(p, cfg, rank)
+			results[rank] = RankResult{Rank: rank, Trace: tr}
+			errs[rank] = err
+			if err != nil || (tr != nil && tr.Status != trace.RunOK) {
+				w.abort()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	w.abort() // release any stragglers (none expected)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rec := &Recording{AnySources: make([][]int32, cfg.Ranks)}
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		rec.AnySources[rank] = w.ranks[rank].anyLog
+	}
+	return &Result{Ranks: results, Recording: rec}, nil
+}
+
+func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, error) {
+	m, err := interp.NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	m.Mode = cfg.Mode
+	if cfg.StepLimit != 0 {
+		m.StepLimit = cfg.StepLimit
+	}
+	m.TraceHint = cfg.TraceHint
+	m.SeedRNG(cfg.Seed + uint64(rank) + 1)
+	if cfg.Fault != nil && rank == cfg.FaultRank {
+		f := *cfg.Fault
+		m.Fault = &f
+	}
+	if err := m.BindStandardHosts(); err != nil {
+		return nil, err
+	}
+	if err := w.bindMPIHosts(m, rank); err != nil {
+		return nil, err
+	}
+	if cfg.ExtraBind != nil {
+		if err := cfg.ExtraBind(m, rank); err != nil {
+			return nil, err
+		}
+	}
+	return m.Run()
+}
+
+func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
+	bind := func(name string, fn interp.HostFn) error {
+		if _, ok := m.Prog.HostIndex(name); !ok {
+			return nil // program does not use this primitive
+		}
+		return m.BindHost(name, fn)
+	}
+	if err := bind(HostRank, func(_ *interp.Machine, _ []ir.Word) (ir.Word, error) {
+		return ir.I64Word(int64(rank)), nil
+	}); err != nil {
+		return err
+	}
+	if err := bind(HostSize, func(_ *interp.Machine, _ []ir.Word) (ir.Word, error) {
+		return ir.I64Word(int64(w.size)), nil
+	}); err != nil {
+		return err
+	}
+	if err := bind(HostSend, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
+		dst, addr, count := args[0].Int(), args[1].Int(), args[2].Int()
+		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+			return 0, fmt.Errorf("send buffer [%d,%d) out of range", addr, addr+count)
+		}
+		return 0, w.send(rank, int(dst), mm.Mem[addr:addr+count])
+	}); err != nil {
+		return err
+	}
+	if err := bind(HostRecv, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
+		src, addr, count := args[0].Int(), args[1].Int(), args[2].Int()
+		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+			return 0, fmt.Errorf("recv buffer [%d,%d) out of range", addr, addr+count)
+		}
+		data, err := w.recvFrom(rank, int(src))
+		if err != nil {
+			return 0, err
+		}
+		if int64(len(data)) != count {
+			return 0, fmt.Errorf("recv size mismatch: got %d want %d", len(data), count)
+		}
+		copy(mm.Mem[addr:addr+count], data)
+		return 0, nil
+	}); err != nil {
+		return err
+	}
+	if err := bind(HostRecvAny, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
+		addr, count := args[0].Int(), args[1].Int()
+		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+			return 0, fmt.Errorf("recv buffer [%d,%d) out of range", addr, addr+count)
+		}
+		src, data, err := w.recvAny(rank)
+		if err != nil {
+			return 0, err
+		}
+		if int64(len(data)) != count {
+			return 0, fmt.Errorf("recv size mismatch: got %d want %d", len(data), count)
+		}
+		copy(mm.Mem[addr:addr+count], data)
+		return ir.I64Word(int64(src)), nil
+	}); err != nil {
+		return err
+	}
+	if err := bind(HostBarrier, func(_ *interp.Machine, _ []ir.Word) (ir.Word, error) {
+		return 0, w.barrier()
+	}); err != nil {
+		return err
+	}
+	return bind(HostAllreduceSum, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
+		addr, count := args[0].Int(), args[1].Int()
+		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+			return 0, fmt.Errorf("allreduce buffer [%d,%d) out of range", addr, addr+count)
+		}
+		local := make([]float64, count)
+		for i := range local {
+			local[i] = mm.Mem[addr+int64(i)].Float()
+		}
+		sum, err := w.allreduceSum(local)
+		if err != nil {
+			return 0, err
+		}
+		for i, v := range sum {
+			mm.Mem[addr+int64(i)] = ir.F64Word(v)
+		}
+		return 0, nil
+	})
+}

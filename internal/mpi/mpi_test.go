@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// buildRingProg: each rank sends its rank number to (rank+1)%size, receives
+// from (rank-1+size)%size, then allreduces the received value. Every rank
+// emits the allreduced sum, which must be size*(size-1)/2.
+func buildRingProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("ring")
+	DeclareHosts(p)
+	buf := p.AllocGlobal("buf", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	rank := b.Host(HostRank, 0, true)
+	size := b.Host(HostSize, 0, true)
+	// buf[0] = float64(rank)
+	b.StoreGI(buf, 0, b.SIToFP(rank))
+	dst := b.SRem(b.Add(rank, b.ConstI(1)), size)
+	src := b.SRem(b.Add(rank, b.Sub(size, b.ConstI(1))), size)
+	addr := b.ConstI(buf.Addr)
+	one := b.ConstI(1)
+	b.Host(HostSend, 3, false, dst, addr, one)
+	b.Host(HostRecv, 3, false, src, addr, one)
+	b.Host(HostAllreduceSum, 2, false, addr, one)
+	b.Emit(ir.F64, b.LoadGI(buf, 0))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRingAllreduce(t *testing.T) {
+	p := buildRingProg(t)
+	const ranks = 8
+	res, err := Run(p, Config{Ranks: ranks, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status() != trace.RunOK {
+		t.Fatalf("status %v", res.Status())
+	}
+	want := float64(ranks * (ranks - 1) / 2)
+	for _, rr := range res.Ranks {
+		if len(rr.Trace.Output) != 1 {
+			t.Fatalf("rank %d outputs = %d", rr.Rank, len(rr.Trace.Output))
+		}
+		if got := rr.Trace.Output[0].Float(); got != want {
+			t.Errorf("rank %d sum = %v, want %v", rr.Rank, got, want)
+		}
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	p := buildRingProg(t)
+	res, err := Run(p, Config{Ranks: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status() != trace.RunOK {
+		t.Fatalf("status %v", res.Status())
+	}
+	if got := res.Ranks[0].Trace.Output[0].Float(); got != 0 {
+		t.Errorf("1-rank sum = %v, want 0", got)
+	}
+}
+
+func TestPerRankTracesCollected(t *testing.T) {
+	p := buildRingProg(t)
+	res, err := Run(p, Config{Ranks: 4, Mode: interp.TraceFull, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range res.Ranks {
+		if len(rr.Trace.Recs) == 0 {
+			t.Errorf("rank %d has no trace records", rr.Rank)
+		}
+	}
+}
+
+func TestFaultInjectedIntoOneRankOnly(t *testing.T) {
+	p := buildRingProg(t)
+	// Flip the sign bit of the first const on rank 2 only: the allreduced
+	// sum changes for everyone, but only rank 2 got the flip.
+	res, err := Run(p, Config{
+		Ranks:     4,
+		Seed:      1,
+		FaultRank: 2,
+		Fault:     &interp.Fault{Step: 2, Bit: 63, Kind: interp.FaultDst},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status() == trace.RunOK {
+		// The fault may or may not corrupt the final sums depending on
+		// which step it hit; at minimum the run must complete.
+		clean, err := Run(p, Config{Ranks: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := range clean.Ranks {
+			if clean.Ranks[i].Trace.Output[0].Float() != res.Ranks[i].Trace.Output[0].Float() {
+				same = false
+			}
+		}
+		if same {
+			t.Log("fault masked (acceptable)")
+		}
+	}
+}
+
+func TestCrashAbortsWorld(t *testing.T) {
+	// Rank 0 crashes (bad store) before sending; other ranks would block
+	// in recv forever without the abort machinery.
+	p := ir.NewProgram("crashring")
+	DeclareHosts(p)
+	buf := p.AllocGlobal("buf", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	rank := b.Host(HostRank, 0, true)
+	isZero := b.ICmp(ir.OpICmpEQ, rank, b.ConstI(0))
+	b.If(isZero, func() {
+		b.Store(b.ConstI(1<<40), b.ConstF(1)) // crash
+	})
+	src := b.ConstI(0)
+	b.Host(HostRecv, 3, false, src, b.ConstI(buf.Addr), b.ConstI(1))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{Ranks: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status() != trace.RunCrashed {
+		t.Fatalf("status = %v, want crashed", res.Status())
+	}
+}
+
+// buildAnyProg: rank 0 receives size-1 wildcard messages and emits the
+// sources in arrival order; other ranks send their rank.
+func buildAnyProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("anyrecv")
+	DeclareHosts(p)
+	buf := p.AllocGlobal("buf", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	rank := b.Host(HostRank, 0, true)
+	size := b.Host(HostSize, 0, true)
+	isZero := b.ICmp(ir.OpICmpEQ, rank, b.ConstI(0))
+	b.IfElse(isZero, func() {
+		b.For(b.ConstI(1), size, 1, func(i ir.Reg) {
+			src := b.Host(HostRecvAny, 2, true, b.ConstI(buf.Addr), b.ConstI(1))
+			b.Emit(ir.I64, src)
+		})
+	}, func() {
+		b.StoreGI(buf, 0, b.SIToFP(rank))
+		b.Host(HostSend, 3, false, b.ConstI(0), b.ConstI(buf.Addr), b.ConstI(1))
+	})
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecvAnyRecordsAndReplays(t *testing.T) {
+	p := buildAnyProg(t)
+	res, err := Run(p, Config{Ranks: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status() != trace.RunOK {
+		t.Fatalf("status %v", res.Status())
+	}
+	order := res.Recording.AnySources[0]
+	if len(order) != 4 {
+		t.Fatalf("recorded %d wildcard receives, want 4", len(order))
+	}
+	// Replay must reproduce the exact order.
+	res2, err := Run(p, Config{Ranks: 5, Seed: 1, Replay: res.Recording})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order2 := res2.Recording.AnySources[0]
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatalf("replay order diverged at %d: %v vs %v", i, order, order2)
+		}
+	}
+	// The emitted sources must match the recording in both runs.
+	for i, ov := range res2.Ranks[0].Trace.Output {
+		if int32(ov.Val.Int()) != order2[i] {
+			t.Errorf("output %d = %d, recording says %d", i, ov.Val.Int(), order2[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := buildRingProg(t)
+	if _, err := Run(p, Config{Ranks: 0}); err == nil {
+		t.Error("zero ranks should fail")
+	}
+	unsealed := ir.NewProgram("u")
+	if _, err := Run(unsealed, Config{Ranks: 1}); err == nil {
+		t.Error("unsealed program should fail")
+	}
+}
+
+func TestWorldStatusWorstCase(t *testing.T) {
+	ok := &Result{Ranks: []RankResult{{Trace: &trace.Trace{Status: trace.RunOK}}}}
+	if ok.Status() != trace.RunOK {
+		t.Error("ok status wrong")
+	}
+	mixed := &Result{Ranks: []RankResult{
+		{Trace: &trace.Trace{Status: trace.RunOK}},
+		{Trace: &trace.Trace{Status: trace.RunHang}},
+	}}
+	if mixed.Status() != trace.RunHang {
+		t.Error("hang status wrong")
+	}
+	crashed := &Result{Ranks: []RankResult{
+		{Trace: &trace.Trace{Status: trace.RunHang}},
+		{Trace: &trace.Trace{Status: trace.RunCrashed}},
+	}}
+	if crashed.Status() != trace.RunCrashed {
+		t.Error("crash status wrong")
+	}
+}

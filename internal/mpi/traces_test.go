@@ -1,0 +1,38 @@
+package mpi
+
+import (
+	"testing"
+
+	"fliptracker/internal/interp"
+)
+
+func TestWriteAndReadRankTraces(t *testing.T) {
+	p := buildRingProg(t)
+	res, err := Run(p, Config{Ranks: 3, Mode: interp.TraceFull, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := res.WriteRankTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	traces, err := ReadRankTraces(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if tr.Steps != res.Ranks[i].Trace.Steps {
+			t.Errorf("rank %d steps mismatch: %d vs %d", i, tr.Steps, res.Ranks[i].Trace.Steps)
+		}
+		if len(tr.Recs) != len(res.Ranks[i].Trace.Recs) {
+			t.Errorf("rank %d records mismatch", i)
+		}
+	}
+	if _, err := ReadRankTraces([]string{"/nonexistent/x.trace"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

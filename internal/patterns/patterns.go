@@ -1,0 +1,282 @@
+// Package patterns identifies the six resilience computation patterns the
+// paper defines (§VI) from the DDDG/ACL analysis of faulty runs, and counts
+// the pattern-instance rates that drive the resilience prediction model of
+// §VII-B (Table IV).
+package patterns
+
+import (
+	"fmt"
+
+	"fliptracker/internal/acl"
+	"fliptracker/internal/dddg"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// Pattern enumerates the six resilience computation patterns.
+type Pattern uint8
+
+const (
+	// DCL is Pattern 1, dead corrupted locations: corrupted values are
+	// aggregated into fewer locations and the corrupted sources die unused.
+	DCL Pattern = iota
+	// RepeatedAddition is Pattern 2: a corrupted location repeatedly added
+	// with correct values, amortizing the error until it is acceptable.
+	RepeatedAddition
+	// Conditional is Pattern 3: a conditional whose outcome is unchanged by
+	// the corruption, avoiding control-flow divergence.
+	Conditional
+	// Shifting is Pattern 4: shifted-out corrupted bits are eliminated.
+	Shifting
+	// Truncation is Pattern 5: corrupted low-order data is truncated away
+	// (narrowing conversions or formatted output).
+	Truncation
+	// Overwriting is Pattern 6: a corrupted location overwritten by a
+	// clean value.
+	Overwriting
+
+	// NumPatterns is the number of defined patterns.
+	NumPatterns = 6
+)
+
+var patternNames = [...]string{
+	DCL:              "dead-corrupted-locations",
+	RepeatedAddition: "repeated-additions",
+	Conditional:      "conditional-statement",
+	Shifting:         "shifting",
+	Truncation:       "truncation",
+	Overwriting:      "data-overwriting",
+}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if int(p) < len(patternNames) {
+		return patternNames[p]
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// Short returns the abbreviation used in the paper's Table I.
+func (p Pattern) Short() string {
+	switch p {
+	case DCL:
+		return "DCL"
+	case RepeatedAddition:
+		return "RA"
+	case Conditional:
+		return "CS"
+	case Shifting:
+		return "Shifting"
+	case Truncation:
+		return "Trunc"
+	case Overwriting:
+		return "DO"
+	}
+	return "?"
+}
+
+// Evidence records one observed pattern instance.
+type Evidence struct {
+	Pattern  Pattern
+	RecIndex int
+	SID      int32
+	Line     int32
+	Loc      trace.Loc
+	Note     string
+}
+
+// Detection is the set of patterns found in one region instance.
+type Detection struct {
+	Found    [NumPatterns]bool
+	Evidence []Evidence
+}
+
+// Has reports whether the pattern was detected.
+func (d *Detection) Has(p Pattern) bool { return d.Found[p] }
+
+// Count returns how many distinct patterns were detected.
+func (d *Detection) Count() int {
+	n := 0
+	for _, f := range d.Found {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Detect inspects one region-instance span of a faulty run (with its matched
+// fault-free run and completed ACL analysis) and reports which resilience
+// patterns acted within the span. prog supplies pseudo source lines for
+// evidence; it may be nil.
+func Detect(prog *ir.Program, faulty, clean *trace.Trace, span trace.Span, res *acl.Result) *Detection {
+	d := &Detection{}
+	add := func(p Pattern, recIdx int, loc trace.Loc, note string) {
+		d.Found[p] = true
+		ev := Evidence{Pattern: p, RecIndex: recIdx, Loc: loc, Note: note}
+		if recIdx >= 0 && recIdx < len(faulty.Recs) {
+			ev.SID = faulty.Recs[recIdx].SID
+			if prog != nil {
+				if f, off := prog.FuncOf(int(ev.SID)); f != nil {
+					ev.Line = f.Code[off].Line
+				}
+			}
+		}
+		d.Evidence = append(d.Evidence, ev)
+	}
+
+	inSpan := func(i int) bool { return i >= span.Start && i < span.End }
+
+	// Pattern 1 needs *several* corrupted locations dying unused plus a net
+	// decrease of alive corrupted locations — a single dead temporary is
+	// not the aggregation structure of Figure 8. Collect candidates first.
+	var deadUnused []acl.Event
+
+	for _, e := range res.Events {
+		if !inSpan(e.RecIndex) {
+			continue
+		}
+		op := faulty.Recs[e.RecIndex].Op
+		switch e.Kind {
+		case acl.DeadOverwrite:
+			add(Overwriting, e.RecIndex, e.Loc, "corrupted location overwritten by clean value")
+		case acl.DeadUnused:
+			deadUnused = append(deadUnused, e)
+		case acl.Masked:
+			switch {
+			case op == ir.OpCondBr:
+				add(Conditional, e.RecIndex, e.Loc, "branch outcome unchanged by corrupted condition")
+			case op.IsCompare():
+				add(Conditional, e.RecIndex, e.Loc, "comparison outcome unchanged by corrupted operand")
+			case op == ir.OpShl || op == ir.OpLShr || op == ir.OpAShr:
+				add(Shifting, e.RecIndex, e.Loc, "corrupted bits shifted out")
+			case op == ir.OpFPTrunc || op == ir.OpTruncI32:
+				add(Truncation, e.RecIndex, e.Loc, "corrupted bits truncated by narrowing conversion")
+			case op == ir.OpEmitSci6:
+				add(Truncation, e.RecIndex, e.Loc, "corrupted mantissa cut off by formatted output")
+			}
+		}
+	}
+
+	// Dead corrupted locations: several corrupted locations died unused in
+	// the span and the alive-corrupted count actually fell.
+	if len(deadUnused) >= dclMinDeaths && res.DropWithinSpan(span) >= dclMinDrop {
+		for _, e := range deadUnused {
+			add(DCL, e.RecIndex, e.Loc, "corrupted location never referenced again")
+		}
+	}
+
+	// Repeated additions: a corrupted memory location whose error magnitude
+	// shrinks across successive (matched) writes within the span.
+	for _, ra := range DetectRepeatedAdditionsInSpans(faulty, clean, []trace.Span{span}) {
+		add(RepeatedAddition, ra.LastRecIndex, ra.Loc,
+			fmt.Sprintf("error magnitude shrank %.3g -> %.3g over %d additions",
+				ra.FirstMag, ra.LastMag, ra.Writes))
+	}
+	return d
+}
+
+// DCL thresholds: the aggregation pattern needs multiple dead corrupted
+// temporaries and a real collapse of the ACL count. A linear def-use chain
+// (reg -> memory -> reg) produces up to three deaths with a drop of two, so
+// the thresholds sit just above that.
+const (
+	dclMinDeaths = 4
+	dclMinDrop   = 3
+)
+
+// RAEvidence describes one repeated-additions observation.
+type RAEvidence struct {
+	Loc          trace.Loc
+	Writes       int
+	FirstMag     float64
+	LastMag      float64
+	LastRecIndex int
+}
+
+// DetectRepeatedAdditions finds memory locations inside the span that are
+// written multiple times with corrupted values whose relative error shrinks
+// — the Table II signature. The traces must still be control-flow matched in
+// the span.
+func DetectRepeatedAdditions(faulty, clean *trace.Trace, span trace.Span) []RAEvidence {
+	return DetectRepeatedAdditionsInSpans(faulty, clean, []trace.Span{span})
+}
+
+// DetectRepeatedAdditionsInSpans is DetectRepeatedAdditions across several
+// spans of the same region: the amortization usually plays out across
+// *instances* (MG's psinv is re-invoked every V-cycle; the per-invocation
+// error decay is exactly Table II), so the write history of a location is
+// accumulated across all given spans.
+func DetectRepeatedAdditionsInSpans(faulty, clean *trace.Trace, spans []trace.Span) []RAEvidence {
+	type hist struct {
+		mags    []float64
+		lastIdx int
+		isAccum bool
+	}
+	hs := map[trace.Loc]*hist{}
+	for _, span := range spans {
+		n := span.End
+		if n > len(faulty.Recs) {
+			n = len(faulty.Recs)
+		}
+		if n > len(clean.Recs) {
+			n = len(clean.Recs)
+		}
+		for i := span.Start; i < n; i++ {
+			fr, cr := &faulty.Recs[i], &clean.Recs[i]
+			if fr.SID != cr.SID {
+				break
+			}
+			if fr.Op != ir.OpStore || !fr.Dst.IsMem() {
+				continue
+			}
+			h := hs[fr.Dst]
+			if h == nil {
+				h = &hist{}
+				hs[fr.Dst] = h
+			}
+			h.mags = append(h.mags, dddg.ErrMag(cr.DstVal, fr.DstVal, fr.Typ))
+			h.lastIdx = i
+			// Accumulation heuristic: the stored value chain includes an
+			// FAdd in the preceding records of this store (checked cheaply
+			// by looking back a short window for an fadd writing the
+			// source reg).
+			for j := i - 1; j >= span.Start && j > i-8; j-- {
+				pr := &faulty.Recs[j]
+				if pr.Op == ir.OpFAdd && pr.HasDst() && pr.Dst == fr.Src[0] {
+					h.isAccum = true
+					break
+				}
+			}
+		}
+	}
+	var out []RAEvidence
+	for loc, h := range hs {
+		if !h.isAccum || len(h.mags) < 2 {
+			continue
+		}
+		// Find the first corrupted write; require the final magnitude to
+		// be finite, nonzero-error history, and strictly smaller.
+		first := -1
+		for i, m := range h.mags {
+			if m > 0 {
+				first = i
+				break
+			}
+		}
+		if first < 0 || first == len(h.mags)-1 {
+			continue
+		}
+		last := h.mags[len(h.mags)-1]
+		if last < h.mags[first] {
+			out = append(out, RAEvidence{
+				Loc:          loc,
+				Writes:       len(h.mags) - first,
+				FirstMag:     h.mags[first],
+				LastMag:      last,
+				LastRecIndex: h.lastIdx,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package patterns
+
+import (
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+func traceOf(t *testing.T, p *ir.Program) *trace.Trace {
+	t.Helper()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mode = interp.TraceFull
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != trace.RunOK {
+		t.Fatalf("status %v", tr.Status)
+	}
+	return tr
+}
+
+func TestCountRatesConditionAndShift(t *testing.T) {
+	p := ir.NewProgram("r1")
+	g := p.AllocGlobal("g", 1, ir.I64)
+	b := p.NewFunc("main", 0)
+	b.ForI(0, 10, func(i ir.Reg) {
+		b.StoreG(g, b.ConstI(0), b.LShr(i, b.ConstI(8)))
+	})
+	b.RetVoid()
+	b.Done()
+	r := CountRates(traceOf(t, p))
+	if r.Condition <= 0 {
+		t.Errorf("condition rate = %v, want > 0 (loop condbr)", r.Condition)
+	}
+	if r.Shift <= 0 {
+		t.Errorf("shift rate = %v, want > 0", r.Shift)
+	}
+	if r.Truncation != 0 {
+		t.Errorf("truncation rate = %v, want 0", r.Truncation)
+	}
+}
+
+func TestCountRatesTruncationWeights(t *testing.T) {
+	p := ir.NewProgram("r2")
+	b := p.NewFunc("main", 0)
+	v := b.ConstF(1.5)
+	b.FPTrunc(v)
+	b.TruncI32(b.ConstI(7))
+	b.EmitSci6(v)
+	b.RetVoid()
+	b.Done()
+	r := CountRates(traceOf(t, p))
+	if r.Truncation <= 0 {
+		t.Errorf("truncation rate = %v", r.Truncation)
+	}
+}
+
+func TestCountRatesRepeatedAddition(t *testing.T) {
+	// u[0] += x in a loop: every store is an accumulation.
+	p := ir.NewProgram("r3")
+	u := p.AllocGlobal("u", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	b.StoreGI(u, 0, b.ConstF(0))
+	b.ForI(0, 5, func(i ir.Reg) {
+		b.StoreGI(u, 0, b.FAdd(b.LoadGI(u, 0), b.ConstF(1)))
+	})
+	b.Emit(ir.F64, b.LoadGI(u, 0))
+	b.RetVoid()
+	b.Done()
+	r := CountRates(traceOf(t, p))
+	if r.RepeatedAddition <= 0 {
+		t.Errorf("repeat-addition rate = %v, want > 0", r.RepeatedAddition)
+	}
+
+	// A non-accumulating store pattern must not count.
+	p2 := ir.NewProgram("r4")
+	a := p2.AllocGlobal("a", 1, ir.F64)
+	c := p2.AllocGlobal("c", 1, ir.F64)
+	b2 := p2.NewFunc("main", 0)
+	b2.StoreGI(a, 0, b2.ConstF(1))
+	b2.ForI(0, 5, func(i ir.Reg) {
+		b2.StoreGI(c, 0, b2.FAdd(b2.LoadGI(a, 0), b2.ConstF(1)))
+	})
+	b2.Emit(ir.F64, b2.LoadGI(c, 0))
+	b2.RetVoid()
+	b2.Done()
+	r2 := CountRates(traceOf(t, p2))
+	if r2.RepeatedAddition != 0 {
+		t.Errorf("c[0] = a[0]+1 wrongly counted as accumulation: %v", r2.RepeatedAddition)
+	}
+}
+
+func TestCountRatesDeadAndOverwrite(t *testing.T) {
+	// g written twice without an intervening read: first version is dead.
+	p := ir.NewProgram("r5")
+	g := p.AllocGlobal("g", 1, ir.F64)
+	h := p.AllocGlobal("h", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	b.StoreGI(g, 0, b.ConstF(1)) // dead version
+	b.StoreGI(g, 0, b.ConstF(2)) // read below: live
+	b.StoreGI(h, 0, b.LoadGI(g, 0))
+	b.Emit(ir.F64, b.LoadGI(h, 0))
+	b.RetVoid()
+	b.Done()
+	r := CountRates(traceOf(t, p))
+	if r.DeadLocation <= 0 || r.DeadLocation >= 1 {
+		t.Errorf("dead-location rate = %v, want in (0,1)", r.DeadLocation)
+	}
+	if r.Overwrite <= 0 {
+		t.Errorf("overwrite rate = %v, want > 0", r.Overwrite)
+	}
+}
+
+func TestCountRatesEmptyTrace(t *testing.T) {
+	if r := CountRates(&trace.Trace{}); r != (Rates{}) {
+		t.Errorf("empty trace rates = %+v", r)
+	}
+}
+
+func TestRatesVectorOrder(t *testing.T) {
+	r := Rates{Condition: 1, Shift: 2, Truncation: 3, DeadLocation: 4, RepeatedAddition: 5, Overwrite: 6}
+	v := r.Vector()
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vector = %v", v)
+		}
+	}
+	names := FeatureNames()
+	if len(names) != NumPatterns {
+		t.Fatalf("feature names = %v", names)
+	}
+}

@@ -1,0 +1,217 @@
+// Package predict implements Use Case 2 of the paper (§VII-B): predicting an
+// application's success rate from its resilience-pattern rates with a
+// Bayesian multivariate linear regression (Equation 3). A zero-mean Gaussian
+// prior over the coefficients makes the posterior mean a ridge solution,
+// which also keeps the tiny 10-program design matrix well conditioned.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"fliptracker/internal/stats"
+)
+
+// Sample is one program's feature vector (pattern rates) and measured
+// success rate.
+type Sample struct {
+	Name string
+	X    []float64
+	Y    float64
+}
+
+// Model is a fitted linear predictor: yhat = intercept + beta . x.
+type Model struct {
+	Beta      []float64
+	Intercept float64
+	Lambda    float64
+}
+
+// DefaultLambda is the prior precision used throughout the reproduction.
+// Small enough not to bias the fit, large enough to survive collinear rate
+// columns (e.g. overwrite rates that are ~0.999 for every program, as in
+// Table IV).
+const DefaultLambda = 1.0
+
+// Fit computes the posterior-mean coefficients for the samples. All samples
+// must share one feature dimensionality.
+//
+// Features are standardized internally (z-scored) before the ridge solve so
+// that the Gaussian prior penalizes every pattern rate equally — the raw
+// rates span three orders of magnitude (overwrite ~1, shift ~1e-3, as in
+// Table IV), and an unstandardized prior would crush the small-scale
+// features. Constant columns are dropped from the solve (their coefficient
+// is zero). The intercept is not regularized.
+func Fit(samples []Sample, lambda float64) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: no samples")
+	}
+	k := len(samples[0].X)
+	n := len(samples)
+	y := make([]float64, n)
+	for i, s := range samples {
+		if len(s.X) != k {
+			return nil, fmt.Errorf("predict: sample %q has %d features, want %d", s.Name, len(s.X), k)
+		}
+		y[i] = s.Y
+	}
+	yMean := stats.Mean(y)
+
+	// Column statistics.
+	mu := make([]float64, k)
+	sd := make([]float64, k)
+	col := make([]float64, n)
+	active := make([]int, 0, k)
+	for j := 0; j < k; j++ {
+		for i, s := range samples {
+			col[i] = s.X[j]
+		}
+		mu[j] = stats.Mean(col)
+		sd[j] = stats.Stddev(col)
+		if sd[j] > 0 {
+			active = append(active, j)
+		}
+	}
+
+	beta := make([]float64, k)
+	if len(active) > 0 {
+		rows := make([][]float64, n)
+		yc := make([]float64, n)
+		for i, s := range samples {
+			row := make([]float64, len(active))
+			for a, j := range active {
+				row[a] = (s.X[j] - mu[j]) / sd[j]
+			}
+			rows[i] = row
+			yc[i] = y[i] - yMean
+		}
+		bstd, err := stats.SolveRidge(rows, yc, lambda)
+		if err != nil {
+			return nil, fmt.Errorf("predict: %w", err)
+		}
+		for a, j := range active {
+			beta[j] = bstd[a] / sd[j]
+		}
+	}
+	intercept := yMean
+	for j := 0; j < k; j++ {
+		intercept -= beta[j] * mu[j]
+	}
+	return &Model{Beta: beta, Intercept: intercept, Lambda: lambda}, nil
+}
+
+// Predict returns the predicted success rate for feature vector x, clamped
+// to [0,1] (a success rate is a probability; Table IV clamps the FT and
+// KMEANS predictions to 1.000 the same way).
+func (m *Model) Predict(x []float64) float64 {
+	v := m.Intercept
+	for i, b := range m.Beta {
+		if i < len(x) {
+			v += b * x[i]
+		}
+	}
+	return stats.Clamp01(v)
+}
+
+// RSquared evaluates the model fit on the given samples (the paper's first
+// experiment reports R-square = 96.4% when fitting all ten programs).
+func (m *Model) RSquared(samples []Sample) float64 {
+	y := make([]float64, len(samples))
+	yhat := make([]float64, len(samples))
+	for i, s := range samples {
+		y[i] = s.Y
+		yhat[i] = m.Predict(s.X)
+	}
+	return stats.RSquared(y, yhat)
+}
+
+// LOOResult is one leave-one-out prediction (the paper's second experiment:
+// train on nine programs, predict the tenth).
+type LOOResult struct {
+	Name      string
+	Measured  float64
+	Predicted float64
+	// ErrRate is the relative prediction error |pred-meas|/meas, the
+	// "prediction error rate" column of Table IV.
+	ErrRate float64
+}
+
+// LeaveOneOut runs the §VII-B validation: for each sample, fit on the others
+// and predict it.
+func LeaveOneOut(samples []Sample, lambda float64) ([]LOOResult, error) {
+	if len(samples) < 3 {
+		return nil, fmt.Errorf("predict: need at least 3 samples for LOO, have %d", len(samples))
+	}
+	out := make([]LOOResult, 0, len(samples))
+	rest := make([]Sample, 0, len(samples)-1)
+	for i, s := range samples {
+		rest = rest[:0]
+		rest = append(rest, samples[:i]...)
+		rest = append(rest, samples[i+1:]...)
+		m, err := Fit(rest, lambda)
+		if err != nil {
+			return nil, err
+		}
+		pred := m.Predict(s.X)
+		r := LOOResult{Name: s.Name, Measured: s.Y, Predicted: pred}
+		if s.Y != 0 {
+			r.ErrRate = math.Abs(pred-s.Y) / math.Abs(s.Y)
+		} else {
+			r.ErrRate = math.Abs(pred - s.Y)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MeanErrRate averages LOO error rates, optionally excluding named outliers
+// (the paper reports the average excluding DC).
+func MeanErrRate(results []LOOResult, exclude ...string) float64 {
+	skip := map[string]bool{}
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	var s float64
+	var n int
+	for _, r := range results {
+		if skip[r.Name] {
+			continue
+		}
+		s += r.ErrRate
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// StandardizedCoefficients returns |beta_i| * sd(x_i) / sd(y) for a model
+// fitted on the samples — the importance indicator of §VII-B's feature
+// analysis ("standardized regression coefficient", Bring [42]).
+func StandardizedCoefficients(samples []Sample, lambda float64) ([]float64, error) {
+	m, err := Fit(samples, lambda)
+	if err != nil {
+		return nil, err
+	}
+	k := len(m.Beta)
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		y[i] = s.Y
+	}
+	sdY := stats.Stddev(y)
+	out := make([]float64, k)
+	col := make([]float64, len(samples))
+	for j := 0; j < k; j++ {
+		for i, s := range samples {
+			col[i] = s.X[j]
+		}
+		sdX := stats.Stddev(col)
+		if sdY == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = math.Abs(m.Beta[j]) * sdX / sdY
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds samples from a known linear model over 6 features with noise.
+func synth(n int, noise float64, seed int64) []Sample {
+	r := rand.New(rand.NewSource(seed))
+	beta := []float64{0.5, 0.1, 0.2, -0.3, 0.15, 0.05}
+	var out []Sample
+	for i := 0; i < n; i++ {
+		x := make([]float64, 6)
+		y := 0.3
+		for j := range x {
+			x[j] = r.Float64()
+			y += beta[j] * x[j]
+		}
+		y += noise * (r.Float64() - 0.5)
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		out = append(out, Sample{Name: string(rune('A' + i)), X: x, Y: y})
+	}
+	return out
+}
+
+func TestFitRecoversNoiselessModel(t *testing.T) {
+	samples := synth(40, 0, 1)
+	m, err := Fit(samples, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := m.RSquared(samples); r2 < 0.999 {
+		t.Errorf("noiseless R2 = %v, want ~1", r2)
+	}
+	if math.Abs(m.Intercept-0.3) > 0.01 {
+		t.Errorf("intercept = %v, want 0.3", m.Intercept)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 0.1); err == nil {
+		t.Error("empty fit should fail")
+	}
+	bad := []Sample{{Name: "a", X: []float64{1, 2}}, {Name: "b", X: []float64{1}}}
+	if _, err := Fit(bad, 0.1); err == nil {
+		t.Error("ragged features should fail")
+	}
+}
+
+func TestPredictClamps(t *testing.T) {
+	m := &Model{Beta: []float64{10}, Intercept: 0}
+	if got := m.Predict([]float64{1}); got != 1 {
+		t.Errorf("Predict = %v, want clamp to 1", got)
+	}
+	m2 := &Model{Beta: []float64{-10}, Intercept: 0}
+	if got := m2.Predict([]float64{1}); got != 0 {
+		t.Errorf("Predict = %v, want clamp to 0", got)
+	}
+	// Short feature vectors are tolerated.
+	m3 := &Model{Beta: []float64{1, 1}, Intercept: 0.25}
+	if got := m3.Predict([]float64{0.25}); got != 0.5 {
+		t.Errorf("short vector predict = %v", got)
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	samples := synth(10, 0.02, 2)
+	loo, err := LeaveOneOut(samples, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loo) != 10 {
+		t.Fatalf("LOO results = %d", len(loo))
+	}
+	mean := MeanErrRate(loo)
+	if mean <= 0 || mean > 0.8 {
+		t.Errorf("mean LOO error = %v, want small positive", mean)
+	}
+	// Excluding the worst program must not increase the mean.
+	worst := loo[0]
+	for _, r := range loo {
+		if r.ErrRate > worst.ErrRate {
+			worst = r
+		}
+	}
+	if m2 := MeanErrRate(loo, worst.Name); m2 > mean {
+		t.Errorf("excluding worst increased mean: %v > %v", m2, mean)
+	}
+}
+
+func TestLeaveOneOutNeedsThree(t *testing.T) {
+	if _, err := LeaveOneOut(synth(2, 0, 3), 0.1); err == nil {
+		t.Error("LOO with 2 samples should fail")
+	}
+}
+
+func TestMeanErrRateEmpty(t *testing.T) {
+	if MeanErrRate(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	loo := []LOOResult{{Name: "x", ErrRate: 0.5}}
+	if MeanErrRate(loo, "x") != 0 {
+		t.Error("all-excluded mean should be 0")
+	}
+}
+
+func TestStandardizedCoefficients(t *testing.T) {
+	samples := synth(60, 0.01, 4)
+	sc, err := StandardizedCoefficients(samples, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc) != 6 {
+		t.Fatalf("coefficients = %d", len(sc))
+	}
+	for i, c := range sc {
+		if c < 0 {
+			t.Errorf("standardized coefficient %d negative: %v", i, c)
+		}
+	}
+	// Feature 0 (beta=0.5) must dominate feature 5 (beta=0.05).
+	if sc[0] <= sc[5] {
+		t.Errorf("importance ordering wrong: %v", sc)
+	}
+}
+
+func TestZeroErrRateHandling(t *testing.T) {
+	// A sample with measured 0 must use absolute error, not divide by 0.
+	samples := synth(9, 0.02, 5)
+	samples = append(samples, Sample{Name: "zero", X: make([]float64, 6), Y: 0})
+	loo, err := LeaveOneOut(samples, DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range loo {
+		if math.IsInf(r.ErrRate, 0) || math.IsNaN(r.ErrRate) {
+			t.Errorf("non-finite error rate for %s", r.Name)
+		}
+	}
+}

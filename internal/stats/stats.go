@@ -1,0 +1,195 @@
+// Package stats provides the statistical machinery FlipTracker needs:
+// fault-injection sample sizing per Leveugle et al. (the paper's §IV-C and
+// §VII sizing rule), descriptive statistics, and the regularized linear
+// algebra behind the Bayesian regression in package predict.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// zScore returns the two-sided normal quantile for the common confidence
+// levels used by the paper (95% and 99%); other levels interpolate from a
+// small table, which is ample for sizing purposes.
+func zScore(confidence float64) float64 {
+	switch {
+	case confidence >= 0.999:
+		return 3.2905
+	case confidence >= 0.99:
+		return 2.5758
+	case confidence >= 0.98:
+		return 2.3263
+	case confidence >= 0.95:
+		return 1.9600
+	case confidence >= 0.90:
+		return 1.6449
+	default:
+		return 1.2816 // 80%
+	}
+}
+
+// SampleSize computes the number of fault-injection tests for a finite
+// population of injection sites at the given confidence level and margin of
+// error, following Leveugle et al. [34]:
+//
+//	n = N / (1 + e^2 * (N-1) / (z^2 * p * (1-p)))
+//
+// with the conservative p = 0.5. The paper uses 95%/3% for the §V campaigns
+// (~1067 tests for large N) and 99%/1% for the §VII use cases (~16.6k).
+func SampleSize(population uint64, confidence, margin float64) int {
+	if population == 0 {
+		return 0
+	}
+	n := float64(population)
+	z := zScore(confidence)
+	p := 0.5
+	num := n
+	den := 1 + margin*margin*(n-1)/(z*z*p*(1-p))
+	size := int(math.Ceil(num / den))
+	if size < 1 {
+		size = 1
+	}
+	if uint64(size) > population {
+		size = int(population)
+	}
+	return size
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator; 0 when
+// fewer than two points).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// ProportionCI returns the half-width of the normal-approximation confidence
+// interval for an observed proportion p over n trials.
+func ProportionCI(p float64, n int, confidence float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return zScore(confidence) * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// SolveRidge solves (X'X + lambda*I) beta = X'y by Gaussian elimination with
+// partial pivoting. X is row-major n×k; y has length n. lambda = 0 gives
+// ordinary least squares. An intercept column must be included by the caller
+// if desired.
+func SolveRidge(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: bad dimensions n=%d len(y)=%d", n, len(y))
+	}
+	k := len(x[0])
+	for i, row := range x {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: ragged row %d", i)
+		}
+	}
+	// Normal equations.
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for i := 0; i < k; i++ {
+		a[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += x[r][i] * x[r][j]
+			}
+			a[i][j] = s
+		}
+		a[i][i] += lambda
+		var s float64
+		for r := 0; r < n; r++ {
+			s += x[r][i] * y[r]
+		}
+		b[i] = s
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system at column %d (increase lambda)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	beta := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < k; c++ {
+			s -= a[r][c] * beta[c]
+		}
+		beta[r] = s / a[r][r]
+	}
+	return beta, nil
+}
+
+// RSquared computes the coefficient of determination of predictions yhat
+// against observations y.
+func RSquared(y, yhat []float64) float64 {
+	if len(y) == 0 || len(y) != len(yhat) {
+		return 0
+	}
+	m := Mean(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+		ssTot += (y[i] - m) * (y[i] - m)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Clamp01 clips v to [0, 1] — predicted success rates are probabilities.
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

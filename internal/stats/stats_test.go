@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSizePaperValues(t *testing.T) {
+	// Leveugle et al.: for large populations, 95%/3% needs ~1067 tests and
+	// 99%/1% needs ~16.6k — the two settings the paper uses (§IV-C, §VII).
+	n95 := SampleSize(100_000_000, 0.95, 0.03)
+	if n95 < 1050 || n95 > 1080 {
+		t.Errorf("95%%/3%% sample size = %d, want ~1067", n95)
+	}
+	n99 := SampleSize(100_000_000, 0.99, 0.01)
+	if n99 < 16000 || n99 > 17000 {
+		t.Errorf("99%%/1%% sample size = %d, want ~16.6k", n99)
+	}
+}
+
+func TestSampleSizeSmallPopulation(t *testing.T) {
+	if got := SampleSize(10, 0.95, 0.03); got > 10 {
+		t.Errorf("sample size %d exceeds population 10", got)
+	}
+	if got := SampleSize(0, 0.95, 0.03); got != 0 {
+		t.Errorf("empty population gives %d", got)
+	}
+	if got := SampleSize(1, 0.95, 0.03); got != 1 {
+		t.Errorf("population 1 gives %d", got)
+	}
+}
+
+func TestSampleSizeMonotoneInMargin(t *testing.T) {
+	f := func(popSeed uint32) bool {
+		pop := uint64(popSeed)%1_000_000 + 1000
+		loose := SampleSize(pop, 0.95, 0.05)
+		tight := SampleSize(pop, 0.95, 0.01)
+		return tight >= loose
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138089935299395) > 1e-12 {
+		t.Errorf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("degenerate inputs mishandled")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	w := ProportionCI(0.5, 1067, 0.95)
+	if w < 0.029 || w > 0.031 {
+		t.Errorf("CI half width = %v, want ~0.03", w)
+	}
+	if ProportionCI(0.5, 0, 0.95) != 1 {
+		t.Error("zero trials should give trivial CI")
+	}
+}
+
+func TestSolveRidgeExact(t *testing.T) {
+	// y = 3 + 2*x, with intercept column.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	beta, err := SolveRidge(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-3) > 1e-9 || math.Abs(beta[1]-2) > 1e-9 {
+		t.Errorf("beta = %v, want [3 2]", beta)
+	}
+}
+
+func TestSolveRidgeMultivariate(t *testing.T) {
+	// y = 1 + 2a - 3b
+	var x [][]float64
+	var y []float64
+	for a := 0.0; a < 4; a++ {
+		for b := 0.0; b < 4; b++ {
+			x = append(x, []float64{1, a, b})
+			y = append(y, 1+2*a-3*b)
+		}
+	}
+	beta, err := SolveRidge(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 1e-9 {
+			t.Errorf("beta = %v, want %v", beta, want)
+		}
+	}
+}
+
+func TestSolveRidgeShrinks(t *testing.T) {
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	b0, _ := SolveRidge(x, y, 0)
+	b1, err := SolveRidge(x, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b1[1]) >= math.Abs(b0[1]) {
+		t.Errorf("ridge should shrink slope: %v vs %v", b1[1], b0[1])
+	}
+}
+
+func TestSolveRidgeSingular(t *testing.T) {
+	// Duplicate columns: OLS singular; ridge must succeed.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	if _, err := SolveRidge(x, y, 0); err == nil {
+		t.Error("OLS on collinear columns should fail")
+	}
+	if _, err := SolveRidge(x, y, 0.1); err != nil {
+		t.Errorf("ridge on collinear columns should succeed: %v", err)
+	}
+}
+
+func TestSolveRidgeBadInput(t *testing.T) {
+	if _, err := SolveRidge(nil, nil, 0); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := SolveRidge([][]float64{{1, 2}, {1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged input should fail")
+	}
+	if _, err := SolveRidge([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("mismatched y should fail")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := RSquared(y, y); r != 1 {
+		t.Errorf("perfect fit R2 = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(y, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean predictor R2 = %v, want 0", r)
+	}
+	if r := RSquared(nil, nil); r != 0 {
+		t.Errorf("empty R2 = %v", r)
+	}
+	if r := RSquared([]float64{2, 2}, []float64{2, 2}); r != 1 {
+		t.Errorf("constant exact fit R2 = %v, want 1", r)
+	}
+	if r := RSquared([]float64{2, 2}, []float64{1, 3}); r != 0 {
+		t.Errorf("constant bad fit R2 = %v, want 0", r)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-0.5) != 0 || Clamp01(1.5) != 1 || Clamp01(0.3) != 0.3 {
+		t.Error("Clamp01 wrong")
+	}
+}
+
+func TestZScoreLevels(t *testing.T) {
+	prev := 0.0
+	for _, c := range []float64{0.5, 0.90, 0.95, 0.98, 0.99, 0.999} {
+		z := zScore(c)
+		if z <= prev {
+			t.Errorf("zScore not increasing at %v: %v <= %v", c, z, prev)
+		}
+		prev = z
+	}
+}

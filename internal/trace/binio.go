@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"fliptracker/internal/ir"
+)
+
+// Compact binary trace codec — the reproduction's take on the trace
+// compression the paper points at for large traces (§IV-A, refs [26][27]).
+// Dynamic steps and static ids are delta-encoded as varints, locations and
+// region ids as varints, and operand values as raw 8-byte words (they are
+// mostly incompressible doubles). Typically several times smaller than the
+// gob encoding before gzip, and far faster to decode.
+
+const binMagic = "FTRC1\n"
+
+type binWriter struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (bw *binWriter) uvarint(v uint64) error {
+	n := binary.PutUvarint(bw.buf[:], v)
+	_, err := bw.w.Write(bw.buf[:n])
+	return err
+}
+
+func (bw *binWriter) word(v ir.Word) error {
+	binary.LittleEndian.PutUint64(bw.buf[:8], uint64(v))
+	_, err := bw.w.Write(bw.buf[:8])
+	return err
+}
+
+func (bw *binWriter) str(s string) error {
+	if err := bw.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.w.WriteString(s)
+	return err
+}
+
+// WriteBinary serializes the trace in the compact binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := bw.w.WriteString(binMagic); err != nil {
+		return err
+	}
+	if err := bw.str(t.ProgName); err != nil {
+		return err
+	}
+	if err := bw.str(t.FaultNote); err != nil {
+		return err
+	}
+	if err := bw.uvarint(uint64(t.Status)); err != nil {
+		return err
+	}
+	if err := bw.uvarint(t.Steps); err != nil {
+		return err
+	}
+	if err := bw.uvarint(uint64(len(t.Output))); err != nil {
+		return err
+	}
+	for _, o := range t.Output {
+		flags := uint64(o.Typ)
+		if o.Sci6 {
+			flags |= 2
+		}
+		if err := bw.uvarint(flags); err != nil {
+			return err
+		}
+		if err := bw.word(o.Val); err != nil {
+			return err
+		}
+	}
+	if err := bw.uvarint(uint64(len(t.Recs))); err != nil {
+		return err
+	}
+	var prevStep, prevSID uint64
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		// Header byte: op. Flags byte: type, taken, nsrc, has-region.
+		flags := uint64(r.Typ) // bit 0
+		if r.Taken {
+			flags |= 1 << 1
+		}
+		flags |= uint64(r.NSrc) << 2 // bits 2-3
+		if r.RegionID >= 0 {
+			flags |= 1 << 4
+		}
+		if err := bw.uvarint(uint64(r.Op)); err != nil {
+			return err
+		}
+		if err := bw.uvarint(flags); err != nil {
+			return err
+		}
+		if err := bw.uvarint(r.Step - prevStep); err != nil {
+			return err
+		}
+		prevStep = r.Step
+		if err := bw.uvarint(zigzag(int64(r.SID) - int64(prevSID))); err != nil {
+			return err
+		}
+		prevSID = uint64(r.SID)
+		if r.RegionID >= 0 {
+			if err := bw.uvarint(uint64(r.RegionID)); err != nil {
+				return err
+			}
+		}
+		if err := bw.uvarint(uint64(r.Dst)); err != nil {
+			return err
+		}
+		if r.Dst != 0 {
+			if err := bw.word(r.DstVal); err != nil {
+				return err
+			}
+		}
+		for s := 0; s < int(r.NSrc); s++ {
+			if err := bw.uvarint(uint64(r.Src[s])); err != nil {
+				return err
+			}
+			if err := bw.word(r.SrcVal[s]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.w.Flush()
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(binMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	rd := func() (uint64, error) { return binary.ReadUvarint(br) }
+	rstr := func() (string, error) {
+		n, err := rd()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: string too long (%d)", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	rword := func() (ir.Word, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return ir.Word(binary.LittleEndian.Uint64(b[:])), nil
+	}
+
+	t := &Trace{}
+	var err error
+	if t.ProgName, err = rstr(); err != nil {
+		return nil, err
+	}
+	if t.FaultNote, err = rstr(); err != nil {
+		return nil, err
+	}
+	st, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	t.Status = RunStatus(st)
+	if t.Steps, err = rd(); err != nil {
+		return nil, err
+	}
+	nOut, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	if nOut > 1<<30 {
+		return nil, fmt.Errorf("trace: output count %d too large", nOut)
+	}
+	t.Output = make([]OutVal, nOut)
+	for i := range t.Output {
+		flags, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		t.Output[i].Typ = ir.Type(flags & 1)
+		t.Output[i].Sci6 = flags&2 != 0
+		if t.Output[i].Val, err = rword(); err != nil {
+			return nil, err
+		}
+	}
+	nRecs, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	if nRecs > 1<<34 {
+		return nil, fmt.Errorf("trace: record count %d too large", nRecs)
+	}
+	t.Recs = make([]Rec, nRecs)
+	var prevStep uint64
+	var prevSID int64
+	for i := range t.Recs {
+		rc := &t.Recs[i]
+		op, err := rd()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		rc.Op = ir.Opcode(op)
+		flags, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		rc.Typ = ir.Type(flags & 1)
+		rc.Taken = flags&(1<<1) != 0
+		rc.NSrc = uint8((flags >> 2) & 3)
+		hasRegion := flags&(1<<4) != 0
+		rc.RegionID = -1
+		dStep, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		prevStep += dStep
+		rc.Step = prevStep
+		dSID, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		prevSID += unzigzag(dSID)
+		rc.SID = int32(prevSID)
+		if hasRegion {
+			rid, err := rd()
+			if err != nil {
+				return nil, err
+			}
+			rc.RegionID = int32(rid)
+		}
+		dst, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		rc.Dst = Loc(dst)
+		if rc.Dst != 0 {
+			if rc.DstVal, err = rword(); err != nil {
+				return nil, err
+			}
+		}
+		for s := 0; s < int(rc.NSrc); s++ {
+			src, err := rd()
+			if err != nil {
+				return nil, err
+			}
+			rc.Src[s] = Loc(src)
+			if rc.SrcVal[s], err = rword(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// WriteBinaryFile writes the compact binary format to a path.
+func (t *Trace) WriteBinaryFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a compact binary trace from a path.
+func ReadBinaryFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

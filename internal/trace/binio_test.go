@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fliptracker/internal/ir"
+)
+
+func randomRec(rng *rand.Rand, step uint64) Rec {
+	r := Rec{
+		SID:      int32(rng.Intn(5000)),
+		Op:       ir.Opcode(rng.Intn(30)),
+		Typ:      ir.Type(rng.Intn(2)),
+		RegionID: -1,
+		Step:     step,
+		NSrc:     uint8(rng.Intn(3)),
+		Taken:    rng.Intn(2) == 1,
+	}
+	if rng.Intn(4) > 0 {
+		r.Dst = MemLoc(int64(rng.Intn(100000)))
+		r.DstVal = ir.F64Word(rng.NormFloat64())
+	}
+	for s := 0; s < int(r.NSrc); s++ {
+		r.Src[s] = RegLoc(uint64(rng.Intn(50)), ir.Reg(rng.Intn(200)))
+		r.SrcVal[s] = ir.I64Word(rng.Int63())
+	}
+	if rng.Intn(10) == 0 {
+		r.RegionID = int32(rng.Intn(8))
+	}
+	return r
+}
+
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Trace{
+		ProgName:  "random",
+		FaultNote: "flip bit 3 of dst at step 42",
+		Status:    RunStatus(rng.Intn(3)),
+		Steps:     uint64(n * 2),
+	}
+	step := uint64(0)
+	for i := 0; i < n; i++ {
+		step += uint64(rng.Intn(3) + 1)
+		t.Recs = append(t.Recs, randomRec(rng, step))
+	}
+	for i := 0; i < 4; i++ {
+		t.Output = append(t.Output, OutVal{Val: ir.F64Word(rng.NormFloat64()), Typ: ir.F64, Sci6: i%2 == 0})
+	}
+	return t
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := randomTrace(1, 500)
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgName != orig.ProgName || got.FaultNote != orig.FaultNote ||
+		got.Status != orig.Status || got.Steps != orig.Steps {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Recs) != len(orig.Recs) {
+		t.Fatalf("record count %d vs %d", len(got.Recs), len(orig.Recs))
+	}
+	for i := range got.Recs {
+		if got.Recs[i] != orig.Recs[i] {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got.Recs[i], orig.Recs[i])
+		}
+	}
+	for i := range got.Output {
+		if got.Output[i] != orig.Output[i] {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		orig := randomTrace(seed, 80)
+		var buf bytes.Buffer
+		if err := orig.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Recs) != len(orig.Recs) {
+			return false
+		}
+		for i := range got.Recs {
+			if got.Recs[i] != orig.Recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	orig := randomTrace(7, 200)
+	path := filepath.Join(t.TempDir(), "t.ftrc")
+	if err := orig.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Recs) != len(orig.Recs) {
+		t.Fatalf("record count mismatch")
+	}
+	if _, err := ReadBinaryFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a trace at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated valid prefix.
+	orig := randomTrace(3, 50)
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag(%d) round trip = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package trace defines the dynamic instruction trace that the interpreter
+// (package interp) produces and every FlipTracker analysis consumes. A trace
+// is the Go analog of the LLVM-Tracer output in the paper (§IV-A): one record
+// per executed instruction carrying the instruction type, the source and
+// destination locations, and the operand values, plus region markers that
+// delineate code-region instances for trace splitting.
+package trace
+
+import (
+	"fmt"
+
+	"fliptracker/internal/ir"
+)
+
+// Loc names a dynamic data location: a register in a specific dynamic call
+// frame, a memory word, or an output slot. The paper uses "location" for
+// exactly this union ("since a variable value can be either in a register
+// location or in a memory location, we use the term location to cover both",
+// §III-C). Encoded in one uint64 so ACL tables and taint sets can be flat
+// map[Loc] structures.
+type Loc uint64
+
+// LocKind discriminates the three location classes.
+type LocKind uint8
+
+const (
+	// LocNone is the zero Loc, meaning "no location".
+	LocNone LocKind = iota
+	// LocReg is a virtual register qualified by its dynamic frame id.
+	LocReg
+	// LocMem is a word of program memory.
+	LocMem
+	// LocOut is a slot of the program's emitted output.
+	LocOut
+)
+
+const (
+	kindShift   = 62
+	frameBits   = 40
+	regBits     = 22
+	regMask     = 1<<regBits - 1
+	payloadMask = 1<<kindShift - 1
+)
+
+// RegLoc builds a register location for register r in dynamic frame f.
+func RegLoc(frame uint64, r ir.Reg) Loc {
+	if r < 0 {
+		return 0
+	}
+	return Loc(uint64(LocReg)<<kindShift | (frame&(1<<frameBits-1))<<regBits | uint64(r)&regMask)
+}
+
+// MemLoc builds a memory location for word address addr.
+func MemLoc(addr int64) Loc {
+	return Loc(uint64(LocMem)<<kindShift | uint64(addr)&payloadMask)
+}
+
+// OutLoc builds an output-slot location for output index i.
+func OutLoc(i int) Loc {
+	return Loc(uint64(LocOut)<<kindShift | uint64(i)&payloadMask)
+}
+
+// Kind returns the location class.
+func (l Loc) Kind() LocKind { return LocKind(l >> kindShift) }
+
+// Frame returns the dynamic frame id of a register location.
+func (l Loc) Frame() uint64 { return (uint64(l) & payloadMask) >> regBits }
+
+// Reg returns the register index of a register location.
+func (l Loc) Reg() ir.Reg { return ir.Reg(uint64(l) & regMask) }
+
+// Addr returns the word address of a memory location.
+func (l Loc) Addr() int64 { return int64(uint64(l) & payloadMask) }
+
+// OutIndex returns the output slot index of an output location.
+func (l Loc) OutIndex() int { return int(uint64(l) & payloadMask) }
+
+// IsMem reports whether the location is program memory.
+func (l Loc) IsMem() bool { return l.Kind() == LocMem }
+
+// String renders the location for reports, e.g. "mem[1043]", "f12:r3",
+// "out[2]".
+func (l Loc) String() string {
+	switch l.Kind() {
+	case LocReg:
+		return fmt.Sprintf("f%d:r%d", l.Frame(), l.Reg())
+	case LocMem:
+		return fmt.Sprintf("mem[%d]", l.Addr())
+	case LocOut:
+		return fmt.Sprintf("out[%d]", l.OutIndex())
+	default:
+		return "<none>"
+	}
+}
+
+// Describe renders the location with global-array names resolved against a
+// program, e.g. "u[13]" instead of "mem[1043]".
+func Describe(l Loc, p *ir.Program) string {
+	if l.Kind() == LocMem && p != nil {
+		if g, ok := p.GlobalAt(l.Addr()); ok {
+			return fmt.Sprintf("%s[%d]", g.Name, l.Addr()-g.Addr)
+		}
+	}
+	return l.String()
+}
