@@ -18,6 +18,7 @@ import (
 	"fliptracker/internal/acl"
 	"fliptracker/internal/dddg"
 	"fliptracker/internal/experiments"
+	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/trace"
 )
@@ -222,6 +223,58 @@ func BenchmarkFaultInjectionRun(b *testing.B) {
 		m.Fault = &interp.Fault{Step: clean.Steps / 2, Bit: uint8(i % 64), Kind: interp.FaultDst}
 		if _, err := m.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointedCampaign runs the same campaign under the direct
+// (replay-from-step-0) scheduler and the checkpointed scheduler. Both halves
+// report the whole-campaign wall clock per injection; results are verified
+// identical. "uniform" draws faults across the whole run (win bounded by the
+// mean prefix length, ~2x); "late-window" clusters faults in the last tenth
+// of the run, the shape of region-instance campaigns, where nearly the whole
+// prefix is shared.
+func BenchmarkCheckpointedCampaign(b *testing.B) {
+	an, clean := cleanCG(b)
+	const tests = 48
+	run := func(b *testing.B, targets inject.TargetPicker, sched fliptracker.SchedulerKind) fliptracker.CampaignResult {
+		b.Helper()
+		res, err := fliptracker.RunCampaign(fliptracker.CampaignSpec{
+			MakeMachine: an.App.NewMachine,
+			Verify:      an.App.Verify,
+			Targets:     targets,
+			Tests:       tests,
+			Seed:        20181111,
+			Scheduler:   sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for _, pop := range []struct {
+		name    string
+		targets inject.TargetPicker
+	}{
+		{"uniform", inject.UniformDst{TotalSteps: clean.Steps}},
+		{"late-window", inject.StepRangeDst{Lo: clean.Steps - clean.Steps/10, Hi: clean.Steps}},
+	} {
+		var direct, checkpointed fliptracker.CampaignResult
+		b.Run(pop.name+"/direct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				direct = run(b, pop.targets, fliptracker.ScheduleDirect)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tests), "ns/injection")
+		})
+		b.Run(pop.name+"/checkpointed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				checkpointed = run(b, pop.targets, fliptracker.ScheduleCheckpointed)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tests), "ns/injection")
+		})
+		// Zero Tests means a -bench filter skipped that half's closure.
+		if direct.Tests != 0 && checkpointed.Tests != 0 && direct != checkpointed {
+			b.Fatalf("%s: schedulers disagree: %+v vs %+v", pop.name, direct, checkpointed)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fliptracker/internal/experiments"
+	"fliptracker/internal/inject"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	ranks := flag.Int("ranks", 8, "MPI world size for fig4 (paper: 64)")
 	runs := flag.Int("runs", 5, "timing repetitions for tab3 (paper: 20)")
 	seed := flag.Int64("seed", 20181111, "campaign seed")
+	direct := flag.Bool("direct", false, "replay every injection from step 0 instead of the checkpointed scheduler (same results, slower)")
 	fig7Data := flag.String("fig7data", "", "also write the Figure 7 ACL series as a gnuplot data file")
 	flag.Parse()
 
@@ -34,6 +36,9 @@ func main() {
 	opts.Ranks = *ranks
 	opts.Runs = *runs
 	opts.Seed = *seed
+	if *direct {
+		opts.Scheduler = inject.ScheduleDirect
+	}
 
 	ids := experiments.IDs()
 	if *exp != "all" {

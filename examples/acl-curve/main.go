@@ -2,6 +2,9 @@
 // fault into LULESH's hourglass-force temporaries and plot (as ASCII) how
 // the number of alive corrupted locations rises while the corruption
 // spreads through hourgam/hxx/hgfz and collapses when the temporaries die.
+//
+// Reproduces: Figure 7 / §III-C (alive corrupted locations) and §VI-A (the
+// dead-corrupted-locations pattern in LULESH).
 package main
 
 import (

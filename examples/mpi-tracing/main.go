@@ -3,6 +3,9 @@
 // one rank, collect one trace file per MPI process, and verify that
 // record-and-replay reproduces wildcard-receive order (§V-B's answer to MPI
 // nondeterminism).
+//
+// Reproduces: §IV-A (per-process trace collection) and §V-B (deterministic
+// replay of MPI nondeterminism), the substrate behind Figure 4.
 package main
 
 import (

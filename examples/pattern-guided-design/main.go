@@ -4,6 +4,9 @@
 // copy-back (dead corrupted locations + data overwriting), and a window of
 // the p·q dot product is computed in 32-bit integers (truncation). The
 // campaign shows the resilience gain at (nearly) no runtime cost.
+//
+// Reproduces: Use Case 1, §VII-A / Table III (resilience-aware application
+// design guided by the §VI patterns).
 package main
 
 import (

@@ -3,6 +3,9 @@
 // instances in a single fault-free trace and predict the application's
 // success rate with a Bayesian linear regression trained on the other
 // benchmarks.
+//
+// Reproduces: Use Case 2, §VII-B / Table IV (pattern-based success-rate
+// prediction with leave-one-out validation).
 package main
 
 import (

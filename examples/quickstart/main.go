@@ -1,6 +1,9 @@
 // Quickstart: trace a workload, inject one bit flip, and see how FlipTracker
 // explains what happened to it — the end-to-end pipeline of the paper's
 // Figure 1 in ~50 lines.
+//
+// Reproduces: Figure 1 / §III (the FlipTracker analysis pipeline: code
+// regions, fault injection, DDDG + ACL analysis, pattern extraction).
 package main
 
 import (

@@ -2,6 +2,9 @@
 // isolated fault injection campaigns per code region, separating faults on
 // a region's *input* locations (flipped at region entry) from faults on its
 // *internal* computation.
+//
+// Reproduces: Figure 5 / §V-C (per-region success rates, input vs internal
+// populations), using §III-B's isolated region injections.
 package main
 
 import (

@@ -61,6 +61,20 @@ type (
 	CampaignResult = inject.Result
 	// Outcome is one fault manifestation (§II-A).
 	Outcome = inject.Outcome
+	// SchedulerKind selects the campaign execution strategy.
+	SchedulerKind = inject.SchedulerKind
+	// MachineSnapshot is a deep copy of a paused machine's resumable state.
+	MachineSnapshot = interp.Snapshot
+)
+
+// Campaign schedulers (CampaignSpec.Scheduler, Analyzer.Scheduler).
+const (
+	// ScheduleCheckpointed shares fault-free prefix work across injections
+	// via machine snapshots; the default, and result-identical to
+	// ScheduleDirect for a fixed seed.
+	ScheduleCheckpointed = inject.ScheduleCheckpointed
+	// ScheduleDirect replays every injection run from dynamic step 0.
+	ScheduleDirect = inject.ScheduleDirect
 )
 
 // Fault target kinds.
@@ -136,6 +150,9 @@ type (
 	App = apps.App
 	// Program is a sealed IR module.
 	Program = ir.Program
+	// Machine executes one sealed program; it can pause at any dynamic
+	// step (RunUntil), be snapshotted, and resume from a restored state.
+	Machine = interp.Machine
 )
 
 // NewAnalyzer builds the pipeline for a registered application ("cg", "mg",
@@ -151,6 +168,13 @@ func GetApp(name string) (*App, bool) { return apps.Get(name) }
 
 // RunCampaign executes a fault-injection campaign.
 func RunCampaign(spec CampaignSpec) (CampaignResult, error) { return inject.Run(spec) }
+
+// RestoreMachine builds a new machine positioned at a snapshot taken from a
+// paused run of the same sealed program (Machine.RunUntil + Snapshot). Host
+// functions must be rebound before resuming.
+func RestoreMachine(p *Program, s *MachineSnapshot) (*Machine, error) {
+	return interp.RestoreMachine(p, s)
+}
 
 // UniformDstPicker targets the result of a uniformly chosen dynamic
 // instruction across a run of the given length — the standard whole-program

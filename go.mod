@@ -1,0 +1,3 @@
+module fliptracker
+
+go 1.24

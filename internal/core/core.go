@@ -24,6 +24,13 @@ type Analyzer struct {
 	App  *apps.App
 	Prog *ir.Program
 
+	// Scheduler selects the campaign execution strategy for
+	// RegionCampaign, WholeProgramCampaign and HybridCampaign. The zero
+	// value is inject.ScheduleCheckpointed, which shares fault-free prefix
+	// work across injections; inject.ScheduleDirect replays every run from
+	// step 0. Results are identical for a fixed seed either way.
+	Scheduler inject.SchedulerKind
+
 	cleanOnce sync.Once
 	clean     *trace.Trace
 	cleanErr  error
@@ -329,6 +336,7 @@ func (an *Analyzer) RegionCampaign(name string, instance int, target string, tes
 		Targets:     picker,
 		Tests:       tests,
 		Seed:        seed,
+		Scheduler:   an.Scheduler,
 	})
 }
 
@@ -345,6 +353,7 @@ func (an *Analyzer) WholeProgramCampaign(tests int, seed int64) (inject.Result, 
 		Targets:     inject.UniformDst{TotalSteps: clean.Steps},
 		Tests:       tests,
 		Seed:        seed,
+		Scheduler:   an.Scheduler,
 	})
 }
 
@@ -364,7 +373,8 @@ func (an *Analyzer) HybridCampaign(tests int, seed int64) (inject.Result, error)
 			inject.UniformDst{TotalSteps: clean.Steps},
 			inject.UniformMem{TotalSteps: clean.Steps, FirstAddr: 1, LastAddr: an.Prog.MemWords},
 		}},
-		Tests: tests,
-		Seed:  seed,
+		Tests:     tests,
+		Seed:      seed,
+		Scheduler: an.Scheduler,
 	})
 }

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"fliptracker/internal/inject"
+)
+
+// TestCampaignSchedulerEquivalence pins the wiring guarantee: for a fixed
+// seed, every Analyzer campaign returns the same Result whether it runs
+// under the default checkpointed scheduler or the direct replay scheduler.
+func TestCampaignSchedulerEquivalence(t *testing.T) {
+	run := func(sched inject.SchedulerKind) [3]inject.Result {
+		an := newCG(t)
+		an.Scheduler = sched
+		whole, err := an.WholeProgramCampaign(40, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region, err := an.RegionCampaign("cg_b", 0, "internal", 40, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybrid, err := an.HybridCampaign(40, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [3]inject.Result{whole, region, hybrid}
+	}
+	ck := run(inject.ScheduleCheckpointed)
+	direct := run(inject.ScheduleDirect)
+	for i, name := range []string{"whole-program", "region", "hybrid"} {
+		if ck[i] != direct[i] {
+			t.Errorf("%s campaign: checkpointed %+v vs direct %+v", name, ck[i], direct[i])
+		}
+	}
+}

@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 
+	"fliptracker/internal/core"
+	"fliptracker/internal/inject"
 	"fliptracker/internal/stats"
 )
 
@@ -26,11 +28,25 @@ type Options struct {
 	Ranks int
 	// Runs is the number of timing repetitions for Table III.
 	Runs int
+	// Scheduler selects the injection-campaign execution strategy; the
+	// zero value is the checkpointed scheduler. Campaign results are
+	// scheduler-independent, so this only changes regeneration time.
+	Scheduler inject.SchedulerKind
 }
 
 // DefaultOptions returns quick-mode defaults.
 func DefaultOptions() Options {
 	return Options{Quick: true, Seed: 20181111, Ranks: 8, Runs: 5}
+}
+
+// newAnalyzer builds an analyzer with the options' campaign scheduler.
+func (o Options) newAnalyzer(name string) (*core.Analyzer, error) {
+	an, err := core.NewAnalyzer(name)
+	if err != nil {
+		return nil, err
+	}
+	an.Scheduler = o.Scheduler
+	return an, nil
 }
 
 // campaignTests picks the number of injections per target.

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"fliptracker/internal/apps"
-	"fliptracker/internal/core"
 )
 
 // Fig5Row is one region's bar pair in Figure 5: success rates for faults on
@@ -32,7 +31,7 @@ type Fig5Result struct {
 func PerRegionSuccessRates(opts Options) (*Fig5Result, error) {
 	res := &Fig5Result{}
 	for _, name := range apps.Fig5Names() {
-		an, err := core.NewAnalyzer(name)
+		an, err := opts.newAnalyzer(name)
 		if err != nil {
 			return nil, err
 		}

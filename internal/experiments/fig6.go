@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"fliptracker/internal/apps"
-	"fliptracker/internal/core"
 )
 
 // Fig6Row is one iteration's bar pair in Figure 6.
@@ -29,7 +28,7 @@ type Fig6Result struct {
 func PerIterationSuccessRates(opts Options) (*Fig6Result, error) {
 	res := &Fig6Result{}
 	for _, name := range apps.Fig5Names() {
-		an, err := core.NewAnalyzer(name)
+		an, err := opts.newAnalyzer(name)
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"fliptracker/internal/core"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
 	"fliptracker/internal/trace"
@@ -33,7 +32,7 @@ type Fig7Result struct {
 // mirroring the paper's setup; the series shows corruption rising inside
 // LagrangeNodal and collapsing as temporaries die.
 func ACLSeries(opts Options) (*Fig7Result, error) {
-	an, err := core.NewAnalyzer("lulesh")
+	an, err := opts.newAnalyzer("lulesh")
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"fliptracker/internal/apps"
-	"fliptracker/internal/core"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
@@ -42,7 +41,7 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 	}
 	res := &Tab1Result{}
 	for _, name := range apps.Fig5Names() {
-		an, err := core.NewAnalyzer(name)
+		an, err := opts.newAnalyzer(name)
 		if err != nil {
 			return nil, err
 		}

@@ -42,7 +42,7 @@ func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
 	}
 	res := &Tab3Result{}
 	for _, v := range variants {
-		an, err := core.NewAnalyzer(v.name)
+		an, err := opts.newAnalyzer(v.name)
 		if err != nil {
 			return nil, err
 		}
@@ -62,6 +62,7 @@ func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
 			Targets:     picker,
 			Tests:       tests,
 			Seed:        opts.Seed,
+			Scheduler:   opts.Scheduler,
 		})
 		if err != nil {
 			return nil, err

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"fliptracker/internal/apps"
-	"fliptracker/internal/core"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/predict"
 )
@@ -52,7 +51,7 @@ func Prediction(opts Options) (*Tab4Result, error) {
 	var samples []predict.Sample
 	res := &Tab4Result{FeatureNames: patterns.FeatureNames()}
 	for _, name := range apps.TableIVNames() {
-		an, err := core.NewAnalyzer(name)
+		an, err := opts.newAnalyzer(name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,133 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/trace"
+)
+
+// DefaultMaxCheckpoints bounds the prefix snapshots the checkpointed
+// scheduler keeps live when Spec.MaxCheckpoints is 0. Each snapshot deep-
+// copies program memory plus the frame stack, so the bound also caps the
+// scheduler's memory overhead at roughly DefaultMaxCheckpoints full copies
+// of the workload's data.
+const DefaultMaxCheckpoints = 64
+
+// runCheckpointed executes the campaign by sharing fault-free prefix work
+// across injections. For a fault at dynamic step N, the first N steps are
+// identical to the fault-free run; the direct scheduler re-executes them for
+// every injection. Here the pre-drawn faults are sorted by target step, one
+// machine runs the fault-free prefix forward exactly once — pausing to lay
+// checkpoints at adaptive intervals (dense where faults cluster, absent
+// where none land) — and each injection run restores the nearest checkpoint
+// at or before its fault step and resumes from there. Every run then costs
+// restore + (fault step − checkpoint step) + post-fault tail instead of a
+// whole-program replay.
+//
+// Because restored runs are bit-identical to from-scratch runs and the fault
+// stream is drawn before scheduling, the outcomes — and thus the Result —
+// are exactly those of the direct scheduler for the same Seed.
+func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
+	n := len(faults)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if faults[order[a]].Step != faults[order[b]].Step {
+			return faults[order[a]].Step < faults[order[b]].Step
+		}
+		return order[a] < order[b]
+	})
+
+	budget := spec.MaxCheckpoints
+	if budget <= 0 {
+		budget = DefaultMaxCheckpoints
+	}
+	// Spreading the budget over the faulted span caps the per-run replay
+	// distance near span/budget while clustered faults (region-entry
+	// campaigns aim thousands of flips at one step) share one checkpoint.
+	maxStep := faults[order[n-1]].Step
+	interval := maxStep / uint64(budget)
+	if interval == 0 {
+		interval = 1
+	}
+
+	base, err := spec.MakeMachine()
+	if err != nil {
+		return nil, fmt.Errorf("inject: make machine: %w", err)
+	}
+	base.Mode = interp.TraceOff
+
+	var snaps []*interp.Snapshot
+	assign := make([]int, n) // fault index -> snapshot index, -1 = replay from step 0
+	for i := range assign {
+		assign[i] = -1
+	}
+	baseLive := true
+	for _, idx := range order {
+		fstep := faults[idx].Step
+		if baseLive && (len(snaps) == 0 || fstep-snaps[len(snaps)-1].Step() > interval) {
+			paused, err := base.RunUntil(fstep)
+			if err != nil {
+				return nil, fmt.Errorf("inject: checkpoint prefix: %w", err)
+			}
+			if paused {
+				snap, err := base.Snapshot()
+				if err != nil {
+					return nil, fmt.Errorf("inject: checkpoint: %w", err)
+				}
+				snaps = append(snaps, snap)
+			} else {
+				// The fault-free run terminated before this fault's step;
+				// no later checkpoint is reachable. Later faults resume
+				// from the last checkpoint and replay the shared suffix.
+				baseLive = false
+			}
+		}
+		if len(snaps) > 0 {
+			assign[idx] = len(snaps) - 1
+		}
+	}
+
+	outcomes := make([]Outcome, n)
+	err = forEachFault(n, spec.Parallelism, func(i int) error {
+		snapIdx := assign[i]
+		if snapIdx < 0 {
+			o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
+			if err != nil {
+				return err
+			}
+			outcomes[i] = o
+			return nil
+		}
+		m, err := spec.MakeMachine()
+		if err != nil {
+			return fmt.Errorf("inject: make machine: %w", err)
+		}
+		m.Mode = interp.TraceOff
+		f := faults[i]
+		m.Fault = &f
+		var tr *trace.Trace
+		if rerr := m.Restore(snaps[snapIdx]); rerr == nil {
+			tr, err = m.Resume()
+		} else {
+			// Restore can only fail when MakeMachine rebuilds its program
+			// per call, so snapshots cannot be shared; replay this same
+			// (still unstarted) machine from step 0, which is always
+			// correct.
+			tr, err = m.Run()
+		}
+		if err != nil {
+			return fmt.Errorf("inject: injection run: %w", err)
+		}
+		outcomes[i] = classify(m, tr, spec.Verify)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}

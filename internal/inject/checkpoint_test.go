@@ -1,0 +1,186 @@
+package inject
+
+import (
+	"testing"
+
+	"fliptracker/internal/interp"
+)
+
+// runBoth executes the same campaign under both schedulers and requires
+// identical results — the core guarantee of the checkpointed scheduler.
+func runBoth(t *testing.T, spec Spec) Result {
+	t.Helper()
+	spec.Scheduler = ScheduleDirect
+	direct, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Scheduler = ScheduleCheckpointed
+	ck, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != ck {
+		t.Fatalf("schedulers disagree: direct %+v vs checkpointed %+v", direct, ck)
+	}
+	return ck
+}
+
+func TestCheckpointedMatchesDirectUniformDst(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	res := runBoth(t, Spec{
+		MakeMachine: makeMachine(p),
+		Verify:      verifyNear10,
+		Targets:     UniformDst{TotalSteps: steps},
+		Tests:       400,
+		Seed:        1,
+	})
+	if res.Success == 0 || res.Failed == 0 {
+		t.Errorf("expected mixed outcomes: %+v", res)
+	}
+}
+
+func TestCheckpointedMatchesDirectAcrossSeeds(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	for seed := int64(1); seed <= 5; seed++ {
+		runBoth(t, Spec{
+			MakeMachine: makeMachine(p),
+			Verify:      verifyNear10,
+			Targets:     UniformDst{TotalSteps: steps},
+			Tests:       120,
+			Seed:        seed,
+		})
+	}
+}
+
+func TestCheckpointedMatchesDirectMemAtStep(t *testing.T) {
+	// All faults land at one step: the adaptive placement collapses to a
+	// single checkpoint that every run fans out from.
+	p := buildToleranceProg(t)
+	a, _ := p.GlobalByName("a")
+	addrs := make([]int64, a.Words)
+	for i := range addrs {
+		addrs[i] = a.Addr + int64(i)
+	}
+	steps := totalSteps(t, p)
+	runBoth(t, Spec{
+		MakeMachine: makeMachine(p),
+		Verify:      verifyNear10,
+		Targets:     MemAtStep{Step: steps / 2, Addrs: addrs},
+		Tests:       200,
+		Seed:        7,
+	})
+}
+
+func TestCheckpointedCheckpointBudgets(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	spec := Spec{
+		MakeMachine: makeMachine(p),
+		Verify:      verifyNear10,
+		Targets:     UniformDst{TotalSteps: steps},
+		Tests:       150,
+		Seed:        3,
+		Scheduler:   ScheduleDirect,
+	}
+	want, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 2, 16, 10_000} {
+		spec.Scheduler = ScheduleCheckpointed
+		spec.MaxCheckpoints = budget
+		got, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("budget %d: %+v, want %+v", budget, got, want)
+		}
+	}
+}
+
+func TestCheckpointedFaultBeyondProgramEnd(t *testing.T) {
+	// Faults past the program end never fire under either scheduler; the
+	// checkpointed base run terminates before reaching them.
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	res := runBoth(t, Spec{
+		MakeMachine: makeMachine(p),
+		Verify:      verifyNear10,
+		Targets:     StepRangeDst{Lo: steps - 2, Hi: steps + 50},
+		Tests:       60,
+		Seed:        11,
+	})
+	if res.NotApplied == 0 {
+		t.Errorf("expected not-applied faults beyond program end: %+v", res)
+	}
+}
+
+func TestCheckpointedSerialMatchesParallel(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	spec := Spec{
+		MakeMachine: makeMachine(p),
+		Verify:      verifyNear10,
+		Targets:     UniformDst{TotalSteps: steps},
+		Tests:       100,
+		Seed:        42,
+	}
+	spec.Parallelism = 1
+	one, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Parallelism = 8
+	eight, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != eight {
+		t.Errorf("checkpointed results depend on parallelism: %+v vs %+v", one, eight)
+	}
+}
+
+func TestCheckpointedFallbackFreshProgramPerMachine(t *testing.T) {
+	// A MakeMachine that rebuilds its program per call defeats snapshot
+	// sharing (snapshots restore only into the same sealed instance); the
+	// scheduler must fall back to from-scratch replays and still match.
+	steps := totalSteps(t, buildToleranceProg(t))
+	mkFresh := func() (*interp.Machine, error) {
+		p, err := newToleranceProg()
+		if err != nil {
+			return nil, err
+		}
+		m, err := interp.NewMachine(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.BindStandardHosts(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	runBoth(t, Spec{
+		MakeMachine: mkFresh,
+		Verify:      verifyNear10,
+		Targets:     UniformDst{TotalSteps: steps},
+		Tests:       50,
+		Seed:        9,
+	})
+}
+
+func TestSchedulerKindStrings(t *testing.T) {
+	if ScheduleCheckpointed.String() != "checkpointed" || ScheduleDirect.String() != "direct" {
+		t.Errorf("scheduler names: %v %v", ScheduleCheckpointed, ScheduleDirect)
+	}
+	if SchedulerKind(9).String() == "" {
+		t.Error("unknown scheduler should stringify")
+	}
+	var spec Spec
+	if spec.Scheduler != ScheduleCheckpointed {
+		t.Error("zero-value Spec must default to the checkpointed scheduler")
+	}
+}

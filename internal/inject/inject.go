@@ -3,6 +3,11 @@
 // dynamic instructions and operands, with outcomes classified into the three
 // fault manifestations of §II-A (Verification Success, Verification Failed,
 // Crashed) and the success-rate metric of Equation 1.
+//
+// Campaigns run under one of two schedulers with identical results: the
+// default checkpointed scheduler shares fault-free prefix work across
+// injections via machine snapshots (see checkpoint.go), while the direct
+// scheduler replays every run from dynamic step 0.
 package inject
 
 import (
@@ -138,7 +143,35 @@ func (m MemAtStep) Pick(r *rand.Rand) interp.Fault {
 	}
 }
 
-// Spec configures one campaign.
+// SchedulerKind selects how a campaign executes its injection runs.
+type SchedulerKind uint8
+
+const (
+	// ScheduleCheckpointed shares fault-free prefix work across injections:
+	// faults are sorted by target step, prefix checkpoints are laid down at
+	// adaptive intervals by one forward pass, and every injection run
+	// restores from the nearest checkpoint at or before its fault instead
+	// of replaying from dynamic step 0. Results are identical to
+	// ScheduleDirect for the same Seed. This is the default.
+	ScheduleCheckpointed SchedulerKind = iota
+	// ScheduleDirect replays every injection run from dynamic step 0.
+	ScheduleDirect
+)
+
+// String names the scheduler.
+func (k SchedulerKind) String() string {
+	switch k {
+	case ScheduleCheckpointed:
+		return "checkpointed"
+	case ScheduleDirect:
+		return "direct"
+	}
+	return fmt.Sprintf("scheduler(%d)", uint8(k))
+}
+
+// Spec configures one campaign. Campaign runs always execute untraced
+// (machine Mode forced to TraceOff) under every scheduler; Verify must
+// classify from the run's output, not its trace records.
 type Spec struct {
 	// MakeMachine builds a fresh machine per injection (hosts bound,
 	// RNG seeded). Runs must be deterministic apart from the fault.
@@ -151,10 +184,16 @@ type Spec struct {
 	// Tests is the number of injections (see stats.SampleSize).
 	Tests int
 	// Seed makes the campaign reproducible; faults are pre-drawn from a
-	// single stream so results do not depend on Parallelism.
+	// single stream so results do not depend on Parallelism or Scheduler.
 	Seed int64
 	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
 	Parallelism int
+	// Scheduler selects the execution strategy; the zero value is
+	// ScheduleCheckpointed. Outcomes are scheduler-independent.
+	Scheduler SchedulerKind
+	// MaxCheckpoints caps the live prefix snapshots the checkpointed
+	// scheduler keeps; 0 means DefaultMaxCheckpoints.
+	MaxCheckpoints int
 }
 
 // Result aggregates campaign outcomes.
@@ -192,6 +231,8 @@ func (r *Result) Add(o Result) {
 }
 
 // Run executes the campaign: Tests independent runs, each with one fault.
+// The fault population is pre-drawn from a single seeded stream, so for a
+// fixed Seed the Result is identical whatever the Parallelism or Scheduler.
 func Run(spec Spec) (Result, error) {
 	if spec.MakeMachine == nil || spec.Verify == nil || spec.Targets == nil {
 		return Result{}, fmt.Errorf("inject: incomplete spec")
@@ -205,41 +246,15 @@ func Run(spec Spec) (Result, error) {
 		faults[i] = spec.Targets.Pick(rng)
 	}
 
-	workers := spec.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	var outcomes []Outcome
+	var err error
+	if spec.Scheduler == ScheduleDirect {
+		outcomes, err = runDirect(spec, faults)
+	} else {
+		outcomes, err = runCheckpointed(spec, faults)
 	}
-	if workers > spec.Tests {
-		workers = spec.Tests
-	}
-
-	outcomes := make([]Outcome, spec.Tests)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	next := make(chan int, spec.Tests)
-	for i := 0; i < spec.Tests; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range next {
-				o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				outcomes[i] = o
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
-		}
+	if err != nil {
+		return Result{}, err
 	}
 
 	var res Result
@@ -259,7 +274,61 @@ func Run(spec Spec) (Result, error) {
 	return res, nil
 }
 
-// RunOne performs a single injection run and classifies it.
+// runDirect replays every injection run from dynamic step 0.
+func runDirect(spec Spec, faults []interp.Fault) ([]Outcome, error) {
+	outcomes := make([]Outcome, len(faults))
+	err := forEachFault(len(faults), spec.Parallelism, func(i int) error {
+		o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
+		if err != nil {
+			return err
+		}
+		outcomes[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}
+
+// forEachFault fans indices 0..n-1 out over a bounded worker pool.
+func forEachFault(n, parallelism int, do func(i int) error) error {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				if err := do(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne performs a single injection run from step 0 and classifies it.
 func RunOne(mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, f interp.Fault) (Outcome, error) {
 	m, err := mk()
 	if err != nil {
@@ -271,20 +340,25 @@ func RunOne(mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, 
 	if err != nil {
 		return NotApplied, fmt.Errorf("inject: run: %w", err)
 	}
+	return classify(m, tr, verify), nil
+}
+
+// classify maps a finished run to its §II-A fault manifestation.
+func classify(m *interp.Machine, tr *trace.Trace, verify func(*trace.Trace) bool) Outcome {
 	switch tr.Status {
 	case trace.RunCrashed, trace.RunHang:
-		return Crashed, nil
+		return Crashed
 	}
 	if !m.FaultApplied {
 		// The run completed without the fault firing; verify anyway so a
 		// mis-specified target still counts honestly.
 		if verify(tr) {
-			return NotApplied, nil
+			return NotApplied
 		}
-		return Failed, nil
+		return Failed
 	}
 	if verify(tr) {
-		return Success, nil
+		return Success
 	}
-	return Failed, nil
+	return Failed
 }

@@ -15,6 +15,14 @@ import (
 // reachable (address corruption comes from flipping address computations).
 func buildToleranceProg(t *testing.T) *ir.Program {
 	t.Helper()
+	p, err := newToleranceProg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newToleranceProg() (*ir.Program, error) {
 	p := ir.NewProgram("tol")
 	a := p.AllocGlobal("a", 8, ir.F64)
 	b := p.NewFunc("main", 0)
@@ -29,9 +37,9 @@ func buildToleranceProg(t *testing.T) *ir.Program {
 	b.RetVoid()
 	b.Done()
 	if err := p.Seal(); err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	return p
+	return p, nil
 }
 
 func verifyNear10(tr *trace.Trace) bool {

@@ -33,6 +33,12 @@ type HostFn func(m *Machine, args []ir.Word) (ir.Word, error)
 
 // Machine executes one sealed program. A Machine is single-use per Run but
 // cheap to create; campaigns create one per injection.
+//
+// Execution keeps the call stack in explicit frames rather than on the Go
+// stack, so a run can pause between any two dynamic instructions (RunUntil),
+// be deep-copied (Snapshot), and continue from a copied state (Restore +
+// Resume). This is what lets injection campaigns share fault-free prefix
+// work across thousands of runs instead of replaying every run from step 0.
 type Machine struct {
 	Prog *ir.Program
 	Mem  []ir.Word
@@ -61,17 +67,38 @@ type Machine struct {
 	recs   []trace.Rec
 	steps  uint64
 	frames uint64
-	depth  int
 	rng    uint64
 
 	status   trace.RunStatus
 	crashMsg string
 
 	framePool [][]ir.Word
-	ran       bool
+	stack     []frame
+	started   bool
+	finished  bool
+}
+
+// frame is one live activation record on the machine's explicit call stack.
+type frame struct {
+	f    *ir.Function
+	fid  uint64
+	pc   int
+	regs []ir.Word
+	full bool
+	// retFlip/retBit/retStep carry a pending FaultDst across a call: the
+	// fault is drawn at the call instruction's dynamic step but lands on
+	// the value the callee eventually returns. The bit is captured here so
+	// a snapshot taken mid-call resumes identically even on a machine
+	// whose Fault field differs.
+	retFlip bool
+	retBit  uint8
+	retStep uint64
 }
 
 type runTerminated struct{ status trace.RunStatus }
+
+// noPause is a pause point no run reaches (StepLimit fires first).
+const noPause = math.MaxUint64
 
 // NewMachine builds a machine for a sealed program with default limits.
 func NewMachine(p *ir.Program) (*Machine, error) {
@@ -123,18 +150,28 @@ func (m *Machine) crash(format string, args ...any) {
 	panic(runTerminated{trace.RunCrashed})
 }
 
-// Run executes the program to completion (or crash/hang) and returns the
-// trace. The returned trace always carries Status, Steps and Output; Recs is
-// populated according to Mode.
-func (m *Machine) Run() (*trace.Trace, error) {
-	if m.ran {
-		return nil, fmt.Errorf("interp: machine for %q already ran", m.Prog.Name)
-	}
-	m.ran = true
+// fullTrace reports whether f's instructions are recorded under TraceFull.
+func (m *Machine) fullTrace(f *ir.Function) bool {
+	return m.Mode == TraceFull && (m.TraceFuncs == nil || m.TraceFuncs[f.Index])
+}
+
+func (m *Machine) checkHosts() error {
 	for i, h := range m.hosts {
 		if h == nil {
-			return nil, fmt.Errorf("interp: host %q declared but not bound", m.Prog.HostDecls[i].Name)
+			return fmt.Errorf("interp: host %q declared but not bound", m.Prog.HostDecls[i].Name)
 		}
+	}
+	return nil
+}
+
+// start prepares a fresh machine for execution and pushes the entry frame.
+func (m *Machine) start() error {
+	if m.started {
+		return fmt.Errorf("interp: machine for %q already ran", m.Prog.Name)
+	}
+	m.started = true
+	if err := m.checkHosts(); err != nil {
+		return err
 	}
 	m.status = trace.RunOK
 	if m.Mode == TraceFull && m.TraceHint > 0 {
@@ -145,18 +182,64 @@ func (m *Machine) Run() (*trace.Trace, error) {
 		}
 		m.recs = make([]trace.Rec, 0, hint)
 	}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if rt, ok := r.(runTerminated); ok {
-					m.status = rt.status
-					return
-				}
-				panic(r)
-			}
-		}()
-		m.execFunc(m.Prog.Entry, 0, m.grabFrame(m.Prog.Entry.NumRegs))
-	}()
+	entry := m.Prog.Entry
+	m.stack = append(m.stack[:0], frame{
+		f:    entry,
+		regs: m.grabFrame(entry.NumRegs),
+		full: m.fullTrace(entry),
+	})
+	return nil
+}
+
+// Run executes the program to completion (or crash/hang) and returns the
+// trace. The returned trace always carries Status, Steps and Output; Recs is
+// populated according to Mode.
+func (m *Machine) Run() (*trace.Trace, error) {
+	if err := m.start(); err != nil {
+		return nil, err
+	}
+	m.exec(noPause)
+	return m.trace(), nil
+}
+
+// RunUntil executes until the machine is about to execute dynamic step
+// `step` (so Steps() == step and that step has not yet run), or until the
+// program terminates, whichever comes first. It reports whether the machine
+// paused; a paused machine can be Snapshot()ed and continued with Resume or
+// further RunUntil calls. A fresh machine is started on first use.
+func (m *Machine) RunUntil(step uint64) (bool, error) {
+	if m.finished {
+		return false, fmt.Errorf("interp: machine for %q already finished", m.Prog.Name)
+	}
+	if !m.started {
+		if err := m.start(); err != nil {
+			return false, err
+		}
+	} else if err := m.checkHosts(); err != nil {
+		return false, err
+	}
+	return m.exec(step), nil
+}
+
+// Resume runs a paused or restored machine to completion and returns the
+// trace, exactly as Run would have from step 0. Resuming a finished machine
+// just returns its trace again.
+func (m *Machine) Resume() (*trace.Trace, error) {
+	if !m.started {
+		return nil, fmt.Errorf("interp: machine for %q resumed before RunUntil/Restore", m.Prog.Name)
+	}
+	if m.finished {
+		return m.trace(), nil
+	}
+	if err := m.checkHosts(); err != nil {
+		return nil, err
+	}
+	m.exec(noPause)
+	return m.trace(), nil
+}
+
+// trace assembles the run's result trace from the machine state.
+func (m *Machine) trace() *trace.Trace {
 	t := &trace.Trace{
 		ProgName: m.Prog.Name,
 		Recs:     m.recs,
@@ -167,7 +250,28 @@ func (m *Machine) Run() (*trace.Trace, error) {
 	if m.Fault != nil {
 		t.FaultNote = m.Fault.String()
 	}
-	return t, nil
+	return t
+}
+
+// exec advances execution until termination or the pause point, translating
+// crash/hang panics into a final status. Reports whether it paused.
+func (m *Machine) exec(pauseAt uint64) (paused bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt, ok := r.(runTerminated)
+			if !ok {
+				panic(r)
+			}
+			m.status = rt.status
+			m.finished = true
+			paused = false
+		}
+	}()
+	if m.loop(pauseAt) {
+		return true
+	}
+	m.finished = true
+	return false
 }
 
 func (m *Machine) grabFrame(n int) []ir.Word {
@@ -189,18 +293,18 @@ func (m *Machine) releaseFrame(f []ir.Word) {
 	m.framePool = append(m.framePool, f)
 }
 
-// execFunc runs one function body in frame fid with register file regs.
-// Returns the returned word and whether a value was returned.
-func (m *Machine) execFunc(f *ir.Function, fid uint64, regs []ir.Word) (ir.Word, bool) {
-	if m.depth++; m.depth > m.MaxDepth {
-		m.crash("call depth %d exceeded in %s", m.depth, f.Name)
-	}
-	defer func() { m.depth-- }()
-
-	code := f.Code
-	pc := 0
-	full := m.Mode == TraceFull && (m.TraceFuncs == nil || m.TraceFuncs[f.Index])
+// loop is the interpreter core: it executes the top frame instruction by
+// instruction, pushing and popping frames on call/return. It returns true
+// when it paused at pauseAt, false when the entry function returned.
+// The hot frame is mirrored in locals and resynced on call/return/pause.
+func (m *Machine) loop(pauseAt uint64) bool {
+	cur := &m.stack[len(m.stack)-1]
+	f, code, pc, regs, fid, full := cur.f, cur.f.Code, cur.pc, cur.regs, cur.fid, cur.full
 	for {
+		if m.steps >= pauseAt {
+			m.stack[len(m.stack)-1].pc = pc
+			return true
+		}
 		if pc < 0 || pc >= len(code) {
 			m.crash("pc %d out of range in %s", pc, f.Name)
 		}
@@ -339,25 +443,19 @@ func (m *Machine) execFunc(f *ir.Function, fid uint64, regs []ir.Word) (ir.Word,
 					})
 				}
 			}
-			ret, hasRet := m.execFunc(callee, nfid, nregs)
-			m.releaseFrame(nregs)
-			if in.Dst != ir.NoReg && hasRet {
-				v := ret
-				if flipDst {
-					v ^= ir.Word(1) << m.Fault.Bit
-					m.FaultApplied = true
-				}
-				regs[in.Dst] = v
-				if full {
-					m.recs = append(m.recs, trace.Rec{
-						SID: int32(f.Base + pc), Op: ir.OpRet, Typ: in.Type, RegionID: -1, Step: step,
-						Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
-						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(nfid, ir.Reg(0))},
-						SrcVal: [2]ir.Word{ret},
-					})
-				}
+			if len(m.stack) >= m.MaxDepth {
+				m.crash("call depth %d exceeded in %s", len(m.stack)+1, callee.Name)
 			}
-			pc++
+			top := &m.stack[len(m.stack)-1]
+			top.pc = pc
+			top.retFlip = flipDst
+			if flipDst {
+				top.retBit = m.Fault.Bit
+			}
+			top.retStep = step
+			nfull := m.fullTrace(callee)
+			m.stack = append(m.stack, frame{f: callee, fid: nfid, regs: nregs, full: nfull})
+			f, code, pc, regs, fid, full = callee, callee.Code, 0, nregs, nfid, nfull
 			continue
 
 		case ir.OpHost:
@@ -392,10 +490,38 @@ func (m *Machine) execFunc(f *ir.Function, fid uint64, regs []ir.Word) (ir.Word,
 			continue
 
 		case ir.OpRet:
-			if in.A == ir.NoReg {
-				return 0, false
+			var ret ir.Word
+			hasRet := in.A != ir.NoReg
+			if hasRet {
+				ret = regs[in.A]
 			}
-			return regs[in.A], true
+			child := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			m.releaseFrame(child.regs)
+			if len(m.stack) == 0 {
+				return false // entry returned: program complete
+			}
+			top := &m.stack[len(m.stack)-1]
+			cin := &top.f.Code[top.pc]
+			if cin.Dst != ir.NoReg && hasRet {
+				v := ret
+				if top.retFlip {
+					v ^= ir.Word(1) << top.retBit
+					m.FaultApplied = true
+				}
+				top.regs[cin.Dst] = v
+				if top.full {
+					m.recs = append(m.recs, trace.Rec{
+						SID: int32(top.f.Base + top.pc), Op: ir.OpRet, Typ: cin.Type, RegionID: -1, Step: top.retStep,
+						Dst: trace.RegLoc(top.fid, cin.Dst), DstVal: v,
+						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(child.fid, ir.Reg(0))},
+						SrcVal: [2]ir.Word{ret},
+					})
+				}
+			}
+			top.pc++
+			f, code, pc, regs, fid, full = top.f, top.f.Code, top.pc, top.regs, top.fid, top.full
+			continue
 
 		case ir.OpEmit, ir.OpEmitSci6:
 			v := regs[in.A]

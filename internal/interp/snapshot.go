@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"fmt"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// Snapshot is a deep copy of a Machine's complete resumable state, taken at
+// a RunUntil pause point: memory, the explicit frame stack, the RNG, the
+// step counter, emitted output, collected trace records, and run status.
+// Snapshots are immutable once taken, so one snapshot can seed any number of
+// divergent resumed runs (the basis of checkpointed injection campaigns, in
+// the spirit of statistical samplers like FlipIt, §IV-C). Host-function
+// state outside the machine (e.g. MPI channels) is not captured.
+type Snapshot struct {
+	prog *ir.Program
+
+	step       uint64
+	mem        []ir.Word
+	frames     []frameSnap
+	frameCount uint64
+	rng        uint64
+	output     []trace.OutVal
+	recs       []trace.Rec
+	status     trace.RunStatus
+	applied    bool
+}
+
+// frameSnap is one saved activation record; the function is stored by index
+// so a snapshot stays valid across machines sharing the same sealed program.
+type frameSnap struct {
+	fn      int
+	fid     uint64
+	pc      int
+	regs    []ir.Word
+	retFlip bool
+	retBit  uint8
+	retStep uint64
+}
+
+// Step returns the dynamic step the snapshot was taken at: the next
+// instruction a restored machine executes is dynamic step Step.
+func (s *Snapshot) Step() uint64 { return s.step }
+
+// Words returns the approximate size of the snapshot in machine words,
+// useful for budgeting how many checkpoints to keep live.
+func (s *Snapshot) Words() int {
+	n := len(s.mem)
+	for _, f := range s.frames {
+		n += len(f.regs)
+	}
+	return n
+}
+
+// Snapshot deep-copies the machine's resumable state. The machine must be
+// paused at a RunUntil point: not yet started or already finished machines
+// cannot be snapshotted.
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	if !m.started {
+		return nil, fmt.Errorf("interp: snapshot of %q before it started (use RunUntil)", m.Prog.Name)
+	}
+	if m.finished {
+		return nil, fmt.Errorf("interp: snapshot of %q after it finished", m.Prog.Name)
+	}
+	s := &Snapshot{
+		prog:       m.Prog,
+		step:       m.steps,
+		mem:        append([]ir.Word(nil), m.Mem...),
+		frames:     make([]frameSnap, len(m.stack)),
+		frameCount: m.frames,
+		rng:        m.rng,
+		status:     m.status,
+		applied:    m.FaultApplied,
+	}
+	if len(m.output) > 0 {
+		s.output = append([]trace.OutVal(nil), m.output...)
+	}
+	if len(m.recs) > 0 {
+		s.recs = append([]trace.Rec(nil), m.recs...)
+	}
+	for i, fr := range m.stack {
+		s.frames[i] = frameSnap{
+			fn:      fr.f.Index,
+			fid:     fr.fid,
+			pc:      fr.pc,
+			regs:    append([]ir.Word(nil), fr.regs...),
+			retFlip: fr.retFlip,
+			retBit:  fr.retBit,
+			retStep: fr.retStep,
+		}
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into a machine that has not yet run, leaving it
+// paused at the snapshot's step; Resume (or RunUntil) continues from there.
+// The machine must have been built for the same sealed program instance the
+// snapshot came from, with hosts already bound. The snapshot is deep-copied,
+// so many machines can restore from one snapshot and diverge independently
+// (e.g. under different faults). Trace recording follows the restoring
+// machine's Mode from the pause point on; records carried by the snapshot
+// (if it was taken from a tracing run) are kept.
+func (m *Machine) Restore(s *Snapshot) error {
+	if m.started {
+		return fmt.Errorf("interp: restore into machine for %q after it ran", m.Prog.Name)
+	}
+	if err := m.checkHosts(); err != nil {
+		return err
+	}
+	return m.restore(s)
+}
+
+// RestoreMachine builds a new machine for the snapshot's program positioned
+// at the snapshot, with default limits. Host functions are unbound, exactly
+// as after NewMachine: rebind them before resuming (binding does not disturb
+// restored state — host state lives outside the snapshot, and unbound hosts
+// are caught at Resume/RunUntil).
+func RestoreMachine(p *ir.Program, s *Snapshot) (*Machine, error) {
+	m, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.restore(s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// restore copies snapshot state into a not-yet-started machine.
+func (m *Machine) restore(s *Snapshot) error {
+	if m.Prog != s.prog {
+		return fmt.Errorf("interp: snapshot of program %q does not match machine program %q (snapshots only restore into the same sealed program instance)",
+			s.prog.Name, m.Prog.Name)
+	}
+	m.started = true
+	m.status = s.status
+	m.steps = s.step
+	m.frames = s.frameCount
+	m.rng = s.rng
+	m.FaultApplied = s.applied
+	copy(m.Mem, s.mem)
+	m.output = nil
+	if len(s.output) > 0 {
+		m.output = append([]trace.OutVal(nil), s.output...)
+	}
+	m.recs = nil
+	if len(s.recs) > 0 {
+		m.recs = append([]trace.Rec(nil), s.recs...)
+	}
+	m.stack = m.stack[:0]
+	for _, fs := range s.frames {
+		f := m.Prog.Funcs[fs.fn]
+		m.stack = append(m.stack, frame{
+			f:       f,
+			fid:     fs.fid,
+			pc:      fs.pc,
+			regs:    append([]ir.Word(nil), fs.regs...),
+			full:    m.fullTrace(f),
+			retFlip: fs.retFlip,
+			retBit:  fs.retBit,
+			retStep: fs.retStep,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package interp
+
+import (
+	"reflect"
+	"testing"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// buildSnapProg builds a program exercising calls, loops, memory, the RNG
+// host and output — every piece of state a snapshot must capture.
+func buildSnapProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram("snap")
+	g := p.AllocGlobal("g", 16, ir.F64)
+
+	h := p.NewFunc("helper", 1)
+	x := h.Arg(0)
+	r := h.Host(HostRand01, 0, true)
+	h.Ret(h.FAdd(h.FMul(x, h.ConstF(2)), r))
+	h.Done()
+
+	b := p.NewFunc("main", 0)
+	for i := int64(0); i < 16; i++ {
+		b.StoreGI(g, i, b.ConstF(float64(i)*0.5))
+	}
+	acc := b.ConstF(0)
+	b.ForI(0, 16, func(i ir.Reg) {
+		v := b.LoadG(g, i)
+		w := b.Call("helper", v)
+		b.BinTo(ir.OpFAdd, acc, acc, w)
+		b.StoreG(g, i, w)
+	})
+	b.Emit(ir.F64, acc)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func snapMachine(t *testing.T, p *ir.Program) *Machine {
+	t.Helper()
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindStandardHosts(); err != nil {
+		t.Fatal(err)
+	}
+	m.SeedRNG(99)
+	return m
+}
+
+// runDirect runs the program from scratch in the given mode with an
+// optional fault.
+func runDirect(t *testing.T, p *ir.Program, mode TraceMode, f *Fault) (*Machine, *trace.Trace) {
+	t.Helper()
+	m := snapMachine(t, p)
+	m.Mode = mode
+	m.Fault = f
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tr
+}
+
+func sameTrace(t *testing.T, label string, got, want *trace.Trace) {
+	t.Helper()
+	if got.Status != want.Status {
+		t.Errorf("%s: status = %v, want %v", label, got.Status, want.Status)
+	}
+	if got.Steps != want.Steps {
+		t.Errorf("%s: steps = %d, want %d", label, got.Steps, want.Steps)
+	}
+	if !reflect.DeepEqual(got.Output, want.Output) {
+		t.Errorf("%s: output differs: %v vs %v", label, got.Output, want.Output)
+	}
+	if !reflect.DeepEqual(got.Recs, want.Recs) {
+		t.Errorf("%s: trace records differ (%d vs %d recs)", label, len(got.Recs), len(want.Recs))
+	}
+}
+
+func TestRunUntilPauseResumeBitIdentical(t *testing.T) {
+	p := buildSnapProg(t)
+	_, want := runDirect(t, p, TraceFull, nil)
+	if want.Steps < 20 {
+		t.Fatalf("program too short to pause meaningfully: %d steps", want.Steps)
+	}
+	for _, at := range []uint64{0, 1, want.Steps / 3, want.Steps - 1} {
+		m := snapMachine(t, p)
+		m.Mode = TraceFull
+		paused, err := m.RunUntil(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !paused {
+			t.Fatalf("RunUntil(%d) did not pause (total %d steps)", at, want.Steps)
+		}
+		if m.Steps() != at {
+			t.Fatalf("paused at step %d, want %d", m.Steps(), at)
+		}
+		tr, err := m.Resume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrace(t, "pause/resume", tr, want)
+	}
+}
+
+func TestRunUntilPastEnd(t *testing.T) {
+	p := buildSnapProg(t)
+	m := snapMachine(t, p)
+	paused, err := m.RunUntil(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused {
+		t.Fatal("paused past program end")
+	}
+	tr, err := m.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != trace.RunOK {
+		t.Fatalf("status = %v", tr.Status)
+	}
+	// A finished machine rejects further RunUntil calls.
+	if _, err := m.RunUntil(5); err == nil {
+		t.Error("RunUntil after finish should fail")
+	}
+}
+
+func TestSnapshotRestoreCleanBitIdentical(t *testing.T) {
+	p := buildSnapProg(t)
+	_, want := runDirect(t, p, TraceFull, nil)
+	for _, at := range []uint64{0, want.Steps / 4, want.Steps / 2, want.Steps - 2} {
+		base := snapMachine(t, p)
+		base.Mode = TraceFull
+		if paused, err := base.RunUntil(at); err != nil || !paused {
+			t.Fatalf("RunUntil(%d): paused=%v err=%v", at, paused, err)
+		}
+		snap, err := base.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Step() != at {
+			t.Fatalf("snapshot step = %d, want %d", snap.Step(), at)
+		}
+		m := snapMachine(t, p)
+		m.Mode = TraceFull
+		if err := m.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := m.Resume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrace(t, "restored clean", tr, want)
+	}
+}
+
+func TestSnapshotRestoreFaultyBitIdentical(t *testing.T) {
+	p := buildSnapProg(t)
+	_, clean := runDirect(t, p, TraceOff, nil)
+	at := clean.Steps / 3
+	faults := []Fault{
+		{Step: clean.Steps / 2, Bit: 3, Kind: FaultDst},
+		{Step: clean.Steps / 2, Bit: 62, Kind: FaultDst},
+		{Step: at, Bit: 7, Kind: FaultMem, Addr: 5},
+		{Step: clean.Steps - 3, Bit: 11, Kind: FaultReg, Reg: 0},
+		{Step: clean.Steps + 1000, Bit: 1, Kind: FaultDst}, // never fires
+	}
+	base := snapMachine(t, p)
+	if paused, err := base.RunUntil(at); err != nil || !paused {
+		t.Fatalf("RunUntil: paused=%v err=%v", paused, err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range faults {
+		f := f
+		dm, want := runDirect(t, p, TraceOff, &f)
+		m := snapMachine(t, p)
+		if err := m.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		m.Fault = &f
+		got, err := m.Resume()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrace(t, f.String(), got, want)
+		if m.FaultApplied != dm.FaultApplied {
+			t.Errorf("%s: FaultApplied = %v, want %v", f.String(), m.FaultApplied, dm.FaultApplied)
+		}
+	}
+}
+
+func TestSnapshotSeedsManyDivergentRuns(t *testing.T) {
+	p := buildSnapProg(t)
+	_, clean := runDirect(t, p, TraceOff, nil)
+	base := snapMachine(t, p)
+	if paused, err := base.RunUntil(clean.Steps / 2); err != nil || !paused {
+		t.Fatalf("RunUntil: paused=%v err=%v", paused, err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore the same snapshot repeatedly under different faults; a dirty
+	// (shallow) snapshot would leak one run's corruption into the next.
+	bits := []uint8{1, 33, 50}
+	first := make([][]trace.OutVal, len(bits))
+	for round := 0; round < 2; round++ {
+		for i, bit := range bits {
+			m := snapMachine(t, p)
+			m.Fault = &Fault{Step: clean.Steps/2 + 5, Bit: bit, Kind: FaultDst}
+			if err := m.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := m.Resume()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 {
+				first[i] = tr.Output
+			} else if !reflect.DeepEqual(tr.Output, first[i]) {
+				t.Errorf("bit %d: second restore diverged: %v vs %v", bit, tr.Output, first[i])
+			}
+		}
+	}
+}
+
+func TestRestoreMachine(t *testing.T) {
+	p := buildSnapProg(t)
+	_, want := runDirect(t, p, TraceOff, nil)
+	base := snapMachine(t, p)
+	if paused, err := base.RunUntil(want.Steps / 2); err != nil || !paused {
+		t.Fatalf("RunUntil: paused=%v err=%v", paused, err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RestoreMachine(p, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hosts are unbound after RestoreMachine; Resume must refuse to run.
+	if _, err := m.Resume(); err == nil {
+		t.Fatal("Resume with unbound hosts should fail")
+	}
+	if err := m.BindStandardHosts(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "RestoreMachine", tr, want)
+}
+
+func TestSnapshotRestoreErrors(t *testing.T) {
+	p := buildSnapProg(t)
+	m := snapMachine(t, p)
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot before start should fail")
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot after finish should fail")
+	}
+
+	base := snapMachine(t, p)
+	if _, err := base.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Restore(snap); err == nil {
+		t.Error("restore into a machine that already ran should fail")
+	}
+	other := buildSnapProg(t)
+	om := snapMachine(t, other)
+	if err := om.Restore(snap); err == nil {
+		t.Error("restore across program instances should fail")
+	}
+	if _, err := RestoreMachine(other, snap); err == nil {
+		t.Error("RestoreMachine across program instances should fail")
+	}
+}
+
+// TestSnapshotMidCallPendingFlip pauses inside a callee while the caller
+// frame holds a pending FaultDst on the call's return value, then restores
+// the snapshot into a machine with no Fault set. The pending flip must
+// still land (bit captured in the frame), bit-identically to the original
+// uninterrupted faulty run — and without dereferencing the nil Fault.
+func TestSnapshotMidCallPendingFlip(t *testing.T) {
+	p := buildSnapProg(t)
+	_, full := runDirect(t, p, TraceFull, nil)
+	var callStep uint64
+	found := false
+	for i := range full.Recs {
+		if full.Recs[i].Op == ir.OpCall {
+			callStep = full.Recs[i].Step
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no call in trace")
+	}
+	f := Fault{Step: callStep, Bit: 17, Kind: FaultDst}
+	_, want := runDirect(t, p, TraceOff, &f)
+
+	base := snapMachine(t, p)
+	base.Fault = &Fault{Step: callStep, Bit: 17, Kind: FaultDst}
+	// Pause two steps into the callee: the call step has executed and the
+	// caller frame carries the pending flip.
+	if paused, err := base.RunUntil(callStep + 2); err != nil || !paused {
+		t.Fatalf("RunUntil: paused=%v err=%v", paused, err)
+	}
+	if base.FaultApplied {
+		t.Fatal("flip landed before the callee returned; pick an earlier pause")
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := snapMachine(t, p)
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Resume() // m.Fault is nil; the frame carries the flip
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Steps != want.Steps || !reflect.DeepEqual(got.Output, want.Output) {
+		t.Errorf("restored mid-call faulty run diverged: %+v vs %+v", got, want)
+	}
+	if !m.FaultApplied {
+		t.Error("pending flip did not land after restore")
+	}
+}
+
+func TestResumeBeforeStartFails(t *testing.T) {
+	p := buildSnapProg(t)
+	m := snapMachine(t, p)
+	if _, err := m.Resume(); err == nil {
+		t.Error("Resume before RunUntil/Restore should fail")
+	}
+}
