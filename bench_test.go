@@ -12,6 +12,7 @@ package fliptracker_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"fliptracker"
@@ -239,14 +240,14 @@ func BenchmarkCheckpointedCampaign(b *testing.B) {
 	const tests = 48
 	run := func(b *testing.B, targets inject.TargetPicker, sched fliptracker.SchedulerKind) fliptracker.CampaignResult {
 		b.Helper()
-		res, err := fliptracker.RunCampaign(fliptracker.CampaignSpec{
-			MakeMachine: an.App.NewMachine,
-			Verify:      an.App.Verify,
-			Targets:     targets,
-			Tests:       tests,
-			Seed:        20181111,
-			Scheduler:   sched,
-		})
+		c, err := fliptracker.NewCampaign(an.App.NewMachine, an.App.Verify, targets,
+			fliptracker.WithTests(tests),
+			fliptracker.WithSeed(20181111),
+			fliptracker.WithScheduler(sched))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,6 +276,77 @@ func BenchmarkCheckpointedCampaign(b *testing.B) {
 		// Zero Tests means a -bench filter skipped that half's closure.
 		if direct.Tests != 0 && checkpointed.Tests != 0 && direct != checkpointed {
 			b.Fatalf("%s: schedulers disagree: %+v vs %+v", pop.name, direct, checkpointed)
+		}
+	}
+}
+
+// BenchmarkEarlyStopCampaign compares a fixed-size campaign (Leveugle et
+// al.'s worst-case sizing at 95%/3%, the paper's §V rule) against the same
+// campaign with sequential early stopping (WithEarlyStop(0.95, 0.03)) on CG
+// and LULESH. Both halves report wall clock per run plus the injections
+// actually executed; the early-stop half also reports how far its success
+// rate moved from the fixed-size estimate (must stay within the margin).
+// The win scales with how far the true rate is from the worst-case p = 0.5
+// the fixed sizing assumes: each app pairs its whole-program population
+// (near 0.5, little to gain) with a higher-resilience one that stops far
+// earlier (CG's matvec input locations at ~0.89, LULESH's hybrid
+// population at ~0.70).
+func BenchmarkEarlyStopCampaign(b *testing.B) {
+	const margin = 0.03
+	for _, tc := range []struct {
+		app, name string
+		pop       fliptracker.Population
+	}{
+		{"cg", "whole-program", fliptracker.WholeProgram()},
+		{"cg", "region-inputs", fliptracker.RegionInputs("cg_b", 0)},
+		{"lulesh", "whole-program", fliptracker.WholeProgram()},
+		{"lulesh", "hybrid", fliptracker.Hybrid()},
+	} {
+		an, err := fliptracker.NewAnalyzer(tc.app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size, err := an.PopulationSize(tc.pop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tests := fliptracker.SampleSize(size, 0.95, margin)
+		run := func(b *testing.B, opts ...fliptracker.CampaignOption) fliptracker.CampaignResult {
+			b.Helper()
+			res, err := an.Campaign(context.Background(), tc.pop,
+				append([]fliptracker.CampaignOption{
+					fliptracker.WithTests(tests),
+					fliptracker.WithSeed(20181111),
+				}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		var fixed, early fliptracker.CampaignResult
+		b.Run(tc.app+"/"+tc.name+"/fixed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixed = run(b)
+			}
+			b.ReportMetric(float64(fixed.Tests), "injections")
+		})
+		b.Run(tc.app+"/"+tc.name+"/earlystop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				early = run(b, fliptracker.WithEarlyStop(0.95, margin))
+			}
+			b.ReportMetric(float64(early.Tests), "injections")
+			if fixed.Tests != 0 {
+				b.ReportMetric(100*early.SuccessRate()-100*fixed.SuccessRate(), "rate-delta-pp")
+			}
+		})
+		if fixed.Tests != 0 && early.Tests != 0 {
+			// Both rates are independent estimates, each within ~margin of
+			// the true rate at the configured confidence, so their
+			// difference is only bounded by 2*margin — not margin itself.
+			if d := early.SuccessRate() - fixed.SuccessRate(); d > 2*margin || d < -2*margin {
+				b.Fatalf("%s/%s: early-stop rate %.3f vs fixed %.3f exceeds 2x margin %.2f",
+					tc.app, tc.name, early.SuccessRate(), fixed.SuccessRate(), 2*margin)
+			}
 		}
 	}
 }

@@ -11,18 +11,21 @@
 //	fliptracker trace    -app cg -out cg.trace
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
-//	fliptracker campaign -app cg [-region cg_b] [-instance 0] [-target internal|input] [-tests N] [-seed S]
+//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"fliptracker/internal/apps"
 	"fliptracker/internal/core"
+	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
 	"fliptracker/internal/patterns"
@@ -255,48 +258,83 @@ func cmdInject(args []string) error {
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	app := fs.String("app", "cg", "application name")
-	region := fs.String("region", "", "region name (empty: whole program)")
+	region := fs.String("region", "", "region name (for the internal/input targets)")
 	instance := fs.Int("instance", 0, "region instance")
-	target := fs.String("target", "internal", "internal or input")
+	target := fs.String("target", "", "population: whole, hybrid, internal or input (default: whole, or internal when -region is set)")
 	tests := fs.Int("tests", 0, "injections (0: statistical sizing at 95%/3%)")
 	seed := fs.Int64("seed", 1, "campaign seed")
+	direct := fs.Bool("direct", false, "replay every injection from step 0 instead of the checkpointed scheduler")
+	earlyStop := fs.Bool("earlystop", false, "stop sequentially once the 95% CI is within 3%")
+	stream := fs.Bool("stream", false, "print one line per fault outcome as the campaign runs")
 	fs.Parse(args)
+
+	// Ctrl-C cancels the campaign; partial results are still reported.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	an, err := core.NewAnalyzer(*app)
 	if err != nil {
 		return err
 	}
-	clean, err := an.CleanTrace()
-	if err != nil {
-		return err
+	if *direct {
+		an.Scheduler = inject.ScheduleDirect
+	}
+	var pop core.Population
+	switch {
+	case *target == "whole" || (*target == "" && *region == ""):
+		pop = core.WholeProgram()
+	case *target == "hybrid":
+		pop = core.Hybrid()
+	case *target == "internal" || (*target == "" && *region != ""):
+		pop = core.RegionInternal(*region, *instance)
+	case *target == "input":
+		pop = core.RegionInputs(*region, *instance)
+	default:
+		return fmt.Errorf("unknown target %q (want whole, hybrid, internal or input)", *target)
 	}
 	n := *tests
 	if n == 0 {
-		n = stats.SampleSize(clean.Steps*64, 0.95, 0.03)
-	}
-	var res interface {
-		SuccessRate() float64
-		CrashRate() float64
-	}
-	if *region == "" {
-		r, err := an.WholeProgramCampaign(n, *seed)
+		size, err := an.PopulationSize(pop)
 		if err != nil {
 			return err
 		}
-		res = r
-		fmt.Printf("whole-program campaign on %s: %d tests\n", *app, n)
-		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+		n = stats.SampleSize(size, 0.95, 0.03)
+	}
+	copts := []inject.Option{inject.WithTests(n), inject.WithSeed(*seed)}
+	if *earlyStop {
+		copts = append(copts, inject.WithEarlyStop(0.95, 0.03))
+	}
+	c, err := an.NewCampaign(pop, copts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("campaign on %s (%s): %d tests\n", *app, pop, n)
+	var r inject.Result
+	var runErr error
+	if *stream {
+		for fo, err := range c.Stream(ctx) {
+			if err != nil {
+				runErr = err
+				break
+			}
+			r.Count(fo.Outcome)
+			fmt.Printf("#%-6d %-32s -> %s\n", fo.Index, fo.Fault.String(), fo.Outcome)
+		}
 	} else {
-		r, err := an.RegionCampaign(*region, *instance, *target, n, *seed)
-		if err != nil {
-			return err
-		}
-		res = r
-		fmt.Printf("campaign on %s/%s#%d (%s): %d tests\n", *app, *region, *instance, *target, n)
-		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+		r, runErr = c.Run(ctx)
 	}
-	ci := stats.ProportionCI(res.SuccessRate(), n, 0.95)
-	fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", res.SuccessRate(), ci, res.CrashRate())
-	return nil
+	if runErr != nil {
+		fmt.Printf("campaign stopped early (%v); partial results over %d tests:\n", runErr, r.Tests)
+	} else if r.Tests < n {
+		fmt.Printf("early stop after %d of %d tests (CI within margin):\n", r.Tests, n)
+	}
+	if r.Tests > 0 {
+		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+		ci := stats.ProportionCI(r.SuccessRate(), r.Tests, 0.95)
+		fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", r.SuccessRate(), ci, r.CrashRate())
+	}
+	return runErr
 }
 
 func cmdACL(args []string) error {

@@ -8,7 +8,10 @@
 //
 // Quick mode caps injection campaigns at ~120 tests per target; -full sizes
 // them with the paper's statistical rule (95%/3% for §V, 99%/1% for §VII),
-// which is slower but statistically equivalent to the original setup.
+// which is slower but statistically equivalent to the original setup. In
+// full mode, campaigns stop sequentially as soon as their success-rate
+// confidence interval meets the sizing margin (-earlystop=false restores
+// the fixed worst-case sample size).
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	runs := flag.Int("runs", 5, "timing repetitions for tab3 (paper: 20)")
 	seed := flag.Int64("seed", 20181111, "campaign seed")
 	direct := flag.Bool("direct", false, "replay every injection from step 0 instead of the checkpointed scheduler (same results, slower)")
+	earlyStop := flag.Bool("earlystop", true, "with -full, stop each campaign sequentially once its confidence interval meets the sizing margin (fewer injections, rate within margin); set to false for the fixed worst-case sample size")
 	fig7Data := flag.String("fig7data", "", "also write the Figure 7 ACL series as a gnuplot data file")
 	flag.Parse()
 
@@ -36,6 +40,7 @@ func main() {
 	opts.Ranks = *ranks
 	opts.Runs = *runs
 	opts.Seed = *seed
+	opts.EarlyStop = *full && *earlyStop
 	if *direct {
 		opts.Scheduler = inject.ScheduleDirect
 	}

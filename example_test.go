@@ -1,0 +1,78 @@
+package fliptracker_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"fliptracker"
+)
+
+// ExampleAnalyzer_Campaign measures a code region's success rate (Eq. 1)
+// over its internal-location population with the v2 campaign API: a typed
+// Population plus functional options.
+func ExampleAnalyzer_Campaign() {
+	an, err := fliptracker.NewAnalyzer("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Campaign(context.Background(),
+		fliptracker.RegionInternal("cg_b", 0),
+		fliptracker.WithTests(1067), // stats.SampleSize at 95%/3%
+		fliptracker.WithSeed(1),
+		fliptracker.WithEarlyStop(0.95, 0.03))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("success rate %.3f over %d injections\n", res.SuccessRate(), res.Tests)
+}
+
+// ExampleCampaign_Stream consumes a campaign fault by fault. Outcomes
+// arrive in deterministic fault-index order for a fixed seed, whatever the
+// parallelism or scheduler, and breaking out of the loop stops the workers.
+func ExampleCampaign_Stream() {
+	an, err := fliptracker.NewAnalyzer("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := an.NewCampaign(fliptracker.WholeProgram(),
+		fliptracker.WithTests(500), fliptracker.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res fliptracker.CampaignResult
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Count(fo.Outcome)
+		if fo.Outcome == fliptracker.Crashed {
+			fmt.Printf("fault #%d (%v) crashed the run\n", fo.Index, fo.Fault)
+		}
+	}
+	fmt.Printf("crash rate %.3f\n", res.CrashRate())
+}
+
+// ExampleAnalyzer_NewCampaign shows cancellation and progress: campaigns
+// stop promptly when their context is cancelled and report a well-formed
+// partial result.
+func ExampleAnalyzer_NewCampaign() {
+	an, err := fliptracker.NewAnalyzer("lulesh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := an.Campaign(ctx, fliptracker.Hybrid(),
+		fliptracker.WithTests(100_000),
+		fliptracker.WithProgress(func(done, total int) {
+			if done%10_000 == 0 {
+				fmt.Printf("%d/%d\n", done, total)
+			}
+		}))
+	if err != nil {
+		// context.DeadlineExceeded: res holds the outcomes finished so far.
+		fmt.Printf("stopped after %d injections: %v\n", res.Tests, err)
+	}
+}

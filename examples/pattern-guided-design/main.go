@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	variants := []struct{ name, label string }{
 		{"cg", "baseline"},
 		{"cg-dclovw", "DCL + overwriting in sprnvc"},
@@ -33,7 +35,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := an.WholeProgramCampaign(tests, 99)
+		res, err := an.Campaign(ctx, fliptracker.WholeProgram(),
+			fliptracker.WithTests(tests), fliptracker.WithSeed(99))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +56,8 @@ func main() {
 		}
 	}
 	an, _ := fliptracker.NewAnalyzer("cg-all")
-	all, err := an.WholeProgramCampaign(tests, 99)
+	all, err := an.Campaign(ctx, fliptracker.WholeProgram(),
+		fliptracker.WithTests(tests), fliptracker.WithSeed(99))
 	if err != nil {
 		log.Fatal(err)
 	}

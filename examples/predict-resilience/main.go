@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := an.WholeProgramCampaign(tests, 7)
+		res, err := an.Campaign(context.Background(), fliptracker.WholeProgram(),
+			fliptracker.WithTests(tests), fliptracker.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}

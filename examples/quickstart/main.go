@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,4 +60,22 @@ func main() {
 			fmt.Printf("  pattern %-24s %s\n", ev.Pattern, ev.Note)
 		}
 	}
+
+	// One fault explains a single run; a campaign measures the success
+	// rate (Eq. 1) over a whole population. Stream the outcomes fault by
+	// fault — deterministic order for a fixed seed, cancellable via ctx.
+	c, err := an.NewCampaign(fliptracker.WholeProgram(),
+		fliptracker.WithTests(60), fliptracker.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res fliptracker.CampaignResult
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Count(fo.Outcome)
+	}
+	fmt.Printf("campaign over %d uniform flips: success rate %.2f, crash rate %.2f\n",
+		res.Tests, res.SuccessRate(), res.CrashRate())
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	an, err := fliptracker.NewAnalyzer("mg")
 	if err != nil {
 		log.Fatal(err)
@@ -25,13 +27,15 @@ func main() {
 	fmt.Printf("MG: success rate per code region (%d injections per target)\n", tests)
 	fmt.Printf("%-8s %10s %10s\n", "region", "internal", "input")
 	for _, region := range app.Regions {
-		internal, err := an.RegionCampaign(region, 0, "internal", tests, 1)
+		internal, err := an.Campaign(ctx, fliptracker.RegionInternal(region, 0),
+			fliptracker.WithTests(tests), fliptracker.WithSeed(1))
 		if err != nil {
 			log.Fatal(err)
 		}
 		line := fmt.Sprintf("%-8s %10.3f", region, internal.SuccessRate())
 		if locs, err := an.RegionInputLocs(region, 0); err == nil && len(locs) > 0 {
-			input, err := an.RegionCampaign(region, 0, "input", tests, 2)
+			input, err := an.Campaign(ctx, fliptracker.RegionInputs(region, 0),
+				fliptracker.WithTests(tests), fliptracker.WithSeed(2))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -21,6 +21,20 @@
 //	    fmt.Println(rr.Region.Name, rr.Patterns.Evidence)
 //	}
 //
+// Fault-injection campaigns target a typed Population and are configured by
+// functional options; Run aggregates, Stream yields per-fault outcomes in
+// deterministic order, and both honor context cancellation:
+//
+//	res, err := an.Campaign(ctx, fliptracker.RegionInternal("cg_b", 0),
+//	    fliptracker.WithTests(1067), fliptracker.WithSeed(1),
+//	    fliptracker.WithEarlyStop(0.95, 0.03))
+//	fmt.Println(res.SuccessRate())
+//
+//	c, err := an.NewCampaign(fliptracker.WholeProgram(), fliptracker.WithTests(500))
+//	for fo, err := range c.Stream(ctx) {
+//	    fmt.Println(fo.Index, fo.Fault, fo.Outcome)
+//	}
+//
 // The ten workloads of the paper's evaluation (NPB CG, MG, IS, LU, BT, SP,
 // DC, FT; LULESH; Rodinia KMEANS) ship with the library; Apps lists them.
 package fliptracker
@@ -55,10 +69,22 @@ type (
 	Fault = interp.Fault
 	// FaultKind selects register/memory/instruction-result targets.
 	FaultKind = interp.FaultKind
-	// CampaignSpec configures a fault-injection campaign.
-	CampaignSpec = inject.Spec
+	// Campaign is one configured fault-injection campaign, built with
+	// NewCampaign (or Analyzer.NewCampaign for a typed Population) and
+	// executed with Run(ctx) or consumed per fault with Stream(ctx).
+	Campaign = inject.Campaign
+	// CampaignOption configures a Campaign (WithTests, WithSeed, ...).
+	CampaignOption = inject.Option
 	// CampaignResult aggregates campaign outcomes.
 	CampaignResult = inject.Result
+	// FaultOutcome is one per-fault record of Campaign.Stream: the drawn
+	// fault, its outcome, and its index in the deterministic fault stream.
+	FaultOutcome = inject.FaultOutcome
+	// TargetPicker draws faults from an injection-site population.
+	TargetPicker = inject.TargetPicker
+	// Population selects an Analyzer campaign's injection-site population
+	// (WholeProgram, RegionInternal, RegionInputs, Hybrid).
+	Population = core.Population
 	// Outcome is one fault manifestation (§II-A).
 	Outcome = inject.Outcome
 	// SchedulerKind selects the campaign execution strategy.
@@ -67,7 +93,7 @@ type (
 	MachineSnapshot = interp.Snapshot
 )
 
-// Campaign schedulers (CampaignSpec.Scheduler, Analyzer.Scheduler).
+// Campaign schedulers (WithScheduler, Analyzer.Scheduler).
 const (
 	// ScheduleCheckpointed shares fault-free prefix work across injections
 	// via machine snapshots; the default, and result-identical to
@@ -166,8 +192,61 @@ func Apps() []string { return apps.Names() }
 // GetApp returns a registered workload.
 func GetApp(name string) (*App, bool) { return apps.Get(name) }
 
-// RunCampaign executes a fault-injection campaign.
-func RunCampaign(spec CampaignSpec) (CampaignResult, error) { return inject.Run(spec) }
+// NewCampaign builds a fault-injection campaign from a machine factory, a
+// verifier and a target population, configured by functional options. For
+// campaigns over a registered workload's standard populations, prefer
+// Analyzer.NewCampaign with a typed Population.
+func NewCampaign(mk func() (*Machine, error), verify func(*Trace) bool, targets TargetPicker, opts ...CampaignOption) (*Campaign, error) {
+	return inject.NewCampaign(mk, verify, targets, opts...)
+}
+
+// WithTests sets the number of injections (the cap, under early stopping).
+func WithTests(n int) CampaignOption { return inject.WithTests(n) }
+
+// WithSeed seeds the pre-drawn fault stream; for a fixed seed the outcomes
+// are identical whatever the parallelism or scheduler.
+func WithSeed(seed int64) CampaignOption { return inject.WithSeed(seed) }
+
+// WithScheduler selects the campaign execution strategy; the default is
+// ScheduleCheckpointed.
+func WithScheduler(k SchedulerKind) CampaignOption { return inject.WithScheduler(k) }
+
+// WithParallelism caps campaign worker goroutines; 0 means GOMAXPROCS.
+func WithParallelism(n int) CampaignOption { return inject.WithParallelism(n) }
+
+// WithMaxCheckpoints caps the live prefix snapshots the checkpointed
+// scheduler keeps; 0 means the default budget.
+func WithMaxCheckpoints(n int) CampaignOption { return inject.WithMaxCheckpoints(n) }
+
+// WithProgress registers a per-injection progress callback.
+func WithProgress(fn func(done, total int)) CampaignOption { return inject.WithProgress(fn) }
+
+// WithEarlyStop enables sequential early stopping: the campaign ends once
+// the success rate's confidence interval is within margin instead of
+// always running the full test count.
+func WithEarlyStop(confidence, margin float64) CampaignOption {
+	return inject.WithEarlyStop(confidence, margin)
+}
+
+// WholeProgram targets uniform dynamic instructions across the full run
+// (the Table IV population).
+func WholeProgram() Population { return core.WholeProgram() }
+
+// RegionInternal targets the internal locations of one code-region
+// instance (§V-C).
+func RegionInternal(region string, instance int) Population {
+	return core.RegionInternal(region, instance)
+}
+
+// RegionInputs targets a region instance's memory input locations at
+// region entry (§III-B).
+func RegionInputs(region string, instance int) Population {
+	return core.RegionInputs(region, instance)
+}
+
+// Hybrid targets a mixed instruction-result/memory-word population (the
+// Table III use case).
+func Hybrid() Population { return core.Hybrid() }
 
 // RestoreMachine builds a new machine positioned at a snapshot taken from a
 // paused run of the same sealed program (Machine.RunUntil + Snapshot). Host

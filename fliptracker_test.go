@@ -1,6 +1,7 @@
 package fliptracker_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -86,7 +87,8 @@ func TestPublicCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := an.WholeProgramCampaign(50, 3)
+	res, err := an.Campaign(context.Background(), fliptracker.WholeProgram(),
+		fliptracker.WithTests(50), fliptracker.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +97,23 @@ func TestPublicCampaign(t *testing.T) {
 	}
 	if sr := res.SuccessRate(); sr < 0 || sr > 1 {
 		t.Fatalf("rate = %v", sr)
+	}
+	// The streaming surface through the facade: deterministic per-fault
+	// outcomes that aggregate to the same Result.
+	c, err := an.NewCampaign(fliptracker.WholeProgram(),
+		fliptracker.WithTests(50), fliptracker.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tally fliptracker.CampaignResult
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		tally.Count(fo.Outcome)
+	}
+	if tally != res {
+		t.Fatalf("streamed tally %+v != campaign result %+v", tally, res)
 	}
 }
 
@@ -139,14 +158,14 @@ func TestPublicAnalysisHelpers(t *testing.T) {
 	if rates.Condition <= 0 {
 		t.Errorf("rates = %+v", rates)
 	}
-	// Campaign through the facade's RunCampaign with a custom spec.
-	cr, err := fliptracker.RunCampaign(fliptracker.CampaignSpec{
-		MakeMachine: an.App.NewMachine,
-		Verify:      an.App.Verify,
-		Targets:     fliptracker.UniformDstPicker(clean.Steps),
-		Tests:       30,
-		Seed:        2,
-	})
+	// Campaign through the facade's NewCampaign with a custom picker.
+	c, err := fliptracker.NewCampaign(an.App.NewMachine, an.App.Verify,
+		fliptracker.UniformDstPicker(clean.Steps),
+		fliptracker.WithTests(30), fliptracker.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

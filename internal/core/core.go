@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -24,10 +25,11 @@ type Analyzer struct {
 	App  *apps.App
 	Prog *ir.Program
 
-	// Scheduler selects the campaign execution strategy for
-	// RegionCampaign, WholeProgramCampaign and HybridCampaign. The zero
-	// value is inject.ScheduleCheckpointed, which shares fault-free prefix
-	// work across injections; inject.ScheduleDirect replays every run from
+	// Scheduler is the default campaign execution strategy for Campaign
+	// and NewCampaign (overridable per campaign with
+	// inject.WithScheduler). The zero value is
+	// inject.ScheduleCheckpointed, which shares fault-free prefix work
+	// across injections; inject.ScheduleDirect replays every run from
 	// step 0. Results are identical for a fixed seed either way.
 	Scheduler inject.SchedulerKind
 
@@ -267,114 +269,38 @@ func (an *Analyzer) PatternRates() (patterns.Rates, error) {
 	return patterns.CountRates(clean), nil
 }
 
-// RegionPopulation counts the fault-injection sites of one region-instance
-// target, per §IV-C: "we calculate the number of fault injection sites by
-// analyzing the dynamic LLVM instruction trace". Internal targets count one
-// site per destination-writing dynamic instruction per bit; input targets
-// count one site per input memory word per bit.
-func (an *Analyzer) RegionPopulation(name string, instance int, target string) (uint64, error) {
-	s, err := an.RegionInstance(name, instance)
-	if err != nil {
-		return 0, err
-	}
-	clean, _ := an.CleanTrace()
-	switch target {
-	case "internal":
-		var writes uint64
-		for i := s.Start; i < s.End; i++ {
-			if clean.Recs[i].HasDst() {
-				writes++
-			}
-		}
-		return writes * 64, nil
-	case "input":
-		locs, err := an.RegionInputLocs(name, instance)
-		if err != nil {
-			return 0, err
-		}
-		return uint64(len(locs)) * 64, nil
-	}
-	return 0, fmt.Errorf("core: unknown target %q (want internal or input)", target)
+// PopulationSize counts the fault-injection sites of a population (§IV-C),
+// the input to stats.SampleSize for the paper's statistical campaign
+// sizing.
+func (an *Analyzer) PopulationSize(pop Population) (uint64, error) {
+	_, size, err := an.resolvePopulation(pop)
+	return size, err
 }
 
-// RegionCampaign measures the success rate of faults injected into one
-// region instance (§V-C). target selects the population: "internal" draws
-// uniform dynamic instructions within the instance (FaultDst), "input"
-// flips bits of the region's memory input locations at region entry
-// (FaultMem).
-func (an *Analyzer) RegionCampaign(name string, instance int, target string, tests int, seed int64) (inject.Result, error) {
-	s, err := an.RegionInstance(name, instance)
+// NewCampaign builds a fault-injection campaign over one of the analyzer's
+// typed populations, wired to the application's machine factory and
+// verifier. The analyzer's Scheduler is the default; options may override
+// it and add the rest of the campaign configuration (tests, seed, early
+// stopping, progress, ...). The returned campaign exposes both Run and the
+// per-fault Stream.
+func (an *Analyzer) NewCampaign(pop Population, opts ...inject.Option) (*inject.Campaign, error) {
+	picker, _, err := an.resolvePopulation(pop)
+	if err != nil {
+		return nil, err
+	}
+	return inject.NewCampaign(an.App.NewMachine, an.App.Verify, picker,
+		append([]inject.Option{inject.WithScheduler(an.Scheduler)}, opts...)...)
+}
+
+// Campaign measures a population's success rate (Equation 1): it builds the
+// campaign with NewCampaign and runs it under ctx. RegionInternal and
+// RegionInputs give the §V-C per-region/per-iteration rates, WholeProgram
+// the Table IV application-level rate, and Hybrid the Table III mixed
+// population.
+func (an *Analyzer) Campaign(ctx context.Context, pop Population, opts ...inject.Option) (inject.Result, error) {
+	c, err := an.NewCampaign(pop, opts...)
 	if err != nil {
 		return inject.Result{}, err
 	}
-	clean, _ := an.CleanTrace()
-	var picker inject.TargetPicker
-	switch target {
-	case "internal":
-		lo := clean.Recs[s.Start].Step
-		hi := clean.Recs[s.End-1].Step + 1
-		picker = inject.StepRangeDst{Lo: lo, Hi: hi}
-	case "input":
-		locs, err := an.RegionInputLocs(name, instance)
-		if err != nil {
-			return inject.Result{}, err
-		}
-		if len(locs) == 0 {
-			return inject.Result{}, fmt.Errorf("core: region %q instance %d has no memory inputs", name, instance)
-		}
-		addrs := make([]int64, len(locs))
-		for i, l := range locs {
-			addrs[i] = l.Addr()
-		}
-		picker = inject.MemAtStep{Step: clean.Recs[s.Start].Step, Addrs: addrs}
-	default:
-		return inject.Result{}, fmt.Errorf("core: unknown target %q (want internal or input)", target)
-	}
-	return inject.Run(inject.Spec{
-		MakeMachine: an.App.NewMachine,
-		Verify:      an.App.Verify,
-		Targets:     picker,
-		Tests:       tests,
-		Seed:        seed,
-		Scheduler:   an.Scheduler,
-	})
-}
-
-// WholeProgramCampaign measures the application-level success rate with
-// uniform injections across the full run (the Table IV "measured SR").
-func (an *Analyzer) WholeProgramCampaign(tests int, seed int64) (inject.Result, error) {
-	clean, err := an.CleanTrace()
-	if err != nil {
-		return inject.Result{}, err
-	}
-	return inject.Run(inject.Spec{
-		MakeMachine: an.App.NewMachine,
-		Verify:      an.App.Verify,
-		Targets:     inject.UniformDst{TotalSteps: clean.Steps},
-		Tests:       tests,
-		Seed:        seed,
-		Scheduler:   an.Scheduler,
-	})
-}
-
-// HybridCampaign measures the success rate under a mixed population: half
-// instruction-result flips, half memory-word flips over the program's data
-// (ECC-escaped memory SDC). The Table III use case uses this population
-// because its hardenings protect data at rest.
-func (an *Analyzer) HybridCampaign(tests int, seed int64) (inject.Result, error) {
-	clean, err := an.CleanTrace()
-	if err != nil {
-		return inject.Result{}, err
-	}
-	return inject.Run(inject.Spec{
-		MakeMachine: an.App.NewMachine,
-		Verify:      an.App.Verify,
-		Targets: inject.Mixed{Pickers: []inject.TargetPicker{
-			inject.UniformDst{TotalSteps: clean.Steps},
-			inject.UniformMem{TotalSteps: clean.Steps, FirstAddr: 1, LastAddr: an.Prog.MemWords},
-		}},
-		Tests:     tests,
-		Seed:      seed,
-		Scheduler: an.Scheduler,
-	})
+	return c.Run(ctx)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fliptracker/internal/inject"
@@ -123,28 +124,32 @@ func TestAnalyzeFaultOutcomesAndRegions(t *testing.T) {
 
 func TestRegionCampaignInternalVsInput(t *testing.T) {
 	an := newCG(t)
-	resInt, err := an.RegionCampaign("cg_b", 0, "internal", 40, 11)
+	ctx := context.Background()
+	resInt, err := an.Campaign(ctx, RegionInternal("cg_b", 0), inject.WithTests(40), inject.WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resInt.Tests != 40 {
 		t.Fatalf("tests = %d", resInt.Tests)
 	}
-	resIn, err := an.RegionCampaign("cg_b", 0, "input", 40, 11)
+	resIn, err := an.Campaign(ctx, RegionInputs("cg_b", 0), inject.WithTests(40), inject.WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resIn.Tests != 40 {
 		t.Fatalf("tests = %d", resIn.Tests)
 	}
-	if _, err := an.RegionCampaign("cg_b", 0, "sideways", 10, 1); err == nil {
-		t.Error("bad target should fail")
+	if _, err := an.Campaign(ctx, RegionInternal("zz", 0), inject.WithTests(10)); err == nil {
+		t.Error("unknown region should fail")
+	}
+	if _, err := an.Campaign(ctx, Population{kind: 99}, inject.WithTests(10)); err == nil {
+		t.Error("unknown population kind should fail")
 	}
 }
 
 func TestWholeProgramCampaign(t *testing.T) {
 	an := newCG(t)
-	res, err := an.WholeProgramCampaign(60, 5)
+	res, err := an.Campaign(context.Background(), WholeProgram(), inject.WithTests(60), inject.WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,9 +161,33 @@ func TestWholeProgramCampaign(t *testing.T) {
 	}
 }
 
-func TestRegionPopulation(t *testing.T) {
+func TestCampaignStreamAndCancel(t *testing.T) {
 	an := newCG(t)
-	internal, err := an.RegionPopulation("cg_b", 0, "internal")
+	c, err := an.NewCampaign(RegionInputs("cg_b", 0), inject.WithTests(30), inject.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res inject.Result
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Count(fo.Outcome)
+	}
+	if res.Tests != 30 {
+		t.Fatalf("streamed %d outcomes, want 30", res.Tests)
+	}
+	// A cancelled analyzer campaign surfaces ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := an.Campaign(ctx, WholeProgram(), inject.WithTests(30)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPopulationSize(t *testing.T) {
+	an := newCG(t)
+	internal, err := an.PopulationSize(RegionInternal("cg_b", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,15 +195,49 @@ func TestRegionPopulation(t *testing.T) {
 	if internal == 0 || internal > uint64(s.Len())*64 {
 		t.Errorf("internal population = %d for a %d-record span", internal, s.Len())
 	}
-	input, err := an.RegionPopulation("cg_b", 0, "input")
+	input, err := an.PopulationSize(RegionInputs("cg_b", 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if input == 0 || input%64 != 0 {
 		t.Errorf("input population = %d", input)
 	}
-	if _, err := an.RegionPopulation("cg_b", 0, "bogus"); err == nil {
-		t.Error("bogus target should fail")
+	clean, _ := an.CleanTrace()
+	whole, err := an.PopulationSize(WholeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != clean.Steps*64 {
+		t.Errorf("whole-program population = %d, want %d", whole, clean.Steps*64)
+	}
+	hybrid, err := an.PopulationSize(Hybrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid <= whole {
+		t.Errorf("hybrid population = %d, want > whole-program %d", hybrid, whole)
+	}
+	if _, err := an.PopulationSize(RegionInputs("zz", 0)); err == nil {
+		t.Error("bogus region should fail")
+	}
+}
+
+func TestPopulationStrings(t *testing.T) {
+	for _, tc := range []struct {
+		pop  Population
+		want string
+	}{
+		{WholeProgram(), "whole-program"},
+		{Hybrid(), "hybrid"},
+		{RegionInternal("cg_b", 2), "region cg_b#2 internal"},
+		{RegionInputs("cg_b", 0), "region cg_b#0 inputs"},
+	} {
+		if got := tc.pop.String(); got != tc.want {
+			t.Errorf("population string %q, want %q", got, tc.want)
+		}
+	}
+	if Population(Population{kind: 42}).String() == "" {
+		t.Error("unknown population should stringify")
 	}
 }
 

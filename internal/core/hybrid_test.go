@@ -1,10 +1,15 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"fliptracker/internal/inject"
+)
 
 func TestHybridCampaign(t *testing.T) {
 	an := newCG(t)
-	res, err := an.HybridCampaign(80, 21)
+	res, err := an.Campaign(context.Background(), Hybrid(), inject.WithTests(80), inject.WithSeed(21))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fliptracker/internal/inject"
@@ -8,30 +9,42 @@ import (
 
 // TestCampaignSchedulerEquivalence pins the wiring guarantee: for a fixed
 // seed, every Analyzer campaign returns the same Result whether it runs
-// under the default checkpointed scheduler or the direct replay scheduler.
+// under the default checkpointed scheduler or the direct replay scheduler —
+// and that Result is exactly what the v1 API (RegionCampaign /
+// WholeProgramCampaign / HybridCampaign) produced before the v2 redesign
+// (golden values captured from the pre-redesign implementation).
 func TestCampaignSchedulerEquivalence(t *testing.T) {
-	run := func(sched inject.SchedulerKind) [3]inject.Result {
+	pops := []struct {
+		name string
+		pop  Population
+		want inject.Result
+	}{
+		{"whole-program", WholeProgram(), inject.Result{Tests: 40, Success: 15, Failed: 9, Crashed: 11, NotApplied: 5}},
+		{"region-internal", RegionInternal("cg_b", 0), inject.Result{Tests: 40, Success: 9, Failed: 6, Crashed: 16, NotApplied: 9}},
+		{"region-inputs", RegionInputs("cg_b", 0), inject.Result{Tests: 40, Success: 36, Failed: 4}},
+		{"hybrid", Hybrid(), inject.Result{Tests: 40, Success: 20, Failed: 11, Crashed: 4, NotApplied: 5}},
+	}
+	run := func(sched inject.SchedulerKind) []inject.Result {
 		an := newCG(t)
 		an.Scheduler = sched
-		whole, err := an.WholeProgramCampaign(40, 17)
-		if err != nil {
-			t.Fatal(err)
+		var out []inject.Result
+		for _, p := range pops {
+			res, err := an.Campaign(context.Background(), p.pop, inject.WithTests(40), inject.WithSeed(17))
+			if err != nil {
+				t.Fatalf("%s: %v", p.name, err)
+			}
+			out = append(out, res)
 		}
-		region, err := an.RegionCampaign("cg_b", 0, "internal", 40, 17)
-		if err != nil {
-			t.Fatal(err)
-		}
-		hybrid, err := an.HybridCampaign(40, 17)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return [3]inject.Result{whole, region, hybrid}
+		return out
 	}
 	ck := run(inject.ScheduleCheckpointed)
 	direct := run(inject.ScheduleDirect)
-	for i, name := range []string{"whole-program", "region", "hybrid"} {
+	for i, p := range pops {
 		if ck[i] != direct[i] {
-			t.Errorf("%s campaign: checkpointed %+v vs direct %+v", name, ck[i], direct[i])
+			t.Errorf("%s campaign: checkpointed %+v vs direct %+v", p.name, ck[i], direct[i])
+		}
+		if ck[i] != p.want {
+			t.Errorf("%s campaign: %+v, want v1 golden %+v", p.name, ck[i], p.want)
 		}
 	}
 }

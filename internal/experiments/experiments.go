@@ -32,6 +32,13 @@ type Options struct {
 	// zero value is the checkpointed scheduler. Campaign results are
 	// scheduler-independent, so this only changes regeneration time.
 	Scheduler inject.SchedulerKind
+	// EarlyStop enables sequential early stopping for the sized campaigns:
+	// each campaign ends as soon as its success-rate confidence interval
+	// is within the sizing rule's margin instead of always running
+	// Leveugle et al.'s worst-case sample size. ftbench enables this by
+	// default in -full mode; the reported rates stay within the configured
+	// margin of the fixed-size campaign's.
+	EarlyStop bool
 }
 
 // DefaultOptions returns quick-mode defaults.
@@ -60,6 +67,22 @@ func (o Options) campaignTests(population uint64, confidence, margin float64) in
 		return quickCap
 	}
 	return n
+}
+
+// campaignOptions assembles the v2 campaign options for a statistically
+// sized campaign: the test count (a cap under early stopping), the seed,
+// the options' scheduler, and — when EarlyStop is set — the sequential
+// stopping rule at the same confidence/margin the sizing used.
+func (o Options) campaignOptions(tests int, seed int64, confidence, margin float64) []inject.Option {
+	copts := []inject.Option{
+		inject.WithTests(tests),
+		inject.WithSeed(seed),
+		inject.WithScheduler(o.Scheduler),
+	}
+	if o.EarlyStop {
+		copts = append(copts, inject.WithEarlyStop(confidence, margin))
+	}
+	return copts
 }
 
 // IDs of all experiments, in paper order.

@@ -1,19 +1,25 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
 )
 
-// Fig6Row is one iteration's bar pair in Figure 6.
+// Fig6Row is one iteration's bar pair in Figure 6. Tests and InputTests
+// are the injections each campaign actually ran (under Options.EarlyStop
+// the two campaigns stop independently); InputTests is 0 when the
+// iteration has no memory inputs.
 type Fig6Row struct {
-	App       string
-	Iteration int
-	Internal  float64
-	Input     float64 // -1 when no memory inputs
-	Tests     int
+	App        string
+	Iteration  int
+	Internal   float64
+	Input      float64 // -1 when no memory inputs
+	Tests      int
+	InputTests int
 }
 
 // Fig6Result reproduces Figure 6.
@@ -26,6 +32,7 @@ type Fig6Result struct {
 // iteration into internal and input locations (§V-C "Per-Iteration
 // Results").
 func PerIterationSuccessRates(opts Options) (*Fig6Result, error) {
+	ctx := context.Background()
 	res := &Fig6Result{}
 	for _, name := range apps.Fig5Names() {
 		an, err := opts.newAnalyzer(name)
@@ -43,17 +50,21 @@ func PerIterationSuccessRates(opts Options) (*Fig6Result, error) {
 				tests = 60 // fig6 has ~37 campaign targets; keep quick mode quick
 			}
 			row := Fig6Row{App: name, Iteration: it, Tests: tests, Input: -1}
-			ri, err := an.RegionCampaign(an.App.MainLoop, it, "internal", tests, opts.Seed+int64(it))
+			ri, err := an.Campaign(ctx, core.RegionInternal(an.App.MainLoop, it),
+				opts.campaignOptions(tests, opts.Seed+int64(it), 0.95, 0.03)...)
 			if err != nil {
 				return nil, fmt.Errorf("fig6: %s iter %d internal: %w", name, it, err)
 			}
 			row.Internal = ri.SuccessRate()
+			row.Tests = ri.Tests
 			if locs, err := an.RegionInputLocs(an.App.MainLoop, it); err == nil && len(locs) > 0 {
-				rin, err := an.RegionCampaign(an.App.MainLoop, it, "input", tests, opts.Seed+100+int64(it))
+				rin, err := an.Campaign(ctx, core.RegionInputs(an.App.MainLoop, it),
+					opts.campaignOptions(tests, opts.Seed+100+int64(it), 0.95, 0.03)...)
 				if err != nil {
 					return nil, fmt.Errorf("fig6: %s iter %d input: %w", name, it, err)
 				}
 				row.Input = rin.SuccessRate()
+				row.InputTests = rin.Tests
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -65,7 +76,7 @@ func PerIterationSuccessRates(opts Options) (*Fig6Result, error) {
 func (r *Fig6Result) Format() string {
 	var sb strings.Builder
 	sb.WriteString("Figure 6: fault injection success rates per main-loop iteration\n")
-	fmt.Fprintf(&sb, "%-10s %5s %10s %10s %7s\n", "App", "iter", "internal", "input", "tests")
+	fmt.Fprintf(&sb, "%-10s %5s %10s %10s %9s %9s\n", "App", "iter", "internal", "input", "int-tests", "inp-tests")
 	last := ""
 	for _, row := range r.Rows {
 		app := strings.ToUpper(row.App)
@@ -74,11 +85,12 @@ func (r *Fig6Result) Format() string {
 		} else {
 			last = app
 		}
-		input := "   n/a"
+		input, inputTests := "   n/a", "      n/a"
 		if row.Input >= 0 {
 			input = fmt.Sprintf("%10.3f", row.Input)
+			inputTests = fmt.Sprintf("%9d", row.InputTests)
 		}
-		fmt.Fprintf(&sb, "%-10s %5d %10.3f %10s %7d\n", app, row.Iteration+1, row.Internal, input, row.Tests)
+		fmt.Fprintf(&sb, "%-10s %5d %10.3f %10s %9d %9s\n", app, row.Iteration+1, row.Internal, input, row.Tests, inputTests)
 	}
 	return sb.String()
 }

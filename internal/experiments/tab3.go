@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -34,6 +35,7 @@ type Tab3Result struct {
 // overwriting via sprnvc temporaries, truncation in the p·q window, and
 // both together).
 func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
+	ctx := context.Background()
 	variants := []struct{ name, label string }{
 		{"cg", "None"},
 		{"cg-dclovw", "DCL and overwrt."},
@@ -56,18 +58,16 @@ func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
 		}
 		// Paper sizing for the use cases: 99% confidence, 1% margin.
 		tests := opts.campaignTests(clean.Steps*64, 0.99, 0.01)
-		cr, err := inject.Run(inject.Spec{
-			MakeMachine: an.App.NewMachine,
-			Verify:      an.App.Verify,
-			Targets:     picker,
-			Tests:       tests,
-			Seed:        opts.Seed,
-			Scheduler:   opts.Scheduler,
-		})
+		c, err := inject.NewCampaign(an.App.NewMachine, an.App.Verify, picker,
+			opts.campaignOptions(tests, opts.Seed, 0.99, 0.01)...)
 		if err != nil {
 			return nil, err
 		}
-		row := Tab3Row{Variant: v.name, Label: v.label, SR: cr.SuccessRate(), Tests: tests}
+		cr, err := c.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		row := Tab3Row{Variant: v.name, Label: v.label, SR: cr.SuccessRate(), Tests: cr.Tests}
 
 		// Execution time over opts.Runs clean runs (paper: 20 runs).
 		runs := opts.Runs

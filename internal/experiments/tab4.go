@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/predict"
 )
@@ -48,6 +50,7 @@ type Tab4Result struct {
 // rates for the ten benchmarks, fit the Bayesian regression, validate
 // leave-one-out, and compute standardized coefficients.
 func Prediction(opts Options) (*Tab4Result, error) {
+	ctx := context.Background()
 	var samples []predict.Sample
 	res := &Tab4Result{FeatureNames: patterns.FeatureNames()}
 	for _, name := range apps.TableIVNames() {
@@ -64,7 +67,8 @@ func Prediction(opts Options) (*Tab4Result, error) {
 			return nil, err
 		}
 		tests := opts.campaignTests(clean.Steps*64, 0.95, 0.03)
-		cr, err := an.WholeProgramCampaign(tests, opts.Seed)
+		cr, err := an.Campaign(ctx, core.WholeProgram(),
+			opts.campaignOptions(tests, opts.Seed, 0.95, 0.03)...)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +76,7 @@ func Prediction(opts Options) (*Tab4Result, error) {
 			Benchmark:  name,
 			Rates:      rates,
 			MeasuredSR: cr.SuccessRate(),
-			Tests:      tests,
+			Tests:      cr.Tests,
 		})
 		samples = append(samples, predict.Sample{Name: name, X: rates.Vector(), Y: cr.SuccessRate()})
 	}

@@ -1,0 +1,323 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/stats"
+	"fliptracker/internal/trace"
+)
+
+// Campaign is one configured fault-injection campaign. Build it with
+// NewCampaign, then execute it with Run for the aggregate Result or consume
+// it fault by fault with Stream. A Campaign is immutable after construction
+// and safe to run multiple times; every run re-draws the same fault stream
+// from its seed, so for a fixed seed the outcomes are identical whatever
+// the parallelism or scheduler.
+type Campaign struct {
+	mk      func() (*interp.Machine, error)
+	verify  func(*trace.Trace) bool
+	targets TargetPicker
+
+	tests          int
+	seed           int64
+	parallelism    int
+	scheduler      SchedulerKind
+	maxCheckpoints int
+	progress       func(done, total int)
+
+	earlyStop           bool
+	earlyStopConfidence float64
+	earlyStopMargin     float64
+}
+
+// Option configures a Campaign at construction time.
+type Option func(*Campaign)
+
+// WithTests sets the number of injections (see stats.SampleSize for the
+// paper's sizing rule). With early stopping enabled this is the cap; the
+// campaign may finish sooner. Required: NewCampaign rejects a campaign
+// without a positive test count.
+func WithTests(n int) Option { return func(c *Campaign) { c.tests = n } }
+
+// WithSeed makes the campaign reproducible: faults are pre-drawn from a
+// single stream seeded here, so results do not depend on parallelism or
+// scheduler. The default seed is 0.
+func WithSeed(seed int64) Option { return func(c *Campaign) { c.seed = seed } }
+
+// WithScheduler selects the execution strategy; the default is
+// ScheduleCheckpointed. Outcomes are scheduler-independent.
+func WithScheduler(k SchedulerKind) Option { return func(c *Campaign) { c.scheduler = k } }
+
+// WithParallelism caps worker goroutines; 0 (the default) means GOMAXPROCS.
+func WithParallelism(n int) Option { return func(c *Campaign) { c.parallelism = n } }
+
+// WithMaxCheckpoints caps the live prefix snapshots the checkpointed
+// scheduler keeps; 0 (the default) means DefaultMaxCheckpoints.
+func WithMaxCheckpoints(n int) Option { return func(c *Campaign) { c.maxCheckpoints = n } }
+
+// WithProgress registers a callback invoked after each completed injection
+// with the number of outcomes delivered so far and the planned total. It is
+// called sequentially (never concurrently) in fault-index order.
+func WithProgress(fn func(done, total int)) Option { return func(c *Campaign) { c.progress = fn } }
+
+// EarlyStopMinTests is the minimum number of completed injections before
+// WithEarlyStop may end a campaign, guarding the normal-approximation
+// confidence interval against tiny samples.
+const EarlyStopMinTests = 48
+
+// WithEarlyStop enables sequential early stopping: the campaign ends as
+// soon as the success rate's confidence interval half-width (at the given
+// confidence level) is within margin, instead of always running the full
+// WithTests count. The paper sizes campaigns with Leveugle et al.'s
+// worst-case rule (p = 0.5); when the observed rate is far from 0.5 the
+// sequential rule needs fewer injections for the same interval. The
+// interval is Agresti–Coull adjusted (stats.AdjustedProportionCI) so an
+// all-success prefix cannot collapse it to zero width and stop the campaign
+// on a biased estimate. The stop decision is evaluated on the outcome
+// stream in fault-index order, so for a fixed seed it is deterministic and
+// scheduler-independent.
+func WithEarlyStop(confidence, margin float64) Option {
+	return func(c *Campaign) {
+		c.earlyStop = true
+		c.earlyStopConfidence = confidence
+		c.earlyStopMargin = margin
+	}
+}
+
+// NewCampaign builds a campaign over the given fault population.
+// MakeMachine builds a fresh machine per injection (hosts bound, RNG
+// seeded); runs must be deterministic apart from the fault. Verify
+// classifies a completed run's output as pass/fail; it is only consulted
+// when the run status is RunOK. Campaign runs always execute untraced
+// (machine Mode forced to TraceOff) under every scheduler, so Verify must
+// classify from the run's output, not its trace records.
+func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, targets TargetPicker, opts ...Option) (*Campaign, error) {
+	c := &Campaign{mk: mk, verify: verify, targets: targets}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.mk == nil || c.verify == nil || c.targets == nil {
+		return nil, fmt.Errorf("inject: incomplete campaign (need MakeMachine, Verify and a TargetPicker)")
+	}
+	if c.tests <= 0 {
+		return nil, fmt.Errorf("inject: campaign needs a positive test count (WithTests)")
+	}
+	if v, ok := c.targets.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if c.earlyStop {
+		if c.earlyStopConfidence <= 0 || c.earlyStopConfidence >= 1 {
+			return nil, fmt.Errorf("inject: early-stop confidence %v outside (0, 1)", c.earlyStopConfidence)
+		}
+		if c.earlyStopMargin <= 0 || c.earlyStopMargin >= 1 {
+			return nil, fmt.Errorf("inject: early-stop margin %v outside (0, 1)", c.earlyStopMargin)
+		}
+	}
+	return c, nil
+}
+
+// Tests returns the configured injection count (the cap, under early
+// stopping).
+func (c *Campaign) Tests() int { return c.tests }
+
+// FaultOutcome is one per-fault record of a streaming campaign: the drawn
+// fault (step, bit, kind and — for memory faults — address) and its §II-A
+// outcome. Index is the fault's position in the pre-drawn stream; Stream
+// yields outcomes in increasing Index order, so for a fixed seed the
+// sequence is deterministic whatever the parallelism or scheduler.
+type FaultOutcome struct {
+	Index   int
+	Fault   interp.Fault
+	Outcome Outcome
+}
+
+// Run executes the campaign and aggregates the outcomes. On context
+// cancellation it returns the well-formed partial Result accumulated so
+// far together with ctx.Err().
+func (c *Campaign) Run(ctx context.Context) (Result, error) {
+	var res Result
+	err := c.run(ctx, func(fo FaultOutcome) bool {
+		res.Count(fo.Outcome)
+		return !c.metEarlyStop(res)
+	})
+	return res, err
+}
+
+// Stream executes the campaign and yields one FaultOutcome per injection in
+// fault-index order. Breaking out of the loop stops the campaign's workers
+// promptly. On failure — including context cancellation — the final pair
+// carries the error (with Index -1); early stopping ends the sequence
+// without one.
+func (c *Campaign) Stream(ctx context.Context) iter.Seq2[FaultOutcome, error] {
+	return func(yield func(FaultOutcome, error) bool) {
+		var res Result
+		broke := false
+		err := c.run(ctx, func(fo FaultOutcome) bool {
+			res.Count(fo.Outcome)
+			if !yield(fo, nil) {
+				broke = true
+				return false
+			}
+			return !c.metEarlyStop(res)
+		})
+		if err != nil && !broke {
+			yield(FaultOutcome{Index: -1}, err)
+		}
+	}
+}
+
+// metEarlyStop reports whether the sequential stopping rule is satisfied by
+// the outcomes counted so far.
+func (c *Campaign) metEarlyStop(res Result) bool {
+	if !c.earlyStop || res.Tests < EarlyStopMinTests || res.Tests >= c.tests {
+		return false
+	}
+	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
+}
+
+// run is the campaign engine shared by Run and Stream: pre-draw the fault
+// stream, plan checkpoints when the checkpointed scheduler is selected, fan
+// the injections out over a bounded worker pool, and deliver outcomes to
+// emit in fault-index order (a reorder buffer absorbs out-of-order worker
+// completions). emit returning false stops the campaign (early stop or a
+// broken Stream loop); cancelling ctx stops it with ctx.Err(). In every
+// case run waits for its workers to exit before returning, so no goroutines
+// outlive the call.
+func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(c.seed))
+	faults := make([]interp.Fault, c.tests)
+	for i := range faults {
+		faults[i] = c.targets.Pick(rng)
+	}
+
+	var plan *checkpointPlan
+	if c.scheduler == ScheduleCheckpointed {
+		var err error
+		plan, err = c.planCheckpoints(ctx, faults)
+		if err != nil {
+			return err
+		}
+	}
+
+	n := len(faults)
+	workers := c.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// wctx stops the workers; cancelled on early stop, on caller
+	// cancellation, and on the first worker error.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indices := make(chan int, n)
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	// results holds every possible send, so workers never block on it and
+	// always reach their context check.
+	results := make(chan FaultOutcome, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range indices {
+				if wctx.Err() != nil {
+					return
+				}
+				o, err := c.runFault(i, faults[i], plan)
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				results <- FaultOutcome{Index: i, Fault: faults[i], Outcome: o}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder concurrent completions into fault-index order and emit.
+	pending := make(map[int]FaultOutcome, workers)
+	next := 0
+	stopped := false
+	flush := func(fo FaultOutcome) {
+		pending[fo.Index] = fo
+		for !stopped {
+			head, ok := pending[next]
+			if !ok {
+				return
+			}
+			if ctx.Err() != nil {
+				stopped = true
+				return
+			}
+			delete(pending, next)
+			next++
+			if c.progress != nil {
+				c.progress(next, n)
+			}
+			if !emit(head) {
+				stopped = true
+			}
+		}
+	}
+	for !stopped && next < n {
+		select {
+		case fo, ok := <-results:
+			if !ok {
+				// Workers exited early (error path): nothing more will
+				// arrive.
+				stopped = true
+				break
+			}
+			flush(fo)
+		case <-ctx.Done():
+			stopped = true
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFault executes one injection under the planned scheduler.
+func (c *Campaign) runFault(i int, f interp.Fault, plan *checkpointPlan) (Outcome, error) {
+	if plan != nil {
+		return plan.runFault(c, i, f)
+	}
+	return RunOne(c.mk, c.verify, f)
+}

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,27 +10,39 @@ import (
 )
 
 // DefaultMaxCheckpoints bounds the prefix snapshots the checkpointed
-// scheduler keeps live when Spec.MaxCheckpoints is 0. Each snapshot deep-
+// scheduler keeps live when WithMaxCheckpoints is unset. Each snapshot deep-
 // copies program memory plus the frame stack, so the bound also caps the
 // scheduler's memory overhead at roughly DefaultMaxCheckpoints full copies
 // of the workload's data.
 const DefaultMaxCheckpoints = 64
 
-// runCheckpointed executes the campaign by sharing fault-free prefix work
-// across injections. For a fault at dynamic step N, the first N steps are
-// identical to the fault-free run; the direct scheduler re-executes them for
-// every injection. Here the pre-drawn faults are sorted by target step, one
-// machine runs the fault-free prefix forward exactly once — pausing to lay
-// checkpoints at adaptive intervals (dense where faults cluster, absent
-// where none land) — and each injection run restores the nearest checkpoint
-// at or before its fault step and resumes from there. Every run then costs
-// restore + (fault step − checkpoint step) + post-fault tail instead of a
-// whole-program replay.
+// checkpointPlan is the checkpointed scheduler's shared state: the prefix
+// snapshots laid down by one forward pass of the fault-free run, and the
+// per-fault assignment of the nearest snapshot at or before its step.
+type checkpointPlan struct {
+	snaps []*interp.Snapshot
+	// assign maps fault index -> snapshot index; -1 replays from step 0.
+	assign []int
+}
+
+// planCheckpoints shares fault-free prefix work across injections. For a
+// fault at dynamic step N, the first N steps are identical to the fault-free
+// run; the direct scheduler re-executes them for every injection. Here the
+// pre-drawn faults are sorted by target step, one machine runs the
+// fault-free prefix forward exactly once — pausing to lay checkpoints at
+// adaptive intervals (dense where faults cluster, absent where none land) —
+// and each injection run restores the nearest checkpoint at or before its
+// fault step and resumes from there. Every run then costs restore + (fault
+// step − checkpoint step) + post-fault tail instead of a whole-program
+// replay.
 //
 // Because restored runs are bit-identical to from-scratch runs and the fault
 // stream is drawn before scheduling, the outcomes — and thus the Result —
-// are exactly those of the direct scheduler for the same Seed.
-func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
+// are exactly those of the direct scheduler for the same seed.
+//
+// The forward pass honors ctx between checkpoints, so cancellation during
+// planning is prompt.
+func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (*checkpointPlan, error) {
 	n := len(faults)
 	order := make([]int, n)
 	for i := range order {
@@ -42,7 +55,7 @@ func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
 		return order[a] < order[b]
 	})
 
-	budget := spec.MaxCheckpoints
+	budget := c.maxCheckpoints
 	if budget <= 0 {
 		budget = DefaultMaxCheckpoints
 	}
@@ -55,21 +68,23 @@ func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
 		interval = 1
 	}
 
-	base, err := spec.MakeMachine()
+	base, err := c.mk()
 	if err != nil {
 		return nil, fmt.Errorf("inject: make machine: %w", err)
 	}
 	base.Mode = interp.TraceOff
 
-	var snaps []*interp.Snapshot
-	assign := make([]int, n) // fault index -> snapshot index, -1 = replay from step 0
-	for i := range assign {
-		assign[i] = -1
+	plan := &checkpointPlan{assign: make([]int, n)}
+	for i := range plan.assign {
+		plan.assign[i] = -1
 	}
 	baseLive := true
 	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fstep := faults[idx].Step
-		if baseLive && (len(snaps) == 0 || fstep-snaps[len(snaps)-1].Step() > interval) {
+		if baseLive && (len(plan.snaps) == 0 || fstep-plan.snaps[len(plan.snaps)-1].Step() > interval) {
 			paused, err := base.RunUntil(fstep)
 			if err != nil {
 				return nil, fmt.Errorf("inject: checkpoint prefix: %w", err)
@@ -79,7 +94,7 @@ func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
 				if err != nil {
 					return nil, fmt.Errorf("inject: checkpoint: %w", err)
 				}
-				snaps = append(snaps, snap)
+				plan.snaps = append(plan.snaps, snap)
 			} else {
 				// The fault-free run terminated before this fault's step;
 				// no later checkpoint is reachable. Later faults resume
@@ -87,47 +102,38 @@ func runCheckpointed(spec Spec, faults []interp.Fault) ([]Outcome, error) {
 				baseLive = false
 			}
 		}
-		if len(snaps) > 0 {
-			assign[idx] = len(snaps) - 1
+		if len(plan.snaps) > 0 {
+			plan.assign[idx] = len(plan.snaps) - 1
 		}
 	}
+	return plan, nil
+}
 
-	outcomes := make([]Outcome, n)
-	err = forEachFault(n, spec.Parallelism, func(i int) error {
-		snapIdx := assign[i]
-		if snapIdx < 0 {
-			o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
-			if err != nil {
-				return err
-			}
-			outcomes[i] = o
-			return nil
-		}
-		m, err := spec.MakeMachine()
-		if err != nil {
-			return fmt.Errorf("inject: make machine: %w", err)
-		}
-		m.Mode = interp.TraceOff
-		f := faults[i]
-		m.Fault = &f
-		var tr *trace.Trace
-		if rerr := m.Restore(snaps[snapIdx]); rerr == nil {
-			tr, err = m.Resume()
-		} else {
-			// Restore can only fail when MakeMachine rebuilds its program
-			// per call, so snapshots cannot be shared; replay this same
-			// (still unstarted) machine from step 0, which is always
-			// correct.
-			tr, err = m.Run()
-		}
-		if err != nil {
-			return fmt.Errorf("inject: injection run: %w", err)
-		}
-		outcomes[i] = classify(m, tr, spec.Verify)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+// runFault executes one injection from its assigned checkpoint (or from
+// step 0 when none is assigned) and classifies it.
+func (p *checkpointPlan) runFault(c *Campaign, i int, f interp.Fault) (Outcome, error) {
+	snapIdx := p.assign[i]
+	if snapIdx < 0 {
+		return RunOne(c.mk, c.verify, f)
 	}
-	return outcomes, nil
+	m, err := c.mk()
+	if err != nil {
+		return NotApplied, fmt.Errorf("inject: make machine: %w", err)
+	}
+	m.Mode = interp.TraceOff
+	m.Fault = &f
+	var tr *trace.Trace
+	if rerr := m.Restore(p.snaps[snapIdx]); rerr == nil {
+		tr, err = m.Resume()
+	} else {
+		// Restore can only fail when MakeMachine rebuilds its program
+		// per call, so snapshots cannot be shared; replay this same
+		// (still unstarted) machine from step 0, which is always
+		// correct.
+		tr, err = m.Run()
+	}
+	if err != nil {
+		return NotApplied, fmt.Errorf("inject: injection run: %w", err)
+	}
+	return classify(m, tr, c.verify), nil
 }

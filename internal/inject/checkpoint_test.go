@@ -1,41 +1,46 @@
 package inject
 
 import (
+	"context"
 	"testing"
 
 	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
 )
 
 // runBoth executes the same campaign under both schedulers and requires
 // identical results — the core guarantee of the checkpointed scheduler.
-func runBoth(t *testing.T, spec Spec) Result {
+func runBoth(t *testing.T, mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, targets TargetPicker, opts ...Option) Result {
 	t.Helper()
-	spec.Scheduler = ScheduleDirect
-	direct, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
+	run := func(k SchedulerKind) Result {
+		c, err := NewCampaign(mk, verify, targets, append(opts, WithScheduler(k))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	spec.Scheduler = ScheduleCheckpointed
-	ck, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	direct := run(ScheduleDirect)
+	ck := run(ScheduleCheckpointed)
 	if direct != ck {
 		t.Fatalf("schedulers disagree: direct %+v vs checkpointed %+v", direct, ck)
 	}
 	return ck
 }
 
+func runBothTolerance(t *testing.T, p *ir.Program, targets TargetPicker, opts ...Option) Result {
+	t.Helper()
+	return runBoth(t, makeMachine(p), verifyNear10, targets, opts...)
+}
+
 func TestCheckpointedMatchesDirectUniformDst(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
-	res := runBoth(t, Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     UniformDst{TotalSteps: steps},
-		Tests:       400,
-		Seed:        1,
-	})
+	res := runBothTolerance(t, p, UniformDst{TotalSteps: steps}, WithTests(400), WithSeed(1))
 	if res.Success == 0 || res.Failed == 0 {
 		t.Errorf("expected mixed outcomes: %+v", res)
 	}
@@ -45,13 +50,7 @@ func TestCheckpointedMatchesDirectAcrossSeeds(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
 	for seed := int64(1); seed <= 5; seed++ {
-		runBoth(t, Spec{
-			MakeMachine: makeMachine(p),
-			Verify:      verifyNear10,
-			Targets:     UniformDst{TotalSteps: steps},
-			Tests:       120,
-			Seed:        seed,
-		})
+		runBothTolerance(t, p, UniformDst{TotalSteps: steps}, WithTests(120), WithSeed(seed))
 	}
 }
 
@@ -65,37 +64,17 @@ func TestCheckpointedMatchesDirectMemAtStep(t *testing.T) {
 		addrs[i] = a.Addr + int64(i)
 	}
 	steps := totalSteps(t, p)
-	runBoth(t, Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     MemAtStep{Step: steps / 2, Addrs: addrs},
-		Tests:       200,
-		Seed:        7,
-	})
+	runBothTolerance(t, p, MemAtStep{Step: steps / 2, Addrs: addrs}, WithTests(200), WithSeed(7))
 }
 
 func TestCheckpointedCheckpointBudgets(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
-	spec := Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     UniformDst{TotalSteps: steps},
-		Tests:       150,
-		Seed:        3,
-		Scheduler:   ScheduleDirect,
-	}
-	want, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	targets := UniformDst{TotalSteps: steps}
+	want := mustRun(t, p, targets, WithTests(150), WithSeed(3), WithScheduler(ScheduleDirect))
 	for _, budget := range []int{1, 2, 16, 10_000} {
-		spec.Scheduler = ScheduleCheckpointed
-		spec.MaxCheckpoints = budget
-		got, err := Run(spec)
-		if err != nil {
-			t.Fatal(err)
-		}
+		got := mustRun(t, p, targets, WithTests(150), WithSeed(3),
+			WithScheduler(ScheduleCheckpointed), WithMaxCheckpoints(budget))
 		if got != want {
 			t.Errorf("budget %d: %+v, want %+v", budget, got, want)
 		}
@@ -107,13 +86,7 @@ func TestCheckpointedFaultBeyondProgramEnd(t *testing.T) {
 	// checkpointed base run terminates before reaching them.
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
-	res := runBoth(t, Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     StepRangeDst{Lo: steps - 2, Hi: steps + 50},
-		Tests:       60,
-		Seed:        11,
-	})
+	res := runBothTolerance(t, p, StepRangeDst{Lo: steps - 2, Hi: steps + 50}, WithTests(60), WithSeed(11))
 	if res.NotApplied == 0 {
 		t.Errorf("expected not-applied faults beyond program end: %+v", res)
 	}
@@ -122,23 +95,9 @@ func TestCheckpointedFaultBeyondProgramEnd(t *testing.T) {
 func TestCheckpointedSerialMatchesParallel(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
-	spec := Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     UniformDst{TotalSteps: steps},
-		Tests:       100,
-		Seed:        42,
-	}
-	spec.Parallelism = 1
-	one, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec.Parallelism = 8
-	eight, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
+	targets := UniformDst{TotalSteps: steps}
+	one := mustRun(t, p, targets, WithTests(100), WithSeed(42), WithParallelism(1))
+	eight := mustRun(t, p, targets, WithTests(100), WithSeed(42), WithParallelism(8))
 	if one != eight {
 		t.Errorf("checkpointed results depend on parallelism: %+v vs %+v", one, eight)
 	}
@@ -163,13 +122,7 @@ func TestCheckpointedFallbackFreshProgramPerMachine(t *testing.T) {
 		}
 		return m, nil
 	}
-	runBoth(t, Spec{
-		MakeMachine: mkFresh,
-		Verify:      verifyNear10,
-		Targets:     UniformDst{TotalSteps: steps},
-		Tests:       50,
-		Seed:        9,
-	})
+	runBoth(t, mkFresh, verifyNear10, UniformDst{TotalSteps: steps}, WithTests(50), WithSeed(9))
 }
 
 func TestSchedulerKindStrings(t *testing.T) {
@@ -179,8 +132,9 @@ func TestSchedulerKindStrings(t *testing.T) {
 	if SchedulerKind(9).String() == "" {
 		t.Error("unknown scheduler should stringify")
 	}
-	var spec Spec
-	if spec.Scheduler != ScheduleCheckpointed {
-		t.Error("zero-value Spec must default to the checkpointed scheduler")
+	p := buildToleranceProg(t)
+	c := mustCampaign(t, p, UniformDst{TotalSteps: 10}, WithTests(5))
+	if c.scheduler != ScheduleCheckpointed {
+		t.Error("campaigns must default to the checkpointed scheduler")
 	}
 }

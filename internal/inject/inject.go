@@ -4,6 +4,12 @@
 // fault manifestations of §II-A (Verification Success, Verification Failed,
 // Crashed) and the success-rate metric of Equation 1.
 //
+// A campaign is built with NewCampaign from a machine factory, a verifier
+// and a TargetPicker, configured by functional options (WithTests, WithSeed,
+// WithScheduler, WithParallelism, WithProgress, WithEarlyStop, ...), and
+// executed with Run or consumed fault by fault with Stream. Both accept a
+// context.Context and stop promptly when it is cancelled.
+//
 // Campaigns run under one of two schedulers with identical results: the
 // default checkpointed scheduler shares fault-free prefix work across
 // injections via machine snapshots (see checkpoint.go), while the direct
@@ -13,8 +19,6 @@ package inject
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"fliptracker/internal/interp"
 	"fliptracker/internal/trace"
@@ -55,6 +59,23 @@ type TargetPicker interface {
 	Pick(r *rand.Rand) interp.Fault
 }
 
+// Validator lets a TargetPicker reject an empty population at campaign
+// construction time. NewCampaign calls Validate when the picker implements
+// it; pickers with nothing to draw from must also degrade gracefully in
+// Pick (a never-firing fault rather than a panic) for callers that build
+// them directly.
+type Validator interface {
+	Validate() error
+}
+
+// neverStep is a dynamic step no run ever reaches. Pickers whose population
+// is empty aim faults here: the fault never fires and the run classifies as
+// NotApplied. The guarded paths consume one bit draw so every Pick advances
+// the stream; they make no alignment promise against the non-degenerate
+// paths (which draw more), so an empty and a non-empty population yield
+// different streams from the same seed.
+const neverStep = ^uint64(0)
+
 // UniformDst injects into the result of a uniformly chosen dynamic
 // instruction across the whole run — the population used for whole-program
 // success rates (Table IV).
@@ -63,13 +84,25 @@ type UniformDst struct {
 	TotalSteps uint64
 }
 
-// Pick draws a step and bit uniformly.
+// Pick draws a step and bit uniformly. A zero-sized population yields a
+// never-firing fault (NotApplied) instead of panicking.
 func (u UniformDst) Pick(r *rand.Rand) interp.Fault {
+	if u.TotalSteps == 0 {
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
+	}
 	return interp.Fault{
 		Step: uint64(r.Int63n(int64(u.TotalSteps))),
 		Bit:  uint8(r.Intn(64)),
 		Kind: interp.FaultDst,
 	}
+}
+
+// Validate rejects an empty population.
+func (u UniformDst) Validate() error {
+	if u.TotalSteps == 0 {
+		return fmt.Errorf("inject: UniformDst population is empty (TotalSteps = 0)")
+	}
+	return nil
 }
 
 // StepRangeDst injects into the result of a uniformly chosen dynamic
@@ -79,16 +112,25 @@ type StepRangeDst struct {
 	Lo, Hi uint64
 }
 
-// Pick draws a step in range and a bit uniformly.
+// Pick draws a step in range and a bit uniformly. An empty range yields a
+// never-firing fault (NotApplied) instead of a real fault at Lo.
 func (s StepRangeDst) Pick(r *rand.Rand) interp.Fault {
 	if s.Hi <= s.Lo {
-		return interp.Fault{Step: s.Lo, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
 	}
 	return interp.Fault{
 		Step: s.Lo + uint64(r.Int63n(int64(s.Hi-s.Lo))),
 		Bit:  uint8(r.Intn(64)),
 		Kind: interp.FaultDst,
 	}
+}
+
+// Validate rejects an empty range.
+func (s StepRangeDst) Validate() error {
+	if s.Hi <= s.Lo {
+		return fmt.Errorf("inject: StepRangeDst population is empty (range [%d, %d))", s.Lo, s.Hi)
+	}
+	return nil
 }
 
 // UniformMem injects into a uniformly chosen memory word at a uniformly
@@ -103,14 +145,30 @@ type UniformMem struct {
 	FirstAddr, LastAddr int64
 }
 
-// Pick draws a step, address, and bit uniformly.
+// Pick draws a step, address, and bit uniformly. A zero-sized population
+// (no steps, or an empty address range) yields a never-firing fault
+// (NotApplied) instead of panicking.
 func (u UniformMem) Pick(r *rand.Rand) interp.Fault {
+	if u.TotalSteps == 0 || u.LastAddr <= u.FirstAddr {
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultMem, Addr: u.FirstAddr}
+	}
 	return interp.Fault{
 		Step: uint64(r.Int63n(int64(u.TotalSteps))),
 		Bit:  uint8(r.Intn(64)),
 		Kind: interp.FaultMem,
 		Addr: u.FirstAddr + r.Int63n(u.LastAddr-u.FirstAddr),
 	}
+}
+
+// Validate rejects an empty population.
+func (u UniformMem) Validate() error {
+	if u.TotalSteps == 0 {
+		return fmt.Errorf("inject: UniformMem population is empty (TotalSteps = 0)")
+	}
+	if u.LastAddr <= u.FirstAddr {
+		return fmt.Errorf("inject: UniformMem population is empty (address range [%d, %d))", u.FirstAddr, u.LastAddr)
+	}
+	return nil
 }
 
 // Mixed draws from each sub-population with equal probability, modeling a
@@ -122,7 +180,25 @@ type Mixed struct {
 
 // Pick selects a sub-population uniformly, then draws from it.
 func (m Mixed) Pick(r *rand.Rand) interp.Fault {
+	if len(m.Pickers) == 0 {
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
+	}
 	return m.Pickers[r.Intn(len(m.Pickers))].Pick(r)
+}
+
+// Validate rejects an empty picker set and any invalid sub-population.
+func (m Mixed) Validate() error {
+	if len(m.Pickers) == 0 {
+		return fmt.Errorf("inject: Mixed has no sub-populations")
+	}
+	for i, p := range m.Pickers {
+		if v, ok := p.(Validator); ok {
+			if err := v.Validate(); err != nil {
+				return fmt.Errorf("inject: Mixed sub-population %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // MemAtStep injects into a uniformly chosen memory word (from Addrs) at a
@@ -133,14 +209,26 @@ type MemAtStep struct {
 	Addrs []int64
 }
 
-// Pick draws an address and bit uniformly.
+// Pick draws an address and bit uniformly. An empty address set yields a
+// never-firing fault (NotApplied) instead of panicking.
 func (m MemAtStep) Pick(r *rand.Rand) interp.Fault {
+	if len(m.Addrs) == 0 {
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultMem}
+	}
 	return interp.Fault{
 		Step: m.Step,
 		Bit:  uint8(r.Intn(64)),
 		Kind: interp.FaultMem,
 		Addr: m.Addrs[r.Intn(len(m.Addrs))],
 	}
+}
+
+// Validate rejects an empty address set.
+func (m MemAtStep) Validate() error {
+	if len(m.Addrs) == 0 {
+		return fmt.Errorf("inject: MemAtStep has no addresses")
+	}
+	return nil
 }
 
 // SchedulerKind selects how a campaign executes its injection runs.
@@ -167,33 +255,6 @@ func (k SchedulerKind) String() string {
 		return "direct"
 	}
 	return fmt.Sprintf("scheduler(%d)", uint8(k))
-}
-
-// Spec configures one campaign. Campaign runs always execute untraced
-// (machine Mode forced to TraceOff) under every scheduler; Verify must
-// classify from the run's output, not its trace records.
-type Spec struct {
-	// MakeMachine builds a fresh machine per injection (hosts bound,
-	// RNG seeded). Runs must be deterministic apart from the fault.
-	MakeMachine func() (*interp.Machine, error)
-	// Verify classifies a completed run's output as pass/fail. It is only
-	// consulted when the run status is RunOK.
-	Verify func(*trace.Trace) bool
-	// Targets draws injection sites.
-	Targets TargetPicker
-	// Tests is the number of injections (see stats.SampleSize).
-	Tests int
-	// Seed makes the campaign reproducible; faults are pre-drawn from a
-	// single stream so results do not depend on Parallelism or Scheduler.
-	Seed int64
-	// Parallelism caps worker goroutines; 0 means GOMAXPROCS.
-	Parallelism int
-	// Scheduler selects the execution strategy; the zero value is
-	// ScheduleCheckpointed. Outcomes are scheduler-independent.
-	Scheduler SchedulerKind
-	// MaxCheckpoints caps the live prefix snapshots the checkpointed
-	// scheduler keeps; 0 means DefaultMaxCheckpoints.
-	MaxCheckpoints int
 }
 
 // Result aggregates campaign outcomes.
@@ -230,102 +291,20 @@ func (r *Result) Add(o Result) {
 	r.NotApplied += o.NotApplied
 }
 
-// Run executes the campaign: Tests independent runs, each with one fault.
-// The fault population is pre-drawn from a single seeded stream, so for a
-// fixed Seed the Result is identical whatever the Parallelism or Scheduler.
-func Run(spec Spec) (Result, error) {
-	if spec.MakeMachine == nil || spec.Verify == nil || spec.Targets == nil {
-		return Result{}, fmt.Errorf("inject: incomplete spec")
+// Count tallies one outcome — the streaming analog of Add, for consumers
+// aggregating Campaign.Stream themselves.
+func (r *Result) Count(o Outcome) {
+	r.Tests++
+	switch o {
+	case Success:
+		r.Success++
+	case Failed:
+		r.Failed++
+	case Crashed:
+		r.Crashed++
+	case NotApplied:
+		r.NotApplied++
 	}
-	if spec.Tests <= 0 {
-		return Result{}, fmt.Errorf("inject: Tests must be positive")
-	}
-	rng := rand.New(rand.NewSource(spec.Seed))
-	faults := make([]interp.Fault, spec.Tests)
-	for i := range faults {
-		faults[i] = spec.Targets.Pick(rng)
-	}
-
-	var outcomes []Outcome
-	var err error
-	if spec.Scheduler == ScheduleDirect {
-		outcomes, err = runDirect(spec, faults)
-	} else {
-		outcomes, err = runCheckpointed(spec, faults)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-
-	var res Result
-	res.Tests = spec.Tests
-	for _, o := range outcomes {
-		switch o {
-		case Success:
-			res.Success++
-		case Failed:
-			res.Failed++
-		case Crashed:
-			res.Crashed++
-		case NotApplied:
-			res.NotApplied++
-		}
-	}
-	return res, nil
-}
-
-// runDirect replays every injection run from dynamic step 0.
-func runDirect(spec Spec, faults []interp.Fault) ([]Outcome, error) {
-	outcomes := make([]Outcome, len(faults))
-	err := forEachFault(len(faults), spec.Parallelism, func(i int) error {
-		o, err := RunOne(spec.MakeMachine, spec.Verify, faults[i])
-		if err != nil {
-			return err
-		}
-		outcomes[i] = o
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return outcomes, nil
-}
-
-// forEachFault fans indices 0..n-1 out over a bounded worker pool.
-func forEachFault(n, parallelism int, do func(i int) error) error {
-	workers := parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range next {
-				if err := do(i); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // RunOne performs a single injection run from step 0 and classifies it.

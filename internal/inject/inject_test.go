@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -76,20 +77,30 @@ func totalSteps(t *testing.T, p *ir.Program) uint64 {
 	return tr.Steps
 }
 
-func TestCampaignUniformDst(t *testing.T) {
-	p := buildToleranceProg(t)
-	steps := totalSteps(t, p)
-	spec := Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     UniformDst{TotalSteps: steps},
-		Tests:       400,
-		Seed:        1,
-	}
-	res, err := Run(spec)
+// mustCampaign builds a campaign over the tolerance program.
+func mustCampaign(t *testing.T, p *ir.Program, targets TargetPicker, opts ...Option) *Campaign {
+	t.Helper()
+	c, err := NewCampaign(makeMachine(p), verifyNear10, targets, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return c
+}
+
+// mustRun builds and runs a campaign, failing the test on error.
+func mustRun(t *testing.T, p *ir.Program, targets TargetPicker, opts ...Option) Result {
+	t.Helper()
+	res, err := mustCampaign(t, p, targets, opts...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignUniformDst(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	res := mustRun(t, p, UniformDst{TotalSteps: steps}, WithTests(400), WithSeed(1))
 	if res.Tests != 400 {
 		t.Fatalf("tests = %d", res.Tests)
 	}
@@ -112,18 +123,8 @@ func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
 	mk := func(par int) Result {
-		res, err := Run(Spec{
-			MakeMachine: makeMachine(p),
-			Verify:      verifyNear10,
-			Targets:     UniformDst{TotalSteps: steps},
-			Tests:       100,
-			Seed:        42,
-			Parallelism: par,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
+		return mustRun(t, p, UniformDst{TotalSteps: steps},
+			WithTests(100), WithSeed(42), WithParallelism(par))
 	}
 	if a, b := mk(1), mk(8); a != b {
 		t.Errorf("campaign results depend on parallelism: %+v vs %+v", a, b)
@@ -134,14 +135,7 @@ func TestCampaignSeedChangesDraws(t *testing.T) {
 	p := buildToleranceProg(t)
 	steps := totalSteps(t, p)
 	run := func(seed int64) Result {
-		res, err := Run(Spec{
-			MakeMachine: makeMachine(p), Verify: verifyNear10,
-			Targets: UniformDst{TotalSteps: steps}, Tests: 60, Seed: seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
+		return mustRun(t, p, UniformDst{TotalSteps: steps}, WithTests(60), WithSeed(seed))
 	}
 	if a, b := run(1), run(2); a == b {
 		t.Log("different seeds coincidentally gave identical results (possible but unlikely)")
@@ -167,16 +161,7 @@ func TestMemAtStepTargetsInputs(t *testing.T) {
 			break
 		}
 	}
-	res, err := Run(Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     MemAtStep{Step: loadStep, Addrs: addrs},
-		Tests:       200,
-		Seed:        7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, p, MemAtStep{Step: loadStep, Addrs: addrs}, WithTests(200), WithSeed(7))
 	// Memory flips in a[] cannot crash this program (no addresses flow
 	// from a[]); they either mask or fail.
 	if res.Crashed != 0 {
@@ -199,9 +184,9 @@ func TestStepRangeDstPicksInRange(t *testing.T) {
 			t.Fatalf("kind = %v", f.Kind)
 		}
 	}
-	// Degenerate range collapses to Lo.
-	if f := (StepRangeDst{Lo: 5, Hi: 5}).Pick(r); f.Step != 5 {
-		t.Errorf("degenerate range step = %d", f.Step)
+	// Degenerate range is an empty population: the fault must never fire.
+	if f := (StepRangeDst{Lo: 5, Hi: 5}).Pick(r); f.Step != neverStep {
+		t.Errorf("degenerate range step = %d, want never-firing", f.Step)
 	}
 }
 
@@ -217,17 +202,30 @@ func TestRunOneNotApplied(t *testing.T) {
 	}
 }
 
-func TestRunSpecValidation(t *testing.T) {
-	if _, err := Run(Spec{}); err == nil {
-		t.Error("empty spec should fail")
-	}
+func TestNewCampaignValidation(t *testing.T) {
 	p := buildToleranceProg(t)
-	if _, err := Run(Spec{MakeMachine: makeMachine(p), Verify: verifyNear10, Targets: UniformDst{10}, Tests: 0}); err == nil {
-		t.Error("zero tests should fail")
+	mk, targets := makeMachine(p), UniformDst{TotalSteps: 10}
+	if _, err := NewCampaign(nil, nil, nil); err == nil {
+		t.Error("empty campaign should fail")
+	}
+	if _, err := NewCampaign(mk, verifyNear10, targets); err == nil {
+		t.Error("campaign without WithTests should fail")
+	}
+	if _, err := NewCampaign(mk, verifyNear10, targets, WithTests(-3)); err == nil {
+		t.Error("negative test count should fail")
+	}
+	if _, err := NewCampaign(mk, verifyNear10, targets, WithTests(10), WithEarlyStop(1.5, 0.03)); err == nil {
+		t.Error("early-stop confidence outside (0,1) should fail")
+	}
+	if _, err := NewCampaign(mk, verifyNear10, targets, WithTests(10), WithEarlyStop(0.95, 0)); err == nil {
+		t.Error("early-stop margin outside (0,1) should fail")
+	}
+	if _, err := NewCampaign(mk, verifyNear10, targets, WithTests(10)); err != nil {
+		t.Errorf("valid campaign rejected: %v", err)
 	}
 }
 
-func TestResultAddAndRates(t *testing.T) {
+func TestResultAddCountAndRates(t *testing.T) {
 	r := Result{Tests: 10, Success: 6, Failed: 2, Crashed: 2}
 	r.Add(Result{Tests: 10, Success: 4, Failed: 4, Crashed: 2})
 	if r.Tests != 20 || r.Success != 10 {
@@ -238,6 +236,13 @@ func TestResultAddAndRates(t *testing.T) {
 	}
 	if r.CrashRate() != 0.2 {
 		t.Errorf("crash rate = %v", r.CrashRate())
+	}
+	var tally Result
+	for _, o := range []Outcome{Success, Success, Failed, Crashed, NotApplied} {
+		tally.Count(o)
+	}
+	if (tally != Result{Tests: 5, Success: 2, Failed: 1, Crashed: 1, NotApplied: 1}) {
+		t.Errorf("Count wrong: %+v", tally)
 	}
 	var zero Result
 	if zero.SuccessRate() != 0 || zero.CrashRate() != 0 {

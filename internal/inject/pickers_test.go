@@ -53,16 +53,8 @@ func TestMixedDrawsFromAllSubPopulations(t *testing.T) {
 
 func TestUniformMemCampaign(t *testing.T) {
 	p := buildToleranceProg(t)
-	res, err := Run(Spec{
-		MakeMachine: makeMachine(p),
-		Verify:      verifyNear10,
-		Targets:     UniformMem{TotalSteps: 100, FirstAddr: 1, LastAddr: p.MemWords},
-		Tests:       150,
-		Seed:        11,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := mustRun(t, p, UniformMem{TotalSteps: 100, FirstAddr: 1, LastAddr: p.MemWords},
+		WithTests(150), WithSeed(11))
 	if res.Success+res.Failed+res.Crashed+res.NotApplied != res.Tests {
 		t.Fatalf("outcomes do not sum: %+v", res)
 	}

@@ -92,6 +92,22 @@ func ProportionCI(p float64, n int, confidence float64) float64 {
 	return zScore(confidence) * math.Sqrt(p*(1-p)/float64(n))
 }
 
+// AdjustedProportionCI returns the half-width of the Agresti–Coull interval
+// for successes over n trials: the estimate is shrunk toward 1/2 by z²/2
+// pseudo-observations before the normal approximation is applied. Unlike the
+// plain Wald interval (ProportionCI), it never degenerates to zero width at
+// an all-success or all-failure sample, which makes it safe to drive
+// sequential early stopping.
+func AdjustedProportionCI(successes, n int, confidence float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	z := zScore(confidence)
+	nt := float64(n) + z*z
+	pt := (float64(successes) + z*z/2) / nt
+	return z * math.Sqrt(pt*(1-pt)/nt)
+}
+
 // SolveRidge solves (X'X + lambda*I) beta = X'y by Gaussian elimination with
 // partial pivoting. X is row-major n×k; y has length n. lambda = 0 gives
 // ordinary least squares. An intercept column must be included by the caller

@@ -174,3 +174,24 @@ func TestZScoreLevels(t *testing.T) {
 		prev = z
 	}
 }
+
+func TestAdjustedProportionCI(t *testing.T) {
+	if w := AdjustedProportionCI(50, 0, 0.95); w != 1 {
+		t.Errorf("zero trials width = %v, want 1", w)
+	}
+	// Never degenerates to zero at all-success, unlike the Wald interval.
+	if w := AdjustedProportionCI(100, 100, 0.95); w <= 0 {
+		t.Errorf("all-success width = %v, want > 0", w)
+	} else if wald := ProportionCI(1, 100, 0.95); wald != 0 {
+		t.Errorf("Wald all-success width = %v, want 0", wald)
+	}
+	// Near p = 0.5 it agrees with the Wald interval to within a few percent.
+	adj, wald := AdjustedProportionCI(500, 1000, 0.95), ProportionCI(0.5, 1000, 0.95)
+	if d := adj - wald; d < -0.002 || d > 0.002 {
+		t.Errorf("adjusted %v vs wald %v at p=0.5", adj, wald)
+	}
+	// Width shrinks with n.
+	if AdjustedProportionCI(95, 100, 0.95) <= AdjustedProportionCI(950, 1000, 0.95) {
+		t.Error("width should shrink with n")
+	}
+}
