@@ -351,6 +351,136 @@ func BenchmarkEarlyStopCampaign(b *testing.B) {
 	}
 }
 
+// legacyAnalyzeFault replicates the pre-CleanIndex per-fault analysis for
+// the benchmark baseline: every clean-run artifact — the faulty trace's
+// record buffer (unhinted), the clean region spans, and each touched
+// instance's clean DDDG — is re-derived on every call, exactly as
+// core.AnalyzeFault did before the analysis-pipeline v2 refactor.
+func legacyAnalyzeFault(b *testing.B, an *fliptracker.Analyzer, clean *trace.Trace, f interp.Fault) {
+	b.Helper()
+	faulty, err := an.App.FaultyTrace(interp.TraceFull, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := acl.Analyze(faulty, clean)
+	if res.InjectionIndex < 0 {
+		return
+	}
+	cleanSpans := clean.SplitRegions()
+	faultySpans := faulty.SplitRegions()
+	type key struct {
+		id   int32
+		inst int
+	}
+	fIdx := make(map[key]trace.Span, len(faultySpans))
+	for _, s := range faultySpans {
+		fIdx[key{s.RegionID, s.Instance}] = s
+	}
+	for _, cs := range cleanSpans {
+		fs, ok := fIdx[key{cs.RegionID, cs.Instance}]
+		if !ok || !res.TouchesSpan(fs) {
+			continue
+		}
+		dddg.CompareRegion(clean, cs, faulty, fs)
+		fliptracker.DetectPatterns(an.Prog, faulty, clean, fs, res)
+	}
+}
+
+// BenchmarkAnalyzedCampaign measures the analysis pipeline v2 speedup on a
+// fixed spread of MG faults run through the full per-fault analysis:
+//
+//   - legacy-loop: the pre-refactor path — clean spans re-split and clean
+//     DDDGs rebuilt per fault, unhinted record buffers.
+//   - index-loop: a serial AnalyzeFault loop sharing the CleanIndex.
+//   - campaign/*: analyzed campaigns over the same faults (FaultList), which
+//     add checkpointed prefix sharing and worker-pool parallelism.
+//
+// Run with -benchmem to see the allocation drop from TraceHint/PrimeTrace
+// preallocation and the cached clean artifacts. Every variant reports
+// ms/fault; campaign results are pinned equal to the loop by
+// TestAnalyzedCampaignMatchesAnalyzeFaultLoop.
+func BenchmarkAnalyzedCampaign(b *testing.B) {
+	an, err := fliptracker.NewAnalyzer("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, err := an.CleanTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := an.Index()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A fixed fault spread over the back half of the run (the shape of
+	// region campaigns, where checkpointing shares the long prefix), on
+	// absorbable mantissa bits so analyses see real pattern activity.
+	const tests = 24
+	var faults []interp.Fault
+	for i := 0; i < tests; i++ {
+		step := clean.Steps/2 + uint64(i)*(clean.Steps/2)/tests
+		faults = append(faults, interp.Fault{Step: step, Bit: uint8(30 + i%23), Kind: interp.FaultDst})
+	}
+	perFault := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*tests), "ms/fault")
+	}
+
+	b.Run("legacy-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				legacyAnalyzeFault(b, an, clean, f)
+			}
+		}
+		perFault(b)
+	})
+	b.Run("index-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				if _, err := an.AnalyzeFault(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perFault(b)
+	})
+	campaign := func(b *testing.B, sched fliptracker.SchedulerKind, par int) {
+		for i := 0; i < b.N; i++ {
+			c, err := fliptracker.NewCampaign(an.App.NewMachine, an.App.Verify,
+				fliptracker.FaultList{Faults: faults},
+				fliptracker.WithTests(tests),
+				fliptracker.WithScheduler(sched),
+				fliptracker.WithParallelism(par),
+				ix.AnalysisOption())
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for fo, err := range c.Stream(context.Background()) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fa, ok := fo.Analysis.(*fliptracker.FaultAnalysis); !ok || fa == nil {
+					b.Fatal("missing analysis payload")
+				}
+				n++
+			}
+			if n != tests {
+				b.Fatalf("analyzed %d faults, want %d", n, tests)
+			}
+		}
+		perFault(b)
+	}
+	b.Run("campaign/direct-p1", func(b *testing.B) {
+		campaign(b, fliptracker.ScheduleDirect, 1)
+	})
+	b.Run("campaign/checkpointed-p1", func(b *testing.B) {
+		campaign(b, fliptracker.ScheduleCheckpointed, 1)
+	})
+	b.Run("campaign/checkpointed-p4", func(b *testing.B) {
+		campaign(b, fliptracker.ScheduleCheckpointed, 4)
+	})
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationACLLiveness compares the paper's liveness-refined ACL

@@ -11,7 +11,7 @@
 //	fliptracker trace    -app cg -out cg.trace
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
-//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream]
+//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
@@ -266,6 +266,7 @@ func cmdCampaign(args []string) error {
 	direct := fs.Bool("direct", false, "replay every injection from step 0 instead of the checkpointed scheduler")
 	earlyStop := fs.Bool("earlystop", false, "stop sequentially once the 95% CI is within 3%")
 	stream := fs.Bool("stream", false, "print one line per fault outcome as the campaign runs")
+	analyze := fs.Bool("analyze", false, "run the full per-fault analysis (ACL, DDDG comparison, patterns) on every injection and stream one line per fault; implies -stream")
 	fs.Parse(args)
 
 	// Ctrl-C cancels the campaign; partial results are still reported.
@@ -304,15 +305,45 @@ func cmdCampaign(args []string) error {
 	if *earlyStop {
 		copts = append(copts, inject.WithEarlyStop(0.95, 0.03))
 	}
-	c, err := an.NewCampaign(pop, copts...)
-	if err != nil {
-		return err
-	}
 
 	fmt.Printf("campaign on %s (%s): %d tests\n", *app, pop, n)
 	var r inject.Result
 	var runErr error
-	if *stream {
+	switch {
+	case *analyze:
+		// Analyzed campaign: every injection runs fully traced and the
+		// complete per-fault analysis streams back in fault-index order.
+		var patternCounts [patterns.NumPatterns]int
+		i := 0
+		for fa, err := range an.StreamAnalysis(ctx, pop, copts...) {
+			if err != nil {
+				runErr = err
+				break
+			}
+			r.Count(fa.Outcome)
+			found := fa.PatternsFound()
+			var names []string
+			for p := 0; p < patterns.NumPatterns; p++ {
+				if found[p] {
+					patternCounts[p]++
+					names = append(names, patterns.Pattern(p).Short())
+				}
+			}
+			fmt.Printf("#%-6d %-32s -> %-8s peak-ACL %-5d regions %-3d %s\n",
+				i, fa.Fault.String(), fa.Outcome, fa.ACL.Peak, len(fa.Regions), strings.Join(names, ","))
+			i++
+		}
+		if r.Tests > 0 {
+			fmt.Println("patterns across analyzed faults:")
+			for p := 0; p < patterns.NumPatterns; p++ {
+				fmt.Printf("  %-25s %d\n", patterns.Pattern(p), patternCounts[p])
+			}
+		}
+	case *stream:
+		c, err := an.NewCampaign(pop, copts...)
+		if err != nil {
+			return err
+		}
 		for fo, err := range c.Stream(ctx) {
 			if err != nil {
 				runErr = err
@@ -321,7 +352,11 @@ func cmdCampaign(args []string) error {
 			r.Count(fo.Outcome)
 			fmt.Printf("#%-6d %-32s -> %s\n", fo.Index, fo.Fault.String(), fo.Outcome)
 		}
-	} else {
+	default:
+		c, err := an.NewCampaign(pop, copts...)
+		if err != nil {
+			return err
+		}
 		r, runErr = c.Run(ctx)
 	}
 	if runErr != nil {

@@ -54,6 +54,37 @@ func ExampleCampaign_Stream() {
 	fmt.Printf("crash rate %.3f\n", res.CrashRate())
 }
 
+// ExampleAnalyzer_StreamAnalysis runs an analyzed campaign: every injection
+// executes fully traced inside the worker pool and streams back its complete
+// fine-grained analysis (ACL table, per-region DDDG comparison, resilience
+// patterns), all sharing the analyzer's one CleanIndex. Analyses arrive in
+// deterministic fault-index order for a fixed seed.
+func ExampleAnalyzer_StreamAnalysis() {
+	an, err := fliptracker.NewAnalyzer("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var counts [fliptracker.NumPatterns]int
+	for fa, err := range an.StreamAnalysis(context.Background(),
+		fliptracker.RegionInputs("cg_b", 0),
+		fliptracker.WithTests(64),
+		fliptracker.WithSeed(1),
+		fliptracker.WithParallelism(8)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fa.Outcome != fliptracker.Success {
+			continue // only tolerated faults reveal resilience patterns
+		}
+		for p, found := range fa.PatternsFound() {
+			if found {
+				counts[p]++
+			}
+		}
+	}
+	fmt.Printf("data-overwriting tolerated %d faults\n", counts[fliptracker.Overwriting])
+}
+
 // ExampleAnalyzer_NewCampaign shows cancellation and progress: campaigns
 // stop promptly when their context is cancelled and report a well-formed
 // partial result.

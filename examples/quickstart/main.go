@@ -78,4 +78,30 @@ func main() {
 	}
 	fmt.Printf("campaign over %d uniform flips: success rate %.2f, crash rate %.2f\n",
 		res.Tests, res.SuccessRate(), res.CrashRate())
+
+	// Raw outcomes answer "how often does it survive"; an *analyzed*
+	// campaign answers "why". StreamAnalysis runs the full per-fault
+	// pipeline (ACL + DDDG comparison + pattern detection) inside the
+	// campaign worker pool, sharing the clean-run index built above —
+	// FlipTracker-style insight at campaign scale.
+	var tolerated int
+	var patternCount [fliptracker.NumPatterns]int
+	for fa, err := range an.StreamAnalysis(context.Background(),
+		fliptracker.RegionInputs("cg_b", 0),
+		fliptracker.WithTests(24), fliptracker.WithSeed(1)) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fa.Outcome != fliptracker.Success {
+			continue
+		}
+		tolerated++
+		for p, found := range fa.PatternsFound() {
+			if found {
+				patternCount[p]++
+			}
+		}
+	}
+	fmt.Printf("analyzed campaign on cg_b inputs: %d faults tolerated; overwriting acted in %d, repeated additions in %d\n",
+		tolerated, patternCount[fliptracker.Overwriting], patternCount[fliptracker.RepeatedAddition])
 }

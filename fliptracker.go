@@ -35,6 +35,15 @@
 //	    fmt.Println(fo.Index, fo.Fault, fo.Outcome)
 //	}
 //
+// Analyzed campaigns run the full fine-grained analysis (ACL table, DDDG
+// comparison, pattern detection) on every injection inside the campaign
+// worker pool, sharing one clean-run index (CleanIndex) across all faults:
+//
+//	for fa, err := range an.StreamAnalysis(ctx, fliptracker.RegionInternal("cg_b", 0),
+//	    fliptracker.WithTests(200), fliptracker.WithParallelism(8)) {
+//	    fmt.Println(fa.Fault, fa.Outcome, fa.PatternsFound())
+//	}
+//
 // The ten workloads of the paper's evaluation (NPB CG, MG, IS, LU, BT, SP,
 // DC, FT; LULESH; Rodinia KMEANS) ship with the library; Apps lists them.
 package fliptracker
@@ -57,6 +66,11 @@ import (
 type (
 	// Analyzer drives the FlipTracker pipeline for one application.
 	Analyzer = core.Analyzer
+	// CleanIndex is the analyzer's shared index over the fault-free trace:
+	// region spans split once, clean DDDGs and input locations built
+	// lazily and cached, reused by every per-fault analysis. Get it with
+	// Analyzer.Index.
+	CleanIndex = core.CleanIndex
 	// FaultAnalysis is the fine-grained analysis of one faulty run.
 	FaultAnalysis = core.FaultAnalysis
 	// RegionReport is the per-region view of a fault analysis.
@@ -82,6 +96,13 @@ type (
 	FaultOutcome = inject.FaultOutcome
 	// TargetPicker draws faults from an injection-site population.
 	TargetPicker = inject.TargetPicker
+	// FaultList is a TargetPicker replaying a fixed fault sequence, for
+	// running hand-constructed fault sets through the campaign engine.
+	FaultList = inject.FaultList
+	// TraceAnalyzer is the per-fault hook of an analyzed campaign
+	// (WithAnalysis): it receives each injection's full faulty trace on
+	// the worker that ran it.
+	TraceAnalyzer = inject.TraceAnalyzer
 	// Population selects an Analyzer campaign's injection-site population
 	// (WholeProgram, RegionInternal, RegionInputs, Hybrid).
 	Population = core.Population
@@ -158,6 +179,10 @@ const (
 	Shifting         = patterns.Shifting
 	Truncation       = patterns.Truncation
 	Overwriting      = patterns.Overwriting
+
+	// NumPatterns is the number of defined patterns — the length of
+	// FaultAnalysis.PatternsFound and PatternDetection.Found.
+	NumPatterns = patterns.NumPatterns
 )
 
 // Prediction (Use Case 2, §VII-B).
@@ -226,6 +251,18 @@ func WithProgress(fn func(done, total int)) CampaignOption { return inject.WithP
 // always running the full test count.
 func WithEarlyStop(confidence, margin float64) CampaignOption {
 	return inject.WithEarlyStop(confidence, margin)
+}
+
+// WithAnalysis turns a campaign into an analyzed campaign: every injection
+// runs fully traced and its faulty trace is handed to analyze inside the
+// worker pool; the payload arrives on FaultOutcome.Analysis. clean must be
+// the program's fault-free full trace. For campaigns over an Analyzer's
+// typed populations, prefer Analyzer.NewAnalyzedCampaign / StreamAnalysis /
+// AnalyzedCampaign, which wire the analyzer's CleanIndex in automatically;
+// for custom TargetPickers, combine NewCampaign with
+// CleanIndex.AnalysisOption.
+func WithAnalysis(clean *Trace, analyze TraceAnalyzer) CampaignOption {
+	return inject.WithAnalysis(clean, analyze)
 }
 
 // WholeProgram targets uniform dynamic instructions across the full run

@@ -313,6 +313,20 @@ func (r *Result) SeriesInSpan(s trace.Span) []int32 {
 	return r.Series[s.Start:end]
 }
 
+// TouchesSpan reports whether the corruption reached the span: either a
+// corruption lifetime interval overlaps it, or the injection itself landed
+// inside it (which counts even when the corrupted value died on arrival).
+// This is the filter the per-fault pipeline applies to precomputed region
+// spans to decide which instances need the full DDDG comparison.
+func (r *Result) TouchesSpan(s trace.Span) bool {
+	for _, iv := range r.Intervals {
+		if iv.Begin < s.End && iv.End > s.Start {
+			return true
+		}
+	}
+	return r.InjectionIndex >= s.Start && r.InjectionIndex < s.End
+}
+
 // DropWithinSpan reports how much the ACL count decreased from its peak
 // within the span to the span's end — the signature of patterns that kill
 // corrupted locations (DCL, overwriting).

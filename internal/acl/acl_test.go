@@ -308,3 +308,27 @@ func TestEventKindStrings(t *testing.T) {
 		t.Error("unknown kind should stringify")
 	}
 }
+
+func TestTouchesSpan(t *testing.T) {
+	clean, faulty, _, _ := fig3Traces()
+	res := Analyze(faulty, clean)
+	if res.InjectionIndex < 0 || len(res.Intervals) == 0 {
+		t.Fatalf("fig3 fixture produced no corruption: %+v", res)
+	}
+	iv := res.Intervals[0]
+	if !res.TouchesSpan(trace.Span{Start: iv.Begin, End: iv.Begin + 1}) {
+		t.Error("span overlapping an interval should be touched")
+	}
+	if !res.TouchesSpan(trace.Span{Start: res.InjectionIndex, End: res.InjectionIndex + 1}) {
+		t.Error("span containing the injection should be touched")
+	}
+	end := len(res.Series)
+	if res.TouchesSpan(trace.Span{Start: end + 10, End: end + 20}) {
+		t.Error("span past the trace should not be touched")
+	}
+	// A clean run touches nothing.
+	none := Analyze(clean, clean)
+	if none.TouchesSpan(trace.Span{Start: 0, End: len(clean.Recs)}) {
+		t.Error("fault-free analysis should touch no span")
+	}
+}

@@ -36,6 +36,10 @@ type Analyzer struct {
 	cleanOnce sync.Once
 	clean     *trace.Trace
 	cleanErr  error
+
+	indexOnce sync.Once
+	index     *CleanIndex
+	indexErr  error
 }
 
 // NewAnalyzer builds an analyzer for a registered application.
@@ -68,17 +72,19 @@ func (an *Analyzer) Region(name string) (ir.Region, error) {
 	return r, nil
 }
 
-// RegionInstance returns the clean-trace span of one region instance.
+// RegionInstance returns the clean-trace span of one region instance,
+// resolved against the shared CleanIndex (the clean trace is split into
+// region spans exactly once per analyzer).
 func (an *Analyzer) RegionInstance(name string, instance int) (trace.Span, error) {
 	r, err := an.Region(name)
 	if err != nil {
 		return trace.Span{}, err
 	}
-	clean, err := an.CleanTrace()
+	ix, err := an.Index()
 	if err != nil {
 		return trace.Span{}, err
 	}
-	s, ok := clean.Instance(int32(r.ID), instance)
+	s, ok := ix.Instance(int32(r.ID), instance)
 	if !ok {
 		return trace.Span{}, fmt.Errorf("core: %s region %q has no instance %d", an.App.Name, name, instance)
 	}
@@ -87,25 +93,32 @@ func (an *Analyzer) RegionInstance(name string, instance int) (trace.Span, error
 
 // RegionInputLocs identifies the memory input locations of a region instance
 // via its DDDG (Figure 1 step (b): "identify the input and output variables
-// of each code region").
+// of each code region"). The result is cached in the CleanIndex; callers
+// must not mutate it.
 func (an *Analyzer) RegionInputLocs(name string, instance int) ([]trace.Loc, error) {
 	s, err := an.RegionInstance(name, instance)
 	if err != nil {
 		return nil, err
 	}
-	clean, _ := an.CleanTrace()
-	g := dddg.Build(clean, s)
-	return g.InputMemLocs(), nil
+	ix, err := an.Index()
+	if err != nil {
+		return nil, err
+	}
+	return ix.InputLocs(s), nil
 }
 
-// RegionDDDG builds the DDDG of a clean region instance.
+// RegionDDDG returns the DDDG of a clean region instance, built once and
+// cached in the CleanIndex. The graph is shared: treat it as read-only.
 func (an *Analyzer) RegionDDDG(name string, instance int) (*dddg.Graph, error) {
 	s, err := an.RegionInstance(name, instance)
 	if err != nil {
 		return nil, err
 	}
-	clean, _ := an.CleanTrace()
-	return dddg.Build(clean, s), nil
+	ix, err := an.Index()
+	if err != nil {
+		return nil, err
+	}
+	return ix.Graph(s), nil
 }
 
 // RegionReport is the per-region-instance view of one fault analysis.
@@ -153,111 +166,18 @@ func (fa *FaultAnalysis) PatternsFound() [patterns.NumPatterns]bool {
 
 // AnalyzeFault runs the app once with the fault, matches the faulty trace
 // against the clean trace, builds the ACL table, compares region DDDGs, and
-// detects resilience patterns (Figure 1 steps (c)-(d)).
+// detects resilience patterns (Figure 1 steps (c)-(d)). It is a thin
+// wrapper over CleanIndex.Analyze: all clean-run artifacts (region spans,
+// clean DDDGs, input locations) come from the analyzer's shared index
+// instead of being re-derived per fault. For many faults, prefer
+// AnalyzedCampaign/StreamAnalysis, which also share fault-free prefix work
+// and parallelize across a worker pool.
 func (an *Analyzer) AnalyzeFault(f interp.Fault) (*FaultAnalysis, error) {
-	clean, err := an.CleanTrace()
+	ix, err := an.Index()
 	if err != nil {
 		return nil, err
 	}
-	faulty, err := an.App.FaultyTrace(interp.TraceFull, f)
-	if err != nil {
-		return nil, err
-	}
-
-	fa := &FaultAnalysis{Fault: f, Faulty: faulty}
-	switch faulty.Status {
-	case trace.RunCrashed, trace.RunHang:
-		fa.Outcome = inject.Crashed
-	default:
-		if an.App.Verify(faulty) {
-			fa.Outcome = inject.Success
-		} else {
-			fa.Outcome = inject.Failed
-		}
-	}
-
-	fa.ACL = acl.Analyze(faulty, clean)
-
-	// Identify region instances whose span overlaps any corruption
-	// interval and analyze each.
-	if fa.ACL.InjectionIndex >= 0 {
-		cleanSpans := clean.SplitRegions()
-		faultySpans := faulty.SplitRegions()
-		type key struct {
-			id   int32
-			inst int
-		}
-		fIdx := make(map[key]trace.Span, len(faultySpans))
-		for _, s := range faultySpans {
-			fIdx[key{s.RegionID, s.Instance}] = s
-		}
-		touched := map[int32]bool{}
-		for _, cs := range cleanSpans {
-			fs, ok := fIdx[key{cs.RegionID, cs.Instance}]
-			if !ok {
-				continue
-			}
-			if !spanTouchesCorruption(fs, fa.ACL) {
-				continue
-			}
-			reg := an.Prog.Regions[cs.RegionID]
-			rr := RegionReport{
-				Region:     reg,
-				Instance:   cs.Instance,
-				Comparison: dddg.CompareRegion(clean, cs, faulty, fs),
-				Patterns:   patterns.Detect(an.Prog, faulty, clean, fs, fa.ACL),
-				ACLDrop:    fa.ACL.DropWithinSpan(fs),
-			}
-			fa.Regions = append(fa.Regions, rr)
-			touched[cs.RegionID] = true
-		}
-		// Repeated additions usually amortize *across* instances of a
-		// region (Table II: four mg3P invocations), which per-instance
-		// detection cannot see. Re-run the detector over all instances of
-		// each touched region and attribute hits to that region's first
-		// report.
-		for regionID := range touched {
-			var spans []trace.Span
-			for _, s := range faultySpans {
-				if s.RegionID == regionID {
-					spans = append(spans, s)
-				}
-			}
-			if len(spans) < 2 {
-				continue
-			}
-			for _, ra := range patterns.DetectRepeatedAdditionsInSpans(faulty, clean, spans) {
-				for i := range fa.Regions {
-					if fa.Regions[i].Region.ID == int(regionID) {
-						fa.Regions[i].Patterns.Found[patterns.RepeatedAddition] = true
-						fa.Regions[i].Patterns.Evidence = append(fa.Regions[i].Patterns.Evidence,
-							patterns.Evidence{
-								Pattern:  patterns.RepeatedAddition,
-								RecIndex: ra.LastRecIndex,
-								Loc:      ra.Loc,
-								Note: fmt.Sprintf("error magnitude shrank %.3g -> %.3g over %d additions (across instances)",
-									ra.FirstMag, ra.LastMag, ra.Writes),
-							})
-						break
-					}
-				}
-			}
-		}
-	}
-	return fa, nil
-}
-
-// spanTouchesCorruption reports whether any corruption interval overlaps the
-// span.
-func spanTouchesCorruption(s trace.Span, res *acl.Result) bool {
-	for _, iv := range res.Intervals {
-		if iv.Begin < s.End && iv.End > s.Start {
-			return true
-		}
-	}
-	// Injection inside the span counts even if the corruption died on
-	// arrival.
-	return res.InjectionIndex >= s.Start && res.InjectionIndex < s.End
+	return ix.Analyze(f)
 }
 
 // PatternRates counts the §VII-B pattern rates from the clean trace.

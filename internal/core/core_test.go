@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"fliptracker/internal/inject"
@@ -76,6 +77,88 @@ func TestRegionInputLocsAndDDDG(t *testing.T) {
 	}
 	if len(g.Nodes) == 0 {
 		t.Fatal("empty DDDG")
+	}
+}
+
+// TestCleanRunErrorPropagates is the regression test for the v1 bug where
+// RegionInputLocs and RegionDDDG discarded the CleanTrace error
+// (clean, _ := ...) and dereferenced a nil trace when the clean run failed.
+// Every index-backed entry point must now surface the error instead.
+func TestCleanRunErrorPropagates(t *testing.T) {
+	an := newCG(t)
+	wantErr := errors.New("clean run failed")
+	// Poison the cached clean run before anything builds it: all later
+	// CleanTrace (and Index) calls observe the failure.
+	an.cleanOnce.Do(func() { an.cleanErr = wantErr })
+
+	if _, err := an.Index(); !errors.Is(err, wantErr) {
+		t.Errorf("Index err = %v, want the clean-run error", err)
+	}
+	if _, err := an.RegionInputLocs("cg_b", 0); !errors.Is(err, wantErr) {
+		t.Errorf("RegionInputLocs err = %v, want the clean-run error", err)
+	}
+	if _, err := an.RegionDDDG("cg_b", 0); !errors.Is(err, wantErr) {
+		t.Errorf("RegionDDDG err = %v, want the clean-run error", err)
+	}
+	if _, err := an.RegionInstance("cg_b", 0); !errors.Is(err, wantErr) {
+		t.Errorf("RegionInstance err = %v, want the clean-run error", err)
+	}
+	if _, err := an.AnalyzeFault(interp.Fault{Step: 1, Bit: 1, Kind: interp.FaultDst}); !errors.Is(err, wantErr) {
+		t.Errorf("AnalyzeFault err = %v, want the clean-run error", err)
+	}
+	if _, err := an.NewAnalyzedCampaign(WholeProgram(), inject.WithTests(1)); !errors.Is(err, wantErr) {
+		t.Errorf("NewAnalyzedCampaign err = %v, want the clean-run error", err)
+	}
+	pairs := 0
+	for fa, err := range an.StreamAnalysis(context.Background(), WholeProgram(), inject.WithTests(1)) {
+		pairs++
+		if fa != nil || !errors.Is(err, wantErr) {
+			t.Errorf("StreamAnalysis pair = (%v, %v), want (nil, clean-run error)", fa, err)
+		}
+	}
+	if pairs != 1 {
+		t.Errorf("StreamAnalysis yielded %d pairs, want 1", pairs)
+	}
+}
+
+// TestCleanIndexCaching pins the "built exactly once" contract: one index
+// per analyzer, one span split, and one DDDG build per region instance.
+func TestCleanIndexCaching(t *testing.T) {
+	an := newCG(t)
+	ix1, err := an.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, _ := an.Index()
+	if ix1 != ix2 {
+		t.Error("Index should be cached (same pointer)")
+	}
+	g1, err := an.RegionDDDG("cg_b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := an.RegionDDDG("cg_b", 0)
+	if g1 != g2 {
+		t.Error("clean DDDG should be cached (same pointer)")
+	}
+	l1, err := an.RegionInputLocs("cg_b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := an.RegionInputLocs("cg_b", 0)
+	if len(l1) == 0 || &l1[0] != &l2[0] {
+		t.Error("input locations should be cached (same backing array)")
+	}
+	clean, _ := an.CleanTrace()
+	if got, want := len(ix1.Spans()), len(clean.SplitRegions()); got != want {
+		t.Errorf("index has %d spans, SplitRegions %d", got, want)
+	}
+	s, err := an.RegionInstance("cg_b", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, ok := clean.Instance(int32(g1.Span().RegionID), 3); !ok || s != want {
+		t.Errorf("indexed instance %+v, want %+v", s, want)
 	}
 }
 

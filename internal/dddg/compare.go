@@ -71,10 +71,19 @@ func (c *RegionComparison) Tolerant() bool { return c.Case1 || c.Case2 }
 // the same sealed program with identical host behaviour (§V-B's determinism
 // requirement, which the interpreter's seeded RNG provides).
 func CompareRegion(clean *trace.Trace, cs trace.Span, faulty *trace.Trace, fs trace.Span) *RegionComparison {
-	gClean := Build(clean, cs)
+	return CompareRegionWith(Build(clean, cs), faulty, fs)
+}
+
+// CompareRegionWith is CompareRegion with a prebuilt graph of the fault-free
+// instance, for pipelines that analyze many faults against one clean run:
+// the clean graph is built once (e.g. cached in a core.CleanIndex) and
+// reused across every per-fault comparison instead of being reconstructed
+// per call. The graph remembers the trace and span it was built from, so
+// only the faulty side is passed.
+func CompareRegionWith(gClean *Graph, faulty *trace.Trace, fs trace.Span) *RegionComparison {
 	gFaulty := Build(faulty, fs)
 
-	res := &RegionComparison{DivergedAt: Diverged(clean, cs, faulty, fs)}
+	res := &RegionComparison{DivergedAt: Diverged(gClean.src, gClean.span, faulty, fs)}
 
 	// Inputs: memory locations read-before-written in the clean region.
 	for _, loc := range gClean.InputMemLocs() {

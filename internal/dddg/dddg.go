@@ -52,6 +52,7 @@ type Graph struct {
 	externals map[trace.Loc]NodeID
 	outDegree []int32
 	span      trace.Span
+	src       *trace.Trace
 }
 
 // Build constructs the DDDG for the given span of t. Records outside the
@@ -61,6 +62,7 @@ func Build(t *trace.Trace, span trace.Span) *Graph {
 		final:     make(map[trace.Loc]NodeID),
 		externals: make(map[trace.Loc]NodeID),
 		span:      span,
+		src:       t,
 	}
 	for i := span.Start; i < span.End && i < len(t.Recs); i++ {
 		r := &t.Recs[i]
@@ -115,6 +117,9 @@ func (g *Graph) addNode(n Node) NodeID {
 
 // Span returns the trace span the graph was built from.
 func (g *Graph) Span() trace.Span { return g.span }
+
+// Source returns the trace the graph was built from.
+func (g *Graph) Source() *trace.Trace { return g.src }
 
 // Inputs returns the root nodes: location versions that flowed into the span
 // from outside. These are the code region's input variables (§III-B: "root

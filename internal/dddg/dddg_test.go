@@ -273,3 +273,41 @@ func TestCompareRegionCase2ErrorDiminished(t *testing.T) {
 		t.Errorf("output err %g not smaller than input err %g", cmp.MaxOutputErr, cmp.MaxInputErr)
 	}
 }
+
+// TestCompareRegionWithReusesCleanGraph pins CompareRegionWith to
+// CompareRegion: a prebuilt (cached) clean graph must yield the identical
+// comparison, since the per-fault pipeline now builds each clean graph once.
+func TestCompareRegionWithReusesCleanGraph(t *testing.T) {
+	p, clean := buildRegionProg(t)
+	cs := regionSpan(t, p, clean, "sumreg", 0)
+
+	m, _ := interp.NewMachine(p)
+	m.Mode = interp.TraceFull
+	m.Fault = &interp.Fault{Step: clean.Recs[cs.Start].Step + 1, Bit: 40, Kind: interp.FaultDst}
+	faulty, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := faulty.Instance(cs.RegionID, 0)
+	if !ok {
+		t.Fatal("faulty run lost the region instance")
+	}
+
+	want := CompareRegion(clean, cs, faulty, fs)
+	gClean := Build(clean, cs)
+	if gClean.Source() != clean || gClean.Span() != cs {
+		t.Fatal("graph does not remember its source trace/span")
+	}
+	got := CompareRegionWith(gClean, faulty, fs)
+	if got.DivergedAt != want.DivergedAt || got.Case1 != want.Case1 || got.Case2 != want.Case2 ||
+		got.MaxInputErr != want.MaxInputErr || got.MaxOutputErr != want.MaxOutputErr ||
+		len(got.CorruptedInputs) != len(want.CorruptedInputs) ||
+		len(got.CorruptedOutputs) != len(want.CorruptedOutputs) {
+		t.Errorf("CompareRegionWith = %+v, want %+v", got, want)
+	}
+	// Reusing the same prebuilt graph for a second comparison is safe.
+	again := CompareRegionWith(gClean, faulty, fs)
+	if len(again.CorruptedInputs) != len(got.CorruptedInputs) || len(again.CorruptedOutputs) != len(got.CorruptedOutputs) {
+		t.Error("second comparison against the cached graph differs")
+	}
+}

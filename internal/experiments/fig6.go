@@ -39,6 +39,9 @@ func PerIterationSuccessRates(opts Options) (*Fig6Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Every iteration's span lookup, input-set probe and campaign
+		// population resolve against the analyzer's shared CleanIndex, so
+		// the clean trace is split once per app, not once per campaign.
 		for it := 0; it < an.App.MainIterations; it++ {
 			s, err := an.RegionInstance(an.App.MainLoop, it)
 			if err != nil {

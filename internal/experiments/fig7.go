@@ -36,10 +36,11 @@ func ACLSeries(opts Options) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	clean, err := an.CleanTrace()
+	ix, err := an.Index()
 	if err != nil {
 		return nil, err
 	}
+	clean := ix.Clean()
 	it := an.App.MainIterations - 3
 	span, err := an.RegionInstance(an.App.MainLoop, it)
 	if err != nil {
@@ -64,7 +65,9 @@ func ACLSeries(opts Options) (*Fig7Result, error) {
 	if !found {
 		return nil, fmt.Errorf("fig7: no hourgam store in iteration %d", it)
 	}
-	fa, err := an.AnalyzeFault(interp.Fault{Step: step, Bit: 52, Kind: interp.FaultDst})
+	// The per-fault analysis runs against the shared CleanIndex (the spans
+	// and graphs derived above are reused, not recomputed).
+	fa, err := ix.Analyze(interp.Fault{Step: step, Bit: 52, Kind: interp.FaultDst})
 	if err != nil {
 		return nil, err
 	}

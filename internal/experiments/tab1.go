@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"fliptracker/internal/apps"
+	"fliptracker/internal/core"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
@@ -33,8 +35,12 @@ type Tab1Result struct {
 // PatternInventory reproduces Table I: for every code region of the five
 // study programs, inject a spread of faults into the region's first
 // instance, run the full DDDG+ACL analysis on each faulty run, and take the
-// union of detected patterns.
+// union of detected patterns. The hand-picked fault spread runs as one
+// analyzed campaign per region (inject.FaultList + the CleanIndex analysis
+// hook), so the per-fault analyses share the clean-run index and execute in
+// parallel across the campaign worker pool.
 func PatternInventory(opts Options) (*Tab1Result, error) {
+	ctx := context.Background()
 	injections := 8
 	if !opts.Quick {
 		injections = 32
@@ -45,10 +51,11 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		clean, err := an.CleanTrace()
+		ix, err := an.Index()
 		if err != nil {
 			return nil, err
 		}
+		clean := ix.Clean()
 		for _, region := range an.App.Regions {
 			reg, err := an.Region(region)
 			if err != nil {
@@ -66,6 +73,7 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 				Injections:   injections,
 			}
 			rng := rand.New(rand.NewSource(opts.Seed))
+			var faults []interp.Fault
 			for k := 0; k < injections; k++ {
 				// Spread injection points across the instance, skipping to
 				// a destination-writing record; pick the bit range by the
@@ -86,35 +94,48 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 				} else {
 					bit = uint8(rng.Intn(13)) // low integer bits 0..12
 				}
-				fa, err := an.AnalyzeFault(interp.Fault{Step: rec.Step, Bit: bit, Kind: interp.FaultDst})
+				faults = append(faults, interp.Fault{Step: rec.Step, Bit: bit, Kind: interp.FaultDst})
+			}
+			if len(faults) > 0 {
+				c, err := inject.NewCampaign(an.App.NewMachine, an.App.Verify,
+					inject.FaultList{Faults: faults},
+					inject.WithTests(len(faults)),
+					inject.WithScheduler(opts.Scheduler),
+					ix.AnalysisOption())
 				if err != nil {
 					return nil, err
 				}
-				// A resilience computation pattern is a computation that
-				// "ultimately helps the program tolerate a fault" (§II-B):
-				// only tolerated runs count toward the inventory.
-				if fa.Outcome != inject.Success {
-					continue
-				}
-				for _, rr := range fa.Regions {
-					if rr.Region.Name != region {
+				for fo, err := range c.Stream(ctx) {
+					if err != nil {
+						return nil, fmt.Errorf("tab1: %s region %s: %w", name, region, err)
+					}
+					fa := fo.Analysis.(*core.FaultAnalysis)
+					// A resilience computation pattern is a computation that
+					// "ultimately helps the program tolerate a fault" (§II-B):
+					// only tolerated runs count toward the inventory.
+					if fa.Outcome != inject.Success {
 						continue
 					}
-					for pi := 0; pi < patterns.NumPatterns; pi++ {
-						if rr.Patterns.Found[pi] {
-							row.Found[pi] = true
-							row.AnyFound = true
+					for _, rr := range fa.Regions {
+						if rr.Region.Name != region {
+							continue
+						}
+						for pi := 0; pi < patterns.NumPatterns; pi++ {
+							if rr.Patterns.Found[pi] {
+								row.Found[pi] = true
+								row.AnyFound = true
+							}
 						}
 					}
-				}
-				// Output truncation acts in the program epilogue (LULESH's
-				// %12.6e report), outside any region span; attribute it to
-				// the region the corruption came from.
-				wholeSpan := trace.Span{Start: 0, End: len(fa.Faulty.Recs)}
-				whole := patterns.Detect(an.Prog, fa.Faulty, clean, wholeSpan, fa.ACL)
-				if whole.Found[patterns.Truncation] {
-					row.Found[patterns.Truncation] = true
-					row.AnyFound = true
+					// Output truncation acts in the program epilogue (LULESH's
+					// %12.6e report), outside any region span; attribute it to
+					// the region the corruption came from.
+					wholeSpan := trace.Span{Start: 0, End: len(fa.Faulty.Recs)}
+					whole := patterns.Detect(an.Prog, fa.Faulty, clean, wholeSpan, fa.ACL)
+					if whole.Found[patterns.Truncation] {
+						row.Found[patterns.Truncation] = true
+						row.AnyFound = true
+					}
 				}
 			}
 			res.Rows = append(res.Rows, row)

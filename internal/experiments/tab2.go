@@ -41,10 +41,11 @@ func RepeatedAdditionsMagnitude(opts Options) (*Tab2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	clean, err := an.CleanTrace()
+	ix, err := an.Index()
 	if err != nil {
 		return nil, err
 	}
+	clean := ix.Clean()
 	u, _ := an.Prog.GlobalByName("u")
 	// The tracked element: an interior point of the finest level (the
 	// paper tracks u[10][10][10]).
@@ -61,7 +62,7 @@ func RepeatedAdditionsMagnitude(opts Options) (*Tab2Result, error) {
 	}
 	var step uint64
 	found := false
-	for _, span := range clean.InstancesOf(int32(mgd.ID)) {
+	for _, span := range ix.Instances(int32(mgd.ID)) {
 		for i := span.Start; i < span.End && !found; i++ {
 			r := &clean.Recs[i]
 			if r.Op == ir.OpStore && r.Dst == loc {
@@ -78,7 +79,9 @@ func RepeatedAdditionsMagnitude(opts Options) (*Tab2Result, error) {
 	}
 
 	const bit = 40
-	faulty, err := an.App.FaultyTrace(interp.TraceFull, interp.Fault{Step: step, Bit: bit, Kind: interp.FaultDst})
+	// Record the faulty run through the index so the record buffer is
+	// preallocated from the clean trace's length.
+	faulty, err := ix.FaultyTrace(interp.Fault{Step: step, Bit: bit, Kind: interp.FaultDst})
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +91,7 @@ func RepeatedAdditionsMagnitude(opts Options) (*Tab2Result, error) {
 	// last write within each iteration span.
 	pts := acl.TrackLocation(faulty, clean, loc, ir.F64, dddg.ErrMag)
 	mainRegion, _ := an.Prog.RegionByName(an.App.MainLoop)
-	iters := clean.InstancesOf(int32(mainRegion.ID))
+	iters := ix.Instances(int32(mainRegion.ID))
 	for it, s := range iters {
 		var lastPt *acl.MagPoint
 		for i := range pts {

@@ -10,7 +10,6 @@ import (
 	"fliptracker/internal/core"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
-	"fliptracker/internal/trace"
 )
 
 // Tab3Row is one row of Table III: a CG variant with resilience patterns
@@ -48,11 +47,12 @@ func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		clean, err := an.CleanTrace()
+		ix, err := an.Index()
 		if err != nil {
 			return nil, err
 		}
-		picker, err := tab3Population(an, clean)
+		clean := ix.Clean()
+		picker, err := tab3Population(an, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -104,15 +104,18 @@ func ResilienceAwareCG(opts Options) (*Tab3Result, error) {
 // hardenings protect — instruction results inside the sprnvc phase and the
 // conj_grad dot-product region, and memory words of the v[]/iv[] arrays
 // while the sprnvc phase executes (an ECC-escaped memory error striking the
-// scratch state the copy-back hardening heals).
-func tab3Population(an *core.Analyzer, clean *trace.Trace) (inject.TargetPicker, error) {
+// scratch state the copy-back hardening heals). Region instances come from
+// the analyzer's CleanIndex, so the clean trace is split exactly once per
+// variant.
+func tab3Population(an *core.Analyzer, ix *core.CleanIndex) (inject.TargetPicker, error) {
+	clean := ix.Clean()
 	stepRange := func(name string) ([][2]uint64, error) {
 		r, err := an.Region(name)
 		if err != nil {
 			return nil, err
 		}
 		var out [][2]uint64
-		for _, s := range clean.InstancesOf(int32(r.ID)) {
+		for _, s := range ix.Instances(int32(r.ID)) {
 			if s.Len() < 2 {
 				continue
 			}

@@ -1,0 +1,347 @@
+package inject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// cleanFullTrace records the tolerance program's fault-free full trace.
+func cleanFullTrace(t *testing.T, p *ir.Program) *trace.Trace {
+	t.Helper()
+	m, err := makeMachine(p)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mode = interp.TraceFull
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != trace.RunOK {
+		t.Fatalf("clean run status %v", tr.Status)
+	}
+	return tr
+}
+
+// directFaultyTrace records the reference faulty trace: a from-step-0
+// TraceFull run with the fault.
+func directFaultyTrace(t *testing.T, p *ir.Program, f interp.Fault) *trace.Trace {
+	t.Helper()
+	m, err := makeMachine(p)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mode = interp.TraceFull
+	m.Fault = &f
+	tr, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestAnalyzedCampaignTracesMatchDirectRuns pins the stitching guarantee:
+// under every scheduler and parallelism, the faulty trace an analyzed
+// campaign hands to its TraceAnalyzer is byte-identical to a from-step-0
+// TraceFull run of the same fault — including under the checkpointed
+// scheduler, where the pre-checkpoint prefix is copied from the clean trace
+// instead of being re-recorded.
+func TestAnalyzedCampaignTracesMatchDirectRuns(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	clean := cleanFullTrace(t, p)
+	const tests = 60
+	for _, sched := range []SchedulerKind{ScheduleDirect, ScheduleCheckpointed} {
+		for _, par := range []int{1, 4} {
+			analyzed := 0
+			c, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: steps},
+				WithTests(tests), WithSeed(9), WithScheduler(sched), WithParallelism(par),
+				WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+					return faulty, nil
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fo, err := range c.Stream(context.Background()) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				faulty := fo.Analysis.(*trace.Trace)
+				want := directFaultyTrace(t, p, fo.Fault)
+				if faulty.Status != want.Status || faulty.Steps != want.Steps {
+					t.Fatalf("%v par=%d fault %d: status/steps %v/%d, want %v/%d",
+						sched, par, fo.Index, faulty.Status, faulty.Steps, want.Status, want.Steps)
+				}
+				if !reflect.DeepEqual(faulty.Recs, want.Recs) {
+					t.Fatalf("%v par=%d fault %d (%v): stitched records differ from direct traced run (%d vs %d recs)",
+						sched, par, fo.Index, fo.Fault, len(faulty.Recs), len(want.Recs))
+				}
+				if !reflect.DeepEqual(faulty.Output, want.Output) {
+					t.Fatalf("%v par=%d fault %d: outputs differ", sched, par, fo.Index)
+				}
+				analyzed++
+			}
+			if analyzed != tests {
+				t.Fatalf("%v par=%d: analyzed %d faults, want %d", sched, par, analyzed, tests)
+			}
+		}
+	}
+}
+
+// TestAnalyzedCampaignOutcomesMatchUntraced checks that turning analysis on
+// does not perturb the campaign's outcomes: same seed, same Result.
+func TestAnalyzedCampaignOutcomesMatchUntraced(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	clean := cleanFullTrace(t, p)
+	for _, sched := range []SchedulerKind{ScheduleDirect, ScheduleCheckpointed} {
+		plain := mustRun(t, p, UniformDst{TotalSteps: steps},
+			WithTests(200), WithSeed(3), WithScheduler(sched))
+		c, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: steps},
+			WithTests(200), WithSeed(3), WithScheduler(sched),
+			WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+				return nil, nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced != plain {
+			t.Errorf("%v: analyzed campaign result %+v, untraced %+v", sched, traced, plain)
+		}
+	}
+}
+
+// TestAnalyzerErrorAbortsCampaign checks that a failing analysis hook stops
+// the campaign with its error.
+func TestAnalyzerErrorAbortsCampaign(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	clean := cleanFullTrace(t, p)
+	boom := errors.New("boom")
+	c, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: steps},
+		WithTests(50), WithSeed(3),
+		WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+			if i == 7 {
+				return nil, boom
+			}
+			return i, nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the analysis error", err)
+	}
+}
+
+// TestAnalyzedCampaignNeedsCleanTrace checks construction-time validation.
+func TestAnalyzedCampaignNeedsCleanTrace(t *testing.T) {
+	p := buildToleranceProg(t)
+	_, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: 10},
+		WithTests(10),
+		WithAnalysis(nil, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) { return nil, nil }))
+	if err == nil {
+		t.Fatal("analyzed campaign without a clean trace should fail to build")
+	}
+	// A markers-only trace (no records) is rejected too.
+	_, err = NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: 10},
+		WithTests(10),
+		WithAnalysis(&trace.Trace{}, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) { return nil, nil }))
+	if err == nil {
+		t.Fatal("analyzed campaign with an empty clean trace should fail to build")
+	}
+}
+
+// TestFaultListReplaysInOrder pins the IndexedPicker contract: a FaultList
+// campaign injects exactly the listed faults in list order, its Stream
+// yields them at matching indexes, and re-running the same campaign redraws
+// the identical stream (the picker is stateless).
+func TestFaultListReplaysInOrder(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	var faults []interp.Fault
+	for i := 0; i < 20; i++ {
+		faults = append(faults, interp.Fault{
+			Step: uint64(i) * steps / 20,
+			Bit:  uint8(i % 64),
+			Kind: interp.FaultDst,
+		})
+	}
+	c := mustCampaign(t, p, FaultList{Faults: faults}, WithTests(len(faults)), WithParallelism(4))
+	for run := 0; run < 2; run++ {
+		n := 0
+		for fo, err := range c.Stream(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fo.Fault != faults[fo.Index] {
+				t.Fatalf("run %d: fault %d is %v, want %v", run, fo.Index, fo.Fault, faults[fo.Index])
+			}
+			n++
+		}
+		if n != len(faults) {
+			t.Fatalf("run %d: streamed %d outcomes, want %d", run, n, len(faults))
+		}
+	}
+	// Empty lists are rejected at construction and degrade in Pick.
+	if _, err := NewCampaign(makeMachine(p), verifyNear10, FaultList{}, WithTests(5)); err == nil {
+		t.Fatal("empty FaultList should fail campaign validation")
+	}
+}
+
+// TestAnalyzedCampaignCancellation mirrors the untraced cancellation
+// contract for analyzed campaigns: prompt ctx.Err, well-formed partial
+// result, no leaked goroutines.
+func TestAnalyzedCampaignCancellation(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	clean := cleanFullTrace(t, p)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: steps},
+		WithTests(300), WithSeed(3),
+		WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+			return fmt.Sprintf("fa-%d", i), nil
+		}),
+		WithProgress(func(done, total int) {
+			if done == 5 {
+				cancel()
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Tests == 0 || res.Tests >= 300 {
+		t.Fatalf("partial result has %d tests, want mid-campaign", res.Tests)
+	}
+}
+
+// TestAnalyzedCampaignBoundsInFlightTraces pins the reorder-buffer memory
+// bound: when one early fault's analysis is slow, the other workers must
+// not race ahead and pile the whole campaign's faulty traces into the
+// pending buffer — at most 2*parallelism injections may be completed but
+// unemitted at any time.
+func TestAnalyzedCampaignBoundsInFlightTraces(t *testing.T) {
+	p := buildToleranceProg(t)
+	steps := totalSteps(t, p)
+	clean := cleanFullTrace(t, p)
+	const (
+		tests = 80
+		par   = 4
+	)
+	var completed atomic.Int64
+	c, err := NewCampaign(makeMachine(p), verifyNear10, UniformDst{TotalSteps: steps},
+		WithTests(tests), WithSeed(11), WithParallelism(par),
+		WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+			if i == 0 {
+				time.Sleep(200 * time.Millisecond) // stall the head of the stream
+			}
+			completed.Add(1)
+			return i, nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	maxGap := int64(0)
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo.Index != emitted {
+			t.Fatalf("out of order: got index %d, want %d", fo.Index, emitted)
+		}
+		emitted++
+		if gap := completed.Load() - int64(emitted); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if emitted != tests {
+		t.Fatalf("emitted %d outcomes, want %d", emitted, tests)
+	}
+	// Every completed-but-unemitted injection holds a window slot, so the
+	// gap is bounded by the window capacity (2*parallelism).
+	if maxGap > 2*par {
+		t.Errorf("in-flight completed analyses peaked at %d, want <= %d (window bound)", maxGap, 2*par)
+	}
+	if maxGap == 0 {
+		t.Log("note: workers never ran ahead of emission (slow box?); bound not exercised")
+	}
+}
+
+// TestAnalyzedCampaignNonMonotonicTrace covers the prefix-stitching guard:
+// a value-returning call's OpRet record is stamped with the call-site's
+// step but emitted at return time, after the callee's higher-step records,
+// so the clean trace's record steps are not monotonic and a Step-keyed
+// prefix cut would corrupt stitched traces. Such programs must fall back
+// to from-step-0 traced runs — byte-identical to direct traced runs —
+// under the checkpointed scheduler too.
+func TestAnalyzedCampaignNonMonotonicTrace(t *testing.T) {
+	p := ir.NewProgram("callret")
+	g := p.AllocGlobal("g", 4, ir.F64)
+	square := p.NewFunc("square", 1)
+	x := ir.Reg(0)
+	square.Ret(square.FMul(x, x))
+	square.Done()
+	b := p.NewFunc("main", 0)
+	acc := b.ConstF(0)
+	b.ForI(0, 4, func(i ir.Reg) {
+		b.StoreG(g, i, b.Call("square", b.SIToFP(b.AddI(i, 1))))
+		b.BinTo(ir.OpFAdd, acc, acc, b.LoadG(g, i))
+	})
+	b.Emit(ir.F64, acc)
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := cleanFullTrace(t, p)
+	if stepsMonotonic(clean.Recs) {
+		t.Fatal("fixture defect: value-returning calls should make record steps non-monotonic")
+	}
+	verify := func(tr *trace.Trace) bool { return len(tr.Output) == 1 }
+	const tests = 30
+	c, err := NewCampaign(makeMachine(p), verify, UniformDst{TotalSteps: totalSteps(t, p)},
+		WithTests(tests), WithSeed(4), WithScheduler(ScheduleCheckpointed), WithParallelism(2),
+		WithAnalysis(clean, func(i int, f interp.Fault, faulty *trace.Trace, o Outcome) (any, error) {
+			return faulty, nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for fo, err := range c.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := fo.Analysis.(*trace.Trace)
+		want := directFaultyTrace(t, p, fo.Fault)
+		if !reflect.DeepEqual(faulty.Recs, want.Recs) {
+			t.Fatalf("fault %d (%v): trace differs from direct traced run (%d vs %d recs)",
+				fo.Index, fo.Fault, len(faulty.Recs), len(want.Recs))
+		}
+		n++
+	}
+	if n != tests {
+		t.Fatalf("analyzed %d faults, want %d", n, tests)
+	}
+}

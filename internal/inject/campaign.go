@@ -6,6 +6,7 @@ import (
 	"iter"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"fliptracker/internal/interp"
@@ -34,6 +35,13 @@ type Campaign struct {
 	earlyStop           bool
 	earlyStopConfidence float64
 	earlyStopMargin     float64
+
+	analyze TraceAnalyzer
+	clean   *trace.Trace
+	// stitch permits clean-prefix reuse for analyzed checkpointed runs; it
+	// requires the clean trace's record steps to be monotonic (see
+	// NewCampaign), else analyzed injections replay traced from step 0.
+	stitch bool
 }
 
 // Option configures a Campaign at construction time.
@@ -66,6 +74,34 @@ func WithMaxCheckpoints(n int) Option { return func(c *Campaign) { c.maxCheckpoi
 // called sequentially (never concurrently) in fault-index order.
 func WithProgress(fn func(done, total int)) Option { return func(c *Campaign) { c.progress = fn } }
 
+// TraceAnalyzer is a per-fault analysis hook for analyzed campaigns: it
+// receives the fault's stream index, the fault, the full faulty trace of
+// its injection run, and the run's classified outcome (the same §II-A
+// classification an untraced campaign would count — including NotApplied,
+// which cannot be derived from the trace alone), and returns an arbitrary
+// payload delivered on FaultOutcome.Analysis. It runs inside the campaign
+// worker pool, so for WithParallelism > 1 it must be safe for concurrent
+// calls; an error aborts the campaign.
+type TraceAnalyzer func(index int, f interp.Fault, faulty *trace.Trace, outcome Outcome) (any, error)
+
+// WithAnalysis turns the campaign into an analyzed campaign: every injection
+// runs fully traced (interp.TraceFull) and its faulty trace is handed to
+// analyze on the worker that ran it, so per-fault analyses parallelize with
+// the injections themselves. clean must be the fault-free full trace of the
+// campaign program; it serves two jobs. Its record count preallocates every
+// faulty record buffer (no append growth), and under the checkpointed
+// scheduler each restored run's shared fault-free prefix is copied out of it
+// instead of being re-recorded — prefix snapshots stay record-free, and a
+// stitched faulty trace is byte-identical to a from-step-0 traced run.
+// Outcomes, ordering, early stopping, and cancellation behave exactly as in
+// an untraced campaign.
+func WithAnalysis(clean *trace.Trace, analyze TraceAnalyzer) Option {
+	return func(c *Campaign) {
+		c.clean = clean
+		c.analyze = analyze
+	}
+}
+
 // EarlyStopMinTests is the minimum number of completed injections before
 // WithEarlyStop may end a campaign, guarding the normal-approximation
 // confidence interval against tiny samples.
@@ -94,9 +130,10 @@ func WithEarlyStop(confidence, margin float64) Option {
 // MakeMachine builds a fresh machine per injection (hosts bound, RNG
 // seeded); runs must be deterministic apart from the fault. Verify
 // classifies a completed run's output as pass/fail; it is only consulted
-// when the run status is RunOK. Campaign runs always execute untraced
-// (machine Mode forced to TraceOff) under every scheduler, so Verify must
-// classify from the run's output, not its trace records.
+// when the run status is RunOK. Campaign runs execute untraced (machine
+// Mode forced to TraceOff) under every scheduler — unless WithAnalysis is
+// set, which forces TraceFull — so Verify must classify from the run's
+// output, never from its trace records.
 func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) bool, targets TargetPicker, opts ...Option) (*Campaign, error) {
 	c := &Campaign{mk: mk, verify: verify, targets: targets}
 	for _, o := range opts {
@@ -121,7 +158,30 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 			return nil, fmt.Errorf("inject: early-stop margin %v outside (0, 1)", c.earlyStopMargin)
 		}
 	}
+	if c.analyze != nil {
+		if c.clean == nil || len(c.clean.Recs) == 0 {
+			return nil, fmt.Errorf("inject: analyzed campaign needs the fault-free full trace (WithAnalysis clean argument)")
+		}
+		// Prefix stitching cuts the clean records by Step, which is only
+		// sound when record steps are monotonic. A value-returning call
+		// breaks that: its OpRet record is stamped with the call-site's
+		// step but emitted at return time, after the callee's higher-step
+		// records. For such programs analyzed injections replay traced
+		// from step 0 (correct, just without the prefix-sharing speedup).
+		c.stitch = stepsMonotonic(c.clean.Recs)
+	}
 	return c, nil
+}
+
+// stepsMonotonic reports whether record steps never decrease (several
+// records may share one step — calls record one per argument).
+func stepsMonotonic(recs []trace.Rec) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Step < recs[i-1].Step {
+			return false
+		}
+	}
+	return true
 }
 
 // Tests returns the configured injection count (the cap, under early
@@ -137,6 +197,10 @@ type FaultOutcome struct {
 	Index   int
 	Fault   interp.Fault
 	Outcome Outcome
+	// Analysis is the TraceAnalyzer payload of an analyzed campaign
+	// (WithAnalysis); nil otherwise. Equality-comparing FaultOutcome values
+	// is only meaningful for untraced campaigns.
+	Analysis any
 }
 
 // Run executes the campaign and aggregates the outcomes. On context
@@ -201,12 +265,20 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 
 	rng := rand.New(rand.NewSource(c.seed))
 	faults := make([]interp.Fault, c.tests)
+	ip, indexed := c.targets.(IndexedPicker)
 	for i := range faults {
-		faults[i] = c.targets.Pick(rng)
+		if indexed {
+			faults[i] = ip.PickAt(i, rng)
+		} else {
+			faults[i] = c.targets.Pick(rng)
+		}
 	}
 
 	var plan *checkpointPlan
-	if c.scheduler == ScheduleCheckpointed {
+	// Checkpoints are useless for an analyzed campaign that cannot stitch
+	// the clean prefix (non-monotonic record steps): such runs replay
+	// traced from step 0, so skip the planning pass entirely.
+	if c.scheduler == ScheduleCheckpointed && (c.analyze == nil || c.stitch) {
 		var err error
 		plan, err = c.planCheckpoints(ctx, faults)
 		if err != nil {
@@ -236,23 +308,49 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	// results holds every possible send, so workers never block on it and
 	// always reach their context check.
 	results := make(chan FaultOutcome, n)
+	// For analyzed campaigns, window bounds completed-but-unemitted
+	// injections: each payload references a full faulty trace, so letting
+	// the reorder buffer absorb the whole campaign behind one slow early
+	// fault would pin O(tests) traces in memory. A worker takes a slot
+	// before running an injection; emitting the outcome (in fault-index
+	// order) frees it, so at most cap(window) analyzed traces are ever in
+	// flight. Untraced outcomes are a few words, so they stay unbounded.
+	var window chan struct{}
+	if c.analyze != nil {
+		window = make(chan struct{}, 2*workers)
+	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range indices {
+			for {
+				// The slot is acquired BEFORE taking an index: indices are
+				// handed out in increasing order, so the lowest unemitted
+				// fault always already holds a slot and can run — emission
+				// is never blocked behind slot acquisition (no deadlock).
+				if window != nil {
+					select {
+					case window <- struct{}{}:
+					case <-wctx.Done():
+						return
+					}
+				}
+				i, ok := <-indices
+				if !ok {
+					return
+				}
 				if wctx.Err() != nil {
 					return
 				}
-				o, err := c.runFault(i, faults[i], plan)
+				o, payload, err := c.runFault(i, faults[i], plan)
 				if err != nil {
 					errs[w] = err
 					cancel()
 					return
 				}
-				results <- FaultOutcome{Index: i, Fault: faults[i], Outcome: o}
+				results <- FaultOutcome{Index: i, Fault: faults[i], Outcome: o, Analysis: payload}
 			}
 		}(w)
 	}
@@ -278,6 +376,11 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 			}
 			delete(pending, next)
 			next++
+			if window != nil {
+				// Every pending entry came from a worker holding a slot;
+				// this receive never blocks.
+				<-window
+			}
 			if c.progress != nil {
 				c.progress(next, n)
 			}
@@ -315,9 +418,60 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 }
 
 // runFault executes one injection under the planned scheduler.
-func (c *Campaign) runFault(i int, f interp.Fault, plan *checkpointPlan) (Outcome, error) {
+func (c *Campaign) runFault(i int, f interp.Fault, plan *checkpointPlan) (Outcome, any, error) {
 	if plan != nil {
 		return plan.runFault(c, i, f)
 	}
-	return RunOne(c.mk, c.verify, f)
+	if c.analyze != nil {
+		return c.runTraced(i, f, nil)
+	}
+	o, err := RunOne(c.mk, c.verify, f)
+	return o, nil, err
+}
+
+// runTraced runs one injection with full tracing — restoring from snap when
+// non-nil, else from step 0 — and applies the analysis hook to the faulty
+// trace. Restored runs are primed with the clean trace's matching prefix
+// records, so the stitched trace equals a from-step-0 traced run.
+func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outcome, any, error) {
+	m, err := c.mk()
+	if err != nil {
+		return NotApplied, nil, fmt.Errorf("inject: make machine: %w", err)
+	}
+	m.Mode = interp.TraceFull
+	m.TraceHint = uint64(len(c.clean.Recs)) + 64
+	m.Fault = &f
+	var tr *trace.Trace
+	if snap != nil {
+		if rerr := m.Restore(snap); rerr == nil {
+			m.PrimeTrace(c.cleanPrefix(snap.Step()), m.TraceHint)
+			tr, err = m.Resume()
+		} else {
+			// Restore can only fail when MakeMachine rebuilds its program
+			// per call; replay this same (still unstarted) machine from
+			// step 0, which is always correct.
+			tr, err = m.Run()
+		}
+	} else {
+		tr, err = m.Run()
+	}
+	if err != nil {
+		return NotApplied, nil, fmt.Errorf("inject: injection run: %w", err)
+	}
+	o := classify(m, tr, c.verify)
+	payload, err := c.analyze(i, f, tr, o)
+	if err != nil {
+		return NotApplied, nil, fmt.Errorf("inject: analyze fault %d: %w", i, err)
+	}
+	return o, payload, nil
+}
+
+// cleanPrefix returns the clean-trace records covering dynamic steps below
+// step — exactly the records a traced run laid down before a checkpoint
+// taken at that step, since the pre-fault prefix is fault-free and
+// deterministic.
+func (c *Campaign) cleanPrefix(step uint64) []trace.Rec {
+	recs := c.clean.Recs
+	k := sort.Search(len(recs), func(i int) bool { return recs[i].Step >= step })
+	return recs[:k]
 }

@@ -111,14 +111,24 @@ func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (
 
 // runFault executes one injection from its assigned checkpoint (or from
 // step 0 when none is assigned) and classifies it.
-func (p *checkpointPlan) runFault(c *Campaign, i int, f interp.Fault) (Outcome, error) {
+func (p *checkpointPlan) runFault(c *Campaign, i int, f interp.Fault) (Outcome, any, error) {
 	snapIdx := p.assign[i]
+	if c.analyze != nil {
+		// Analyzed campaign: run traced from the checkpoint, stitching the
+		// clean prefix in front of the recorded suffix.
+		var snap *interp.Snapshot
+		if snapIdx >= 0 {
+			snap = p.snaps[snapIdx]
+		}
+		return c.runTraced(i, f, snap)
+	}
 	if snapIdx < 0 {
-		return RunOne(c.mk, c.verify, f)
+		o, err := RunOne(c.mk, c.verify, f)
+		return o, nil, err
 	}
 	m, err := c.mk()
 	if err != nil {
-		return NotApplied, fmt.Errorf("inject: make machine: %w", err)
+		return NotApplied, nil, fmt.Errorf("inject: make machine: %w", err)
 	}
 	m.Mode = interp.TraceOff
 	m.Fault = &f
@@ -133,7 +143,7 @@ func (p *checkpointPlan) runFault(c *Campaign, i int, f interp.Fault) (Outcome, 
 		tr, err = m.Run()
 	}
 	if err != nil {
-		return NotApplied, fmt.Errorf("inject: injection run: %w", err)
+		return NotApplied, nil, fmt.Errorf("inject: injection run: %w", err)
 	}
-	return classify(m, tr, c.verify), nil
+	return classify(m, tr, c.verify), nil, nil
 }

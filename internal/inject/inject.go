@@ -68,6 +68,49 @@ type Validator interface {
 	Validate() error
 }
 
+// IndexedPicker lets a TargetPicker draw by position in the campaign's
+// pre-drawn fault stream instead of purely from randomness. When the picker
+// implements it, the campaign calls PickAt(i, r) for the i-th fault
+// (i = 0..tests-1); pickers stay stateless, so a Campaign remains safe to
+// run multiple times with identical streams.
+type IndexedPicker interface {
+	PickAt(i int, r *rand.Rand) interp.Fault
+}
+
+// FaultList replays a fixed, hand-constructed fault sequence through the
+// campaign engine — deterministic targeted studies (Table I's per-region
+// spreads) get the schedulers, the worker pool, and per-fault analysis for
+// free. Fault i of the stream is Faults[i mod len(Faults)]; WithTests
+// normally matches len(Faults).
+type FaultList struct {
+	Faults []interp.Fault
+}
+
+// PickAt returns fault i of the list (cycling past the end).
+func (l FaultList) PickAt(i int, r *rand.Rand) interp.Fault {
+	if len(l.Faults) == 0 {
+		return l.Pick(r)
+	}
+	return l.Faults[i%len(l.Faults)]
+}
+
+// Pick draws uniformly from the list — the fallback for engines unaware of
+// IndexedPicker. An empty list yields a never-firing fault.
+func (l FaultList) Pick(r *rand.Rand) interp.Fault {
+	if len(l.Faults) == 0 {
+		return interp.Fault{Step: neverStep, Bit: uint8(r.Intn(64)), Kind: interp.FaultDst}
+	}
+	return l.Faults[r.Intn(len(l.Faults))]
+}
+
+// Validate rejects an empty fault list.
+func (l FaultList) Validate() error {
+	if len(l.Faults) == 0 {
+		return fmt.Errorf("inject: FaultList has no faults")
+	}
+	return nil
+}
+
 // neverStep is a dynamic step no run ever reaches. Pickers whose population
 // is empty aim faults here: the fault never fires and the run classifies as
 // NotApplied. The guarded paths consume one bit draw so every Pick advances

@@ -100,6 +100,10 @@ type runTerminated struct{ status trace.RunStatus }
 // noPause is a pause point no run reaches (StepLimit fires first).
 const noPause = math.MaxUint64
 
+// maxTraceReserve caps record-buffer preallocation (TraceHint, PrimeTrace)
+// at 64M records so a corrupt hint cannot exhaust memory.
+const maxTraceReserve = 64 << 20
+
 // NewMachine builds a machine for a sealed program with default limits.
 func NewMachine(p *ir.Program) (*Machine, error) {
 	if !p.Sealed() {
@@ -175,10 +179,9 @@ func (m *Machine) start() error {
 	}
 	m.status = trace.RunOK
 	if m.Mode == TraceFull && m.TraceHint > 0 {
-		const maxReserve = 64 << 20 // cap preallocation at 64M records
 		hint := m.TraceHint
-		if hint > maxReserve {
-			hint = maxReserve
+		if hint > maxTraceReserve {
+			hint = maxTraceReserve
 		}
 		m.recs = make([]trace.Rec, 0, hint)
 	}

@@ -168,3 +168,72 @@ func TestRandomProgramsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPrimeTraceStitchesFullTrace checks the restored-run trace stitching
+// behind analyzed campaigns: restore a snapshot taken from an untraced
+// prefix run, prime the record buffer with the matching prefix records of a
+// clean full trace, resume with TraceFull and a fault — the result must be
+// byte-identical to a from-step-0 TraceFull faulty run, with no append
+// growth beyond the primed capacity.
+func TestPrimeTraceStitchesFullTrace(t *testing.T) {
+	p, _ := buildSum(16)
+	full, _ := NewMachine(p)
+	full.Mode = TraceFull
+	clean, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := Fault{Step: clean.Steps / 2, Bit: 40, Kind: FaultDst}
+
+	// Reference: direct traced faulty run.
+	dm, _ := NewMachine(p)
+	dm.Mode = TraceFull
+	dm.Fault = &fault
+	want, err := dm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untraced prefix run up to a checkpoint before the fault.
+	ckStep := clean.Steps / 3
+	base, _ := NewMachine(p)
+	if paused, err := base.RunUntil(ckStep); err != nil || !paused {
+		t.Fatalf("RunUntil: paused=%v err=%v", paused, err)
+	}
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restored traced run, primed with the clean prefix.
+	m, _ := NewMachine(p)
+	m.Mode = TraceFull
+	m.Fault = &fault
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for k < len(clean.Recs) && clean.Recs[k].Step < ckStep {
+		k++
+	}
+	hint := uint64(len(clean.Recs)) + 8
+	m.PrimeTrace(clean.Recs[:k], hint)
+	got, err := m.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Steps != want.Steps {
+		t.Fatalf("stitched run: status %v steps %d, want %v %d", got.Status, got.Steps, want.Status, want.Steps)
+	}
+	if len(got.Recs) != len(want.Recs) {
+		t.Fatalf("stitched trace has %d records, want %d", len(got.Recs), len(want.Recs))
+	}
+	for i := range got.Recs {
+		if got.Recs[i] != want.Recs[i] {
+			t.Fatalf("record %d differs:\ngot  %+v\nwant %+v", i, got.Recs[i], want.Recs[i])
+		}
+	}
+	if uint64(cap(got.Recs)) != hint {
+		t.Errorf("record buffer capacity %d, want primed %d (no growth copies)", cap(got.Recs), hint)
+	}
+}

@@ -128,6 +128,27 @@ func RestoreMachine(p *ir.Program, s *Snapshot) (*Machine, error) {
 	return m, nil
 }
 
+// PrimeTrace seeds the record buffer of a restored (or paused) machine with
+// prefix — the records of the run so far, e.g. the fault-free prefix a
+// checkpoint skipped, taken from a matching clean full trace — and
+// preallocates capacity for about hint records in total so the resumed
+// suffix appends without growth copies. The prefix is copied; any records
+// the machine already held (from the snapshot or an earlier stretch of the
+// run) are replaced. Call it after Restore/RunUntil with Mode == TraceFull
+// and before resuming; the final trace then carries prefix + suffix exactly
+// as a from-step-0 TraceFull run would.
+func (m *Machine) PrimeTrace(prefix []trace.Rec, hint uint64) {
+	if hint > maxTraceReserve {
+		hint = maxTraceReserve
+	}
+	if hint < uint64(len(prefix)) {
+		hint = uint64(len(prefix))
+	}
+	buf := make([]trace.Rec, len(prefix), hint)
+	copy(buf, prefix)
+	m.recs = buf
+}
+
 // restore copies snapshot state into a not-yet-started machine.
 func (m *Machine) restore(s *Snapshot) error {
 	if m.Prog != s.prog {

@@ -6,6 +6,7 @@ package patterns
 
 import (
 	"fmt"
+	"sort"
 
 	"fliptracker/internal/acl"
 	"fliptracker/internal/dddg"
@@ -110,6 +111,40 @@ func (d *Detection) Count() int {
 // patterns acted within the span. prog supplies pseudo source lines for
 // evidence; it may be nil.
 func Detect(prog *ir.Program, faulty, clean *trace.Trace, span trace.Span, res *acl.Result) *Detection {
+	return NewDetector(prog, faulty, clean, res).Detect(span)
+}
+
+// Detector runs the per-span pattern detection of one analyzed fault. The
+// per-fault inputs (program, matched traces, ACL result) are bound once;
+// Detect is then called with precomputed spans — typically the touched
+// region instances from a clean-trace index — and locates each span's ACL
+// events by binary search over the sorted event list instead of re-scanning
+// every event per region. A Detector is immutable and safe for concurrent
+// Detect calls.
+type Detector struct {
+	prog          *ir.Program
+	faulty, clean *trace.Trace
+	res           *acl.Result
+}
+
+// NewDetector binds the per-fault analysis inputs. res.Events must be in
+// RecIndex order, which acl.Analyze guarantees.
+func NewDetector(prog *ir.Program, faulty, clean *trace.Trace, res *acl.Result) *Detector {
+	return &Detector{prog: prog, faulty: faulty, clean: clean, res: res}
+}
+
+// Detect reports the resilience patterns that acted within the span.
+func (dt *Detector) Detect(span trace.Span) *Detection {
+	evs := dt.res.Events
+	lo := sort.Search(len(evs), func(i int) bool { return evs[i].RecIndex >= span.Start })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].RecIndex >= span.End })
+	return dt.detect(span, evs[lo:hi])
+}
+
+// detect classifies the span's events (already narrowed to the span) and
+// runs the span-local repeated-additions scan.
+func (dt *Detector) detect(span trace.Span, evs []acl.Event) *Detection {
+	prog, faulty, clean, res := dt.prog, dt.faulty, dt.clean, dt.res
 	d := &Detection{}
 	add := func(p Pattern, recIdx int, loc trace.Loc, note string) {
 		d.Found[p] = true
@@ -125,17 +160,12 @@ func Detect(prog *ir.Program, faulty, clean *trace.Trace, span trace.Span, res *
 		d.Evidence = append(d.Evidence, ev)
 	}
 
-	inSpan := func(i int) bool { return i >= span.Start && i < span.End }
-
 	// Pattern 1 needs *several* corrupted locations dying unused plus a net
 	// decrease of alive corrupted locations — a single dead temporary is
 	// not the aggregation structure of Figure 8. Collect candidates first.
 	var deadUnused []acl.Event
 
-	for _, e := range res.Events {
-		if !inSpan(e.RecIndex) {
-			continue
-		}
+	for _, e := range evs {
 		op := faulty.Recs[e.RecIndex].Op
 		switch e.Kind {
 		case acl.DeadOverwrite:

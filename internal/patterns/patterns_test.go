@@ -277,3 +277,62 @@ func TestDetectionCountAndNames(t *testing.T) {
 		t.Error("unknown pattern naming wrong")
 	}
 }
+
+// TestDetectorMatchesDetect pins the Detector refactor: for every sub-span
+// of a faulty run, the event-index Detector must reproduce the one-shot
+// Detect byte for byte (same Found set, same Evidence in the same order).
+func TestDetectorMatchesDetect(t *testing.T) {
+	p := ir.NewProgram("detr")
+	g := p.AllocGlobal("g", 4, ir.F64)
+	sink := p.AllocGlobal("sink", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	for i := int64(0); i < 4; i++ {
+		b.StoreGI(g, i, b.ConstF(float64(i)+1))
+	}
+	acc := b.ConstF(0)
+	b.ForI(0, 4, func(i ir.Reg) {
+		b.BinTo(ir.OpFAdd, acc, acc, b.LoadG(g, i))
+	})
+	b.StoreGI(sink, 0, acc)
+	b.StoreGI(g, 0, b.ConstF(9)) // clean overwrite of a corrupted cell
+	b.Emit(ir.F64, b.LoadGI(sink, 0))
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	clean := runTraced(t, p, nil)
+	var st uint64
+	for i := range clean.Recs {
+		if clean.Recs[i].Op == ir.OpStore {
+			st = clean.Recs[i].Step
+			break
+		}
+	}
+	faulty := runTraced(t, p, &interp.Fault{Step: st, Bit: 44, Kind: interp.FaultDst})
+	res := acl.Analyze(faulty, clean)
+	dt := NewDetector(p, faulty, clean, res)
+	n := len(faulty.Recs)
+	spans := []trace.Span{
+		{Start: 0, End: n},
+		{Start: 0, End: n / 2},
+		{Start: n / 2, End: n},
+		{Start: n / 3, End: 2 * n / 3},
+		{Start: n, End: n}, // empty
+	}
+	for _, s := range spans {
+		want := Detect(p, faulty, clean, s, res)
+		got := dt.Detect(s)
+		if got.Found != want.Found {
+			t.Errorf("span %+v: Found %v, want %v", s, got.Found, want.Found)
+		}
+		if len(got.Evidence) != len(want.Evidence) {
+			t.Fatalf("span %+v: %d evidence entries, want %d", s, len(got.Evidence), len(want.Evidence))
+		}
+		for i := range want.Evidence {
+			if got.Evidence[i] != want.Evidence[i] {
+				t.Errorf("span %+v evidence %d = %+v, want %+v", s, i, got.Evidence[i], want.Evidence[i])
+			}
+		}
+	}
+}

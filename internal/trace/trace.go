@@ -171,3 +171,48 @@ func (t *Trace) Instance(regionID int32, n int) (Span, bool) {
 	}
 	return Span{}, false
 }
+
+// SpanIndex is a prebuilt lookup over one trace's region spans. SplitRegions
+// scans the whole trace on every call; analyses that resolve many instances
+// of many regions (the per-fault pipeline, campaign population resolution)
+// build one index instead and look spans up in O(1)/O(instances). The index
+// is immutable after construction and safe for concurrent readers.
+type SpanIndex struct {
+	spans    []Span
+	byRegion map[int32][]Span
+}
+
+// NewSpanIndex splits the trace once and indexes the spans by region.
+func NewSpanIndex(t *Trace) *SpanIndex {
+	spans := t.SplitRegions()
+	ix := &SpanIndex{spans: spans, byRegion: make(map[int32][]Span)}
+	for _, s := range spans {
+		ix.byRegion[s.RegionID] = append(ix.byRegion[s.RegionID], s)
+	}
+	return ix
+}
+
+// Spans returns every region-instance span in trace order (the SplitRegions
+// order). Callers must not mutate the returned slice.
+func (ix *SpanIndex) Spans() []Span { return ix.spans }
+
+// Instances returns the spans of one region in instance order. Callers must
+// not mutate the returned slice.
+func (ix *SpanIndex) Instances(regionID int32) []Span { return ix.byRegion[regionID] }
+
+// Instance returns span number n of the given region.
+func (ix *SpanIndex) Instance(regionID int32, n int) (Span, bool) {
+	spans := ix.byRegion[regionID]
+	// Instances are numbered in enter order, so span n is at position n
+	// except in truncated traces; fall back to a scan if the fast path
+	// misses.
+	if n >= 0 && n < len(spans) && spans[n].Instance == n {
+		return spans[n], true
+	}
+	for _, s := range spans {
+		if s.Instance == n {
+			return s, true
+		}
+	}
+	return Span{}, false
+}

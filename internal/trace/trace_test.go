@@ -212,3 +212,41 @@ func TestRecString(t *testing.T) {
 		t.Error("empty Rec string")
 	}
 }
+
+func TestSpanIndexMatchesSplitRegions(t *testing.T) {
+	// Nested regions plus a truncated (crash-closed) instance.
+	tr := &Trace{Recs: markers(0, 1, -2, 1, -2, -1, 0, 1)}
+	ix := NewSpanIndex(tr)
+	want := tr.SplitRegions()
+	got := ix.Spans()
+	if len(got) != len(want) {
+		t.Fatalf("index has %d spans, SplitRegions %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, id := range []int32{0, 1, 7} {
+		wi := tr.InstancesOf(id)
+		gi := ix.Instances(id)
+		if len(wi) != len(gi) {
+			t.Fatalf("region %d: %d instances, want %d", id, len(gi), len(wi))
+		}
+		for n := range wi {
+			if gi[n] != wi[n] {
+				t.Errorf("region %d instance %d = %+v, want %+v", id, n, gi[n], wi[n])
+			}
+			s, ok := ix.Instance(id, n)
+			if !ok || s != wi[n] {
+				t.Errorf("Instance(%d, %d) = %+v %v, want %+v", id, n, s, ok, wi[n])
+			}
+		}
+	}
+	if _, ok := ix.Instance(0, 99); ok {
+		t.Error("absent instance should miss")
+	}
+	if _, ok := ix.Instance(42, 0); ok {
+		t.Error("absent region should miss")
+	}
+}
