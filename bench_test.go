@@ -13,6 +13,7 @@ package fliptracker_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"fliptracker"
@@ -479,6 +480,73 @@ func BenchmarkAnalyzedCampaign(b *testing.B) {
 	b.Run("campaign/checkpointed-p4", func(b *testing.B) {
 		campaign(b, fliptracker.ScheduleCheckpointed, 4)
 	})
+}
+
+// BenchmarkMPICampaign measures the MPI campaign engine against the
+// sequential mpi.Run + per-rank-analysis loop it replaces, on a fixed fault
+// spread (FaultList) so every variant does identical work:
+//
+//   - sequential-loop: one MPIAnalyzer.AnalyzeWorld per fault — a full
+//     replayed world plus per-rank analysis, no campaign machinery.
+//   - campaign/p*: the analyzed MPI campaign over the same faults at
+//     increasing world-level parallelism.
+//
+// Worlds are the unit of work, so wall clock should scale down with
+// parallelism until rank goroutines saturate the cores. Results are pinned
+// byte-identical across all variants by TestMPICampaignMatchesSequentialLoop.
+func BenchmarkMPICampaign(b *testing.B) {
+	const (
+		ranks = 3
+		tests = 8
+	)
+	ma, err := fliptracker.NewMPIAnalyzer("is", ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma.FaultRank = 1
+	steps := ma.InjectedSteps()
+	var faults []interp.Fault
+	for i := 0; i < tests; i++ {
+		step := steps/2 + uint64(i)*(steps/2)/tests
+		faults = append(faults, interp.Fault{Step: step, Bit: uint8(30 + i%23), Kind: interp.FaultDst})
+	}
+	perWorld := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*tests), "ms/world")
+	}
+
+	b.Run("sequential-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				if _, err := ma.AnalyzeWorld(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		perWorld(b)
+	})
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("campaign/p%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for wa, err := range ma.StreamWorldAnalysis(context.Background(),
+					fliptracker.FaultList{Faults: faults},
+					fliptracker.MPIWithTests(tests),
+					fliptracker.MPIWithParallelism(par)) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					if wa == nil {
+						b.Fatal("nil analysis")
+					}
+					n++
+				}
+				if n != tests {
+					b.Fatalf("analyzed %d worlds, want %d", n, tests)
+				}
+			}
+			perWorld(b)
+		})
+	}
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

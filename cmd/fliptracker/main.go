@@ -12,6 +12,7 @@
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
 //	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
+//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-stream] [-analyze]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
@@ -28,6 +29,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/mpi"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
@@ -267,11 +269,18 @@ func cmdCampaign(args []string) error {
 	earlyStop := fs.Bool("earlystop", false, "stop sequentially once the 95% CI is within 3%")
 	stream := fs.Bool("stream", false, "print one line per fault outcome as the campaign runs")
 	analyze := fs.Bool("analyze", false, "run the full per-fault analysis (ACL, DDDG comparison, patterns) on every injection and stream one line per fault; implies -stream")
+	mpiMode := fs.Bool("mpi", false, "run a multi-rank MPI campaign: each injection replays a full world with the fault on one rank")
+	ranks := fs.Int("ranks", 4, "MPI world size (with -mpi)")
+	faultRank := fs.Int("faultrank", 0, "rank the faults are injected into (with -mpi)")
 	fs.Parse(args)
 
 	// Ctrl-C cancels the campaign; partial results are still reported.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+
+	if *mpiMode {
+		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *stream, *analyze)
+	}
 
 	an, err := core.NewAnalyzer(*app)
 	if err != nil {
@@ -366,6 +375,88 @@ func cmdCampaign(args []string) error {
 	}
 	if r.Tests > 0 {
 		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+		ci := stats.ProportionCI(r.SuccessRate(), r.Tests, 0.95)
+		fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", r.SuccessRate(), ci, r.CrashRate())
+	}
+	return runErr
+}
+
+// mpiCampaign runs a multi-rank campaign: every injection replays the
+// recorded fault-free world with one fault injected into faultRank, and each
+// world classifies into a §II-A outcome plus a cross-rank propagation class.
+func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, stream, analyze bool) error {
+	ma, err := core.NewMPIAnalyzer(app, ranks)
+	if err != nil {
+		return err
+	}
+	ma.FaultRank = faultRank
+	n := tests
+	if n == 0 {
+		// Whole-program sizing over the injected rank's dynamic trace.
+		n = stats.SampleSize(ma.InjectedSteps()*64, 0.95, 0.03)
+	}
+	copts := []mpi.Option{mpi.WithTests(n), mpi.WithSeed(seed)}
+	fmt.Printf("MPI campaign on %s: %d ranks, faults on rank %d, %d tests\n", app, ranks, faultRank, n)
+
+	var r inject.Result
+	propCounts := map[mpi.PropagationClass]int{}
+	var runErr error
+	switch {
+	case analyze:
+		var patternCounts [patterns.NumPatterns]int
+		i := 0
+		for wa, err := range ma.StreamWorldAnalysis(ctx, nil, copts...) {
+			if err != nil {
+				runErr = err
+				break
+			}
+			r.Count(wa.Outcome)
+			propCounts[wa.Propagation.Class]++
+			var names []string
+			for p := 0; p < patterns.NumPatterns; p++ {
+				for _, fa := range wa.Ranks {
+					if fa.PatternsFound()[p] {
+						patternCounts[p]++
+						names = append(names, patterns.Pattern(p).Short())
+						break
+					}
+				}
+			}
+			fmt.Printf("#%-6d %-32s -> %-8s %-18s inj-rank peak-ACL %-5d %s\n",
+				i, wa.Fault.String(), wa.Outcome, wa.Propagation,
+				wa.Ranks[faultRank].ACL.Peak, strings.Join(names, ","))
+			i++
+		}
+		if r.Tests > 0 {
+			fmt.Println("patterns across analyzed worlds (any rank):")
+			for p := 0; p < patterns.NumPatterns; p++ {
+				fmt.Printf("  %-25s %d\n", patterns.Pattern(p), patternCounts[p])
+			}
+		}
+	default:
+		c, err := ma.NewCampaign(nil, copts...)
+		if err != nil {
+			return err
+		}
+		for wo, err := range c.Stream(ctx) {
+			if err != nil {
+				runErr = err
+				break
+			}
+			r.Count(wo.Outcome)
+			propCounts[wo.Propagation.Class]++
+			if stream {
+				fmt.Printf("#%-6d %-32s -> %-8s %s\n", wo.Index, wo.Fault.String(), wo.Outcome, wo.Propagation)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Printf("campaign stopped early (%v); partial results over %d tests:\n", runErr, r.Tests)
+	}
+	if r.Tests > 0 {
+		fmt.Printf("success %d, failed %d, crashed %d, not-applied %d\n", r.Success, r.Failed, r.Crashed, r.NotApplied)
+		fmt.Printf("propagation: contained %d, propagated %d, world-crash %d\n",
+			propCounts[mpi.Contained], propCounts[mpi.Propagated], propCounts[mpi.WorldCrash])
 		ci := stats.ProportionCI(r.SuccessRate(), r.Tests, 0.95)
 		fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", r.SuccessRate(), ci, r.CrashRate())
 	}

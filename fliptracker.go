@@ -44,6 +44,17 @@
 //	    fmt.Println(fa.Fault, fa.Outcome, fa.PatternsFound())
 //	}
 //
+// Multi-rank (MPI) campaigns replay a recorded fault-free world with each
+// fault injected into a single rank, classify the world-level outcome and
+// how far corruption spread across ranks, and run the per-rank analysis
+// against one CleanIndex per rank:
+//
+//	ma, err := fliptracker.NewMPIAnalyzer("mg", 4)
+//	for wa, err := range ma.StreamWorldAnalysis(ctx, nil,
+//	    fliptracker.MPIWithTests(100), fliptracker.MPIWithParallelism(4)) {
+//	    fmt.Println(wa.Fault, wa.Outcome, wa.Propagation)
+//	}
+//
 // The ten workloads of the paper's evaluation (NPB CG, MG, IS, LU, BT, SP,
 // DC, FT; LULESH; Rodinia KMEANS) ship with the library; Apps lists them.
 package fliptracker
@@ -56,6 +67,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/mpi"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/predict"
 	"fliptracker/internal/stats"
@@ -185,6 +197,51 @@ const (
 	NumPatterns = patterns.NumPatterns
 )
 
+// MPI campaigns (multi-rank worlds; §IV-A per-process tracing, §V-B
+// record-and-replay).
+type (
+	// MPIConfig configures one SPMD world run (ranks, per-rank seed, the
+	// injected rank, extra host binds).
+	MPIConfig = mpi.Config
+	// MPIResult is one completed world: per-rank traces plus the
+	// wildcard-receive Recording.
+	MPIResult = mpi.Result
+	// MPIRecording captures wildcard-receive arrival order for replay.
+	MPIRecording = mpi.Recording
+	// MPICampaign is a multi-rank fault-injection campaign: the MPI analog
+	// of Campaign, with a full replayed world as the unit of work. Build it
+	// with NewMPICampaign (or MPIAnalyzer.NewCampaign /
+	// NewAnalyzedCampaign) and execute with Run(ctx) or Stream(ctx).
+	MPICampaign = mpi.Campaign
+	// MPIOption configures an MPICampaign (MPIWithTests, MPIWithSeed, ...).
+	MPIOption = mpi.Option
+	// WorldOutcome is one per-fault record of MPICampaign.Stream: the drawn
+	// fault, the world-level §II-A outcome, and the cross-rank Propagation.
+	WorldOutcome = mpi.WorldOutcome
+	// WorldAnalyzer is the per-fault analysis hook of an analyzed MPI
+	// campaign (MPIWithWorldAnalysis).
+	WorldAnalyzer = mpi.WorldAnalyzer
+	// Propagation classifies how far a single-rank fault spread through the
+	// world: Contained, Propagated(ranks), or WorldCrash.
+	Propagation = mpi.Propagation
+	// PropagationClass is the coarse class of a Propagation.
+	PropagationClass = mpi.PropagationClass
+	// MPIAnalyzer drives the per-rank pipeline for the SPMD variant of one
+	// application: one CleanIndex per rank over a recorded fault-free
+	// world, shared by AnalyzeWorld and analyzed MPI campaigns.
+	MPIAnalyzer = core.MPIAnalyzer
+	// WorldAnalysis is the fine-grained analysis of one faulty world:
+	// world outcome, propagation, and one FaultAnalysis per rank.
+	WorldAnalysis = core.WorldAnalysis
+)
+
+// Cross-rank propagation classes.
+const (
+	PropagationContained  = mpi.Contained
+	PropagationPropagated = mpi.Propagated
+	PropagationWorldCrash = mpi.WorldCrash
+)
+
 // Prediction (Use Case 2, §VII-B).
 type (
 	// PredictSample is one program's pattern rates and measured success rate.
@@ -264,6 +321,64 @@ func WithEarlyStop(confidence, margin float64) CampaignOption {
 func WithAnalysis(clean *Trace, analyze TraceAnalyzer) CampaignOption {
 	return inject.WithAnalysis(clean, analyze)
 }
+
+// WithDropTraces makes an analyzed campaign drop each injection's faulty
+// trace as soon as its analysis hook returns (the payload's DropTrace
+// method), so collected results hold only summary artifacts — the knob for
+// memory-bounded analyzed sweeps. Requires WithAnalysis (or an analyzed
+// Analyzer campaign).
+func WithDropTraces() CampaignOption { return inject.WithDropTraces() }
+
+// NewMPIAnalyzer builds the per-rank pipeline for a registered application's
+// SPMD variant at the given world size: the fault-free world is recorded
+// once under full tracing and each rank's clean trace is indexed. Set
+// MPIAnalyzer.FaultRank to choose the injected rank (default 0).
+func NewMPIAnalyzer(appName string, ranks int) (*MPIAnalyzer, error) {
+	return core.NewMPIAnalyzer(appName, ranks)
+}
+
+// NewMPICampaign builds a multi-rank fault-injection campaign from a sealed
+// SPMD program, a base world configuration and a target population. Each
+// injection replays the recorded fault-free world with one fault injected
+// into base.FaultRank. For campaigns over a registered workload, prefer
+// MPIAnalyzer.NewCampaign / NewAnalyzedCampaign, which wire the clean world,
+// the verifier and the per-rank analysis automatically.
+func NewMPICampaign(p *Program, base MPIConfig, targets TargetPicker, opts ...MPIOption) (*MPICampaign, error) {
+	return mpi.NewCampaign(p, base, targets, opts...)
+}
+
+// RunWorld executes a sealed SPMD program once across cfg.Ranks simulated
+// ranks, returning per-rank traces and the wildcard-receive recording.
+func RunWorld(p *Program, cfg MPIConfig) (*MPIResult, error) { return mpi.Run(p, cfg) }
+
+// ClassifyPropagation diffs each non-injected rank of a faulty world against
+// the clean world and classifies the spread (Contained / Propagated(ranks) /
+// WorldCrash).
+func ClassifyPropagation(clean, faulty *MPIResult, faultRank int) Propagation {
+	return mpi.ClassifyPropagation(clean, faulty, faultRank)
+}
+
+// MPIWithTests sets an MPI campaign's injected-world count.
+func MPIWithTests(n int) MPIOption { return mpi.WithTests(n) }
+
+// MPIWithSeed seeds the pre-drawn fault stream of an MPI campaign.
+func MPIWithSeed(seed int64) MPIOption { return mpi.WithSeed(seed) }
+
+// MPIWithParallelism caps concurrently executing worlds; 0 means GOMAXPROCS.
+func MPIWithParallelism(n int) MPIOption { return mpi.WithParallelism(n) }
+
+// MPIWithProgress registers a per-world progress callback.
+func MPIWithProgress(fn func(done, total int)) MPIOption { return mpi.WithProgress(fn) }
+
+// MPIWithVerify replaces the campaign's world verifier.
+func MPIWithVerify(verify func(faulty *MPIResult) bool) MPIOption { return mpi.WithVerify(verify) }
+
+// MPIWithWorldAnalysis turns an MPI campaign into an analyzed campaign.
+func MPIWithWorldAnalysis(analyze WorldAnalyzer) MPIOption { return mpi.WithWorldAnalysis(analyze) }
+
+// MPIWithDropTraces releases each analyzed world's per-rank traces after its
+// analysis hook returns (WorldAnalysis keeps only summary artifacts).
+func MPIWithDropTraces() MPIOption { return mpi.WithDropTraces() }
 
 // WholeProgram targets uniform dynamic instructions across the full run
 // (the Table IV population).

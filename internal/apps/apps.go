@@ -141,6 +141,14 @@ func (a *App) Verify(tr *trace.Trace) bool {
 	if err != nil {
 		return false
 	}
+	return VerifyOutputs(tr, ref, a.Tol)
+}
+
+// VerifyOutputs is the §II-A verification phase against an explicit
+// reference: the run passes when every output matches ref within tol
+// relative error. App.Verify applies it to the app's fault-free reference;
+// MPI analyses apply it per rank against the clean world's rank outputs.
+func VerifyOutputs(tr *trace.Trace, ref []trace.OutVal, tol float64) bool {
 	if len(tr.Output) != len(ref) {
 		return false
 	}
@@ -154,7 +162,7 @@ func (a *App) Verify(tr *trace.Trace) bool {
 		if scale < 1 {
 			scale = 1
 		}
-		if math.Abs(got-want) > a.Tol*scale {
+		if math.Abs(got-want) > tol*scale {
 			return false
 		}
 	}

@@ -1,13 +1,13 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"iter"
 	"sync"
 
 	"fliptracker/internal/acl"
-	"fliptracker/internal/apps"
 	"fliptracker/internal/dddg"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
@@ -15,6 +15,13 @@ import (
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/trace"
 )
+
+// DefaultGraphCacheBound is the default cap on cached clean DDDGs per
+// CleanIndex. It comfortably covers every registered workload (the largest
+// splits into ~220 region instances, so current analyses never evict) while
+// bounding memory on large-application indexes; tune per index with
+// SetGraphCacheBound.
+const DefaultGraphCacheBound = 512
 
 // CleanIndex is the once-per-analyzer immutable index over the fault-free
 // trace that every per-fault analysis shares: the region spans (split once),
@@ -25,23 +32,32 @@ import (
 // the per-fault path only pays for the faulty run and its faulty-side
 // artifacts, so analyzed campaigns scale sublinearly in faults.
 //
-// Build it with Analyzer.Index. A CleanIndex is safe for concurrent use; the
+// Build it with Analyzer.Index for a registered application, or with
+// NewTraceIndex over an externally produced clean trace (the per-rank
+// indexes of MPI campaigns). A CleanIndex is safe for concurrent use; the
 // DDDG and input-location caches are what let analyzed campaigns run the
 // full analysis inside parallel worker pools without redoing clean-side
-// work per worker.
+// work per worker. The cache is LRU-bounded (DefaultGraphCacheBound) on
+// instance touch order.
 type CleanIndex struct {
-	app   *apps.App
-	prog  *ir.Program
-	clean *trace.Trace
-	spans *trace.SpanIndex
+	// newMachine builds a fresh machine for injection runs; nil for indexes
+	// built from a bare trace (NewTraceIndex), whose per-fault entry point
+	// is AnalyzeTrace.
+	newMachine func() (*interp.Machine, error)
+	// verify is the application's verification phase over a completed run.
+	verify func(*trace.Trace) bool
+	prog   *ir.Program
+	clean  *trace.Trace
+	spans  *trace.SpanIndex
 	// hint preallocates faulty record buffers: the faulty trace matches the
 	// clean one until the fault (and usually after), so the clean record
 	// count plus a little headroom avoids append growth entirely.
 	hint uint64
 
-	mu     sync.Mutex
-	graphs map[spanKey]*dddg.Graph
-	inputs map[spanKey][]trace.Loc
+	mu      sync.Mutex
+	bound   int
+	entries map[spanKey]*list.Element
+	lru     *list.List // of *cacheEntry, most recently touched at front
 }
 
 type spanKey struct {
@@ -49,15 +65,59 @@ type spanKey struct {
 	instance int
 }
 
-func newCleanIndex(app *apps.App, prog *ir.Program, clean *trace.Trace) *CleanIndex {
+// cacheEntry is one LRU slot: the instance's clean graph and, once derived,
+// its input locations (they ride the same slot so both expire together).
+type cacheEntry struct {
+	key       spanKey
+	graph     *dddg.Graph
+	inputs    []trace.Loc
+	hasInputs bool
+}
+
+func newCleanIndex(newMachine func() (*interp.Machine, error), verify func(*trace.Trace) bool, prog *ir.Program, clean *trace.Trace) *CleanIndex {
 	return &CleanIndex{
-		app:    app,
-		prog:   prog,
-		clean:  clean,
-		spans:  trace.NewSpanIndex(clean),
-		hint:   uint64(len(clean.Recs)) + 64,
-		graphs: make(map[spanKey]*dddg.Graph),
-		inputs: make(map[spanKey][]trace.Loc),
+		newMachine: newMachine,
+		verify:     verify,
+		prog:       prog,
+		clean:      clean,
+		spans:      trace.NewSpanIndex(clean),
+		hint:       uint64(len(clean.Recs)) + 64,
+		bound:      DefaultGraphCacheBound,
+		entries:    make(map[spanKey]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+// NewTraceIndex builds a CleanIndex over an externally produced fault-free
+// full trace — the constructor for analyses whose runs the Analyzer cannot
+// produce itself, such as the per-rank traces of an MPI world. verify is the
+// verification phase applied to a faulty trace of the same execution (for a
+// rank: its outputs against the clean rank's within tolerance). The
+// resulting index supports every clean-side lookup and AnalyzeTrace;
+// FaultyTrace and Analyze need a machine factory and return an error.
+func NewTraceIndex(prog *ir.Program, clean *trace.Trace, verify func(*trace.Trace) bool) *CleanIndex {
+	return newCleanIndex(nil, verify, prog, clean)
+}
+
+// SetGraphCacheBound caps the clean DDDGs (and their input-location sets)
+// the index keeps, evicting least-recently-touched instances beyond n.
+// The zero index uses DefaultGraphCacheBound; n < 1 is clamped to 1.
+func (ix *CleanIndex) SetGraphCacheBound(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ix.mu.Lock()
+	ix.bound = n
+	ix.evictLocked()
+	ix.mu.Unlock()
+}
+
+// evictLocked trims the LRU to the bound. Callers must hold mu.
+func (ix *CleanIndex) evictLocked() {
+	for ix.lru.Len() > ix.bound {
+		back := ix.lru.Back()
+		ix.lru.Remove(back)
+		delete(ix.entries, back.Value.(*cacheEntry).key)
 	}
 }
 
@@ -71,7 +131,7 @@ func (an *Analyzer) Index() (*CleanIndex, error) {
 			an.indexErr = err
 			return
 		}
-		an.index = newCleanIndex(an.App, an.Prog, clean)
+		an.index = newCleanIndex(an.App.NewMachine, an.App.Verify, an.Prog, clean)
 	})
 	return an.index, an.indexErr
 }
@@ -93,40 +153,58 @@ func (ix *CleanIndex) Instance(regionID int32, n int) (trace.Span, bool) {
 }
 
 // Graph returns the DDDG of a clean region-instance span, building it on
-// first use and caching it for every later fault that touches the same
-// instance. The graph is shared: treat it as read-only.
+// first use and caching it (LRU on touch order) for every later fault that
+// touches the same instance. The graph is shared: treat it as read-only.
 func (ix *CleanIndex) Graph(s trace.Span) *dddg.Graph {
 	key := spanKey{s.RegionID, s.Instance}
 	ix.mu.Lock()
-	g, ok := ix.graphs[key]
-	ix.mu.Unlock()
-	if ok {
+	if e, ok := ix.entries[key]; ok {
+		ix.lru.MoveToFront(e)
+		g := e.Value.(*cacheEntry).graph
+		ix.mu.Unlock()
 		return g
 	}
-	// Build outside the lock: construction is the expensive part, and a
-	// rare duplicate build is idempotent (last writer wins, both graphs are
-	// equivalent and immutable).
-	g = dddg.Build(ix.clean, s)
-	ix.mu.Lock()
-	ix.graphs[key] = g
 	ix.mu.Unlock()
+	// Build outside the lock: construction is the expensive part, and a
+	// rare duplicate build is idempotent (both graphs are equivalent and
+	// immutable; the first inserted entry wins).
+	g := dddg.Build(ix.clean, s)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if e, ok := ix.entries[key]; ok {
+		ix.lru.MoveToFront(e)
+		return e.Value.(*cacheEntry).graph
+	}
+	ix.entries[key] = ix.lru.PushFront(&cacheEntry{key: key, graph: g})
+	ix.evictLocked()
 	return g
 }
 
 // InputLocs returns the memory input locations of a clean region instance
-// (read-before-written in its span), cached like Graph. Callers must not
-// mutate the returned slice.
+// (read-before-written in its span), cached alongside its Graph. Callers
+// must not mutate the returned slice.
 func (ix *CleanIndex) InputLocs(s trace.Span) []trace.Loc {
 	key := spanKey{s.RegionID, s.Instance}
 	ix.mu.Lock()
-	locs, ok := ix.inputs[key]
-	ix.mu.Unlock()
-	if ok {
-		return locs
+	if e, ok := ix.entries[key]; ok {
+		if ce := e.Value.(*cacheEntry); ce.hasInputs {
+			ix.lru.MoveToFront(e)
+			locs := ce.inputs
+			ix.mu.Unlock()
+			return locs
+		}
 	}
-	locs = ix.Graph(s).InputMemLocs()
+	ix.mu.Unlock()
+	locs := ix.Graph(s).InputMemLocs()
 	ix.mu.Lock()
-	ix.inputs[key] = locs
+	// Graph ensured an entry moments ago; if heavy eviction already expired
+	// it, the computed locations are simply returned uncached.
+	if e, ok := ix.entries[key]; ok {
+		ce := e.Value.(*cacheEntry)
+		ce.inputs = locs
+		ce.hasInputs = true
+		ix.lru.MoveToFront(e)
+	}
 	ix.mu.Unlock()
 	return locs
 }
@@ -142,7 +220,10 @@ func (ix *CleanIndex) FaultyTrace(f interp.Fault) (*trace.Trace, error) {
 // only the machine knows (a trace alone cannot distinguish a tolerated
 // flip from one that never happened).
 func (ix *CleanIndex) faultyTrace(f interp.Fault) (*trace.Trace, bool, error) {
-	m, err := ix.app.NewMachine()
+	if ix.newMachine == nil {
+		return nil, false, fmt.Errorf("core: index was built from a trace (NewTraceIndex) and cannot run injections; use AnalyzeTrace")
+	}
+	m, err := ix.newMachine()
 	if err != nil {
 		return nil, false, err
 	}
@@ -187,7 +268,7 @@ func (ix *CleanIndex) AnalyzeTrace(f interp.Fault, faulty *trace.Trace) *FaultAn
 	case trace.RunCrashed, trace.RunHang:
 		fa.Outcome = inject.Crashed
 	default:
-		if ix.app.Verify(faulty) {
+		if ix.verify(faulty) {
 			fa.Outcome = inject.Success
 		} else {
 			fa.Outcome = inject.Failed

@@ -148,6 +148,12 @@ type FaultAnalysis struct {
 	Regions []RegionReport
 }
 
+// DropTrace releases the faulty trace, keeping only the analysis artifacts —
+// the inject.TraceDropper hook behind inject.WithDropTraces, for
+// memory-bounded analyzed sweeps whose collected results outlive the
+// campaign.
+func (fa *FaultAnalysis) DropTrace() { fa.Faulty = nil }
+
 // PatternsFound aggregates pattern detections across all touched regions.
 func (fa *FaultAnalysis) PatternsFound() [patterns.NumPatterns]bool {
 	var out [patterns.NumPatterns]bool

@@ -31,7 +31,11 @@ type Fig4Result struct {
 }
 
 // TracingOverhead reproduces Figure 4: run the five MPI workloads with and
-// without full tracing and compare wall-clock time.
+// without full tracing and compare wall-clock time. The worlds run through
+// the MPI campaign engine's replay primitive — a replay-only mpi.Campaign
+// records the traced clean world once (serving as the warm-up and the
+// per-rank buffer-hint source) and ReplayClean re-executes exactly the unit
+// of work an injecting campaign's workers run, minus the fault.
 func TracingOverhead(opts Options) (*Fig4Result, error) {
 	res := &Fig4Result{Ranks: opts.Ranks}
 	var sum float64
@@ -44,33 +48,32 @@ func TracingOverhead(opts Options) (*Fig4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var hint uint64
-		run := func(mode interp.TraceMode) (time.Duration, uint64, error) {
+		c, err := mpi.NewCampaign(p, mpi.Config{Ranks: opts.Ranks, Seed: apps.DefaultSeed,
+			ExtraBind: func(m *interp.Machine, _ int) error { return apps.BindMathHosts(m) }}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig4: %s: %w", name, err)
+		}
+		run := func(mode interp.TraceMode) (time.Duration, error) {
 			start := time.Now()
-			r, err := mpi.Run(p, mpi.Config{Ranks: opts.Ranks, Mode: mode, Seed: apps.DefaultSeed, TraceHint: hint,
-				ExtraBind: func(m *interp.Machine, _ int) error { return apps.BindMathHosts(m) }})
+			r, err := c.ReplayClean(mode)
 			if err != nil {
-				return 0, 0, err
+				return 0, err
 			}
 			if r.Status() != trace.RunOK {
-				return 0, 0, fmt.Errorf("fig4: %s %v run failed: %v", name, mode, r.Status())
+				return 0, fmt.Errorf("fig4: %s %v run failed: %v", name, mode, r.Status())
 			}
-			return time.Since(start), r.Ranks[0].Trace.Steps, nil
+			return time.Since(start), nil
 		}
-		// Warm-up to amortize first-touch costs, then measure.
-		if _, _, err := run(interp.TraceOff); err != nil {
-			return nil, err
-		}
-		un, steps, err := run(interp.TraceOff)
+		un, err := run(interp.TraceOff)
 		if err != nil {
 			return nil, err
 		}
-		hint = steps
-		tr, _, err := run(interp.TraceFull)
+		tr, err := run(interp.TraceFull)
 		if err != nil {
 			return nil, err
 		}
 		ov := float64(tr-un) / float64(un)
+		steps := c.Clean().Ranks[0].Trace.Steps
 		res.Rows = append(res.Rows, Fig4Row{App: name, Untraced: un, Traced: tr, Overhead: ov, RankSteps: steps})
 		sum += ov
 	}

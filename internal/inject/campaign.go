@@ -36,8 +36,9 @@ type Campaign struct {
 	earlyStopConfidence float64
 	earlyStopMargin     float64
 
-	analyze TraceAnalyzer
-	clean   *trace.Trace
+	analyze    TraceAnalyzer
+	dropTraces bool
+	clean      *trace.Trace
 	// stitch permits clean-prefix reuse for analyzed checkpointed runs; it
 	// requires the clean trace's record steps to be monotonic (see
 	// NewCampaign), else analyzed injections replay traced from step 0.
@@ -102,6 +103,22 @@ func WithAnalysis(clean *trace.Trace, analyze TraceAnalyzer) Option {
 	}
 }
 
+// TraceDropper is implemented by analysis payloads that can release their
+// faulty-trace reference once analysis is complete (core.FaultAnalysis drops
+// FaultAnalysis.Faulty). WithDropTraces invokes it right after the
+// TraceAnalyzer returns.
+type TraceDropper interface {
+	DropTrace()
+}
+
+// WithDropTraces makes an analyzed campaign drop each injection's faulty
+// trace as soon as its TraceAnalyzer returns, by calling the payload's
+// DropTrace method when it implements TraceDropper. Collected FaultOutcomes
+// then hold only summary artifacts (outcome, ACL numbers, region reports),
+// not the O(trace) record buffers — the knob for memory-bounded sweeps whose
+// results outlive the campaign. Requires WithAnalysis.
+func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
+
 // EarlyStopMinTests is the minimum number of completed injections before
 // WithEarlyStop may end a campaign, guarding the normal-approximation
 // confidence interval against tiny samples.
@@ -157,6 +174,9 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 		if c.earlyStopMargin <= 0 || c.earlyStopMargin >= 1 {
 			return nil, fmt.Errorf("inject: early-stop margin %v outside (0, 1)", c.earlyStopMargin)
 		}
+	}
+	if c.dropTraces && c.analyze == nil {
+		return nil, fmt.Errorf("inject: WithDropTraces requires WithAnalysis")
 	}
 	if c.analyze != nil {
 		if c.clean == nil || len(c.clean.Recs) == 0 {
@@ -462,6 +482,11 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 	payload, err := c.analyze(i, f, tr, o)
 	if err != nil {
 		return NotApplied, nil, fmt.Errorf("inject: analyze fault %d: %w", i, err)
+	}
+	if c.dropTraces {
+		if d, ok := payload.(TraceDropper); ok {
+			d.DropTrace()
+		}
 	}
 	return o, payload, nil
 }

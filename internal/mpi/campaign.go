@@ -1,0 +1,492 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fliptracker/internal/inject"
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// Campaign is one configured multi-rank fault-injection campaign: the MPI
+// analog of inject.Campaign, with a full replayed world as the unit of work.
+// Build it with NewCampaign, then execute it with Run for the aggregate
+// result or consume it world by world with Stream. A Campaign is immutable
+// after construction and safe to run multiple times; every run re-draws the
+// same fault stream from its seed, so for a fixed seed the outcomes are
+// identical whatever the parallelism.
+//
+// Construction records (or adopts, see WithClean) one fault-free fully
+// traced world. Every injection then replays that world — same per-rank
+// seeds, the clean Recording pinning wildcard-receive order (§V-B), per-rank
+// trace buffers hinted from the clean step counts — with a single fault
+// injected into the configured rank ("we focus on the single process where
+// the fault is injected", §IV-A), and classifies both the world-level
+// outcome (§II-A against the clean world's outputs) and how far the
+// corruption spread across ranks (Propagation).
+type Campaign struct {
+	prog    *ir.Program
+	base    Config
+	targets inject.TargetPicker
+
+	tests       int
+	seed        int64
+	parallelism int
+	progress    func(done, total int)
+	verify      func(*Result) bool
+	analyze     WorldAnalyzer
+	dropTraces  bool
+
+	clean *Result
+	hint  uint64
+}
+
+// Option configures a Campaign at construction time.
+type Option func(*Campaign)
+
+// WithTests sets the number of injected worlds. Required for an injecting
+// campaign; a replay-only campaign (nil TargetPicker) must leave it zero.
+func WithTests(n int) Option { return func(c *Campaign) { c.tests = n } }
+
+// WithSeed makes the campaign reproducible: faults are pre-drawn from a
+// single stream seeded here, so results do not depend on parallelism. The
+// default seed is 0. (This seeds the fault stream only; Config.Seed seeds
+// the per-rank RNGs of every world.)
+func WithSeed(seed int64) Option { return func(c *Campaign) { c.seed = seed } }
+
+// WithParallelism caps concurrently executing worlds; 0 (the default) means
+// GOMAXPROCS. Each world already runs one goroutine per rank, so the useful
+// ceiling is lower than in single-process campaigns.
+func WithParallelism(n int) Option { return func(c *Campaign) { c.parallelism = n } }
+
+// WithProgress registers a callback invoked after each completed world with
+// the number of outcomes delivered so far and the planned total. It is
+// called sequentially (never concurrently) in fault-index order.
+func WithProgress(fn func(done, total int)) Option { return func(c *Campaign) { c.progress = fn } }
+
+// WithVerify replaces the campaign's world verifier, consulted when a world
+// completes without crashing. The default verifier requires every rank's
+// outputs to match the clean world's bit for bit; analysis layers with a
+// tolerance (the §II-A verification phase) substitute their own.
+func WithVerify(verify func(faulty *Result) bool) Option {
+	return func(c *Campaign) { c.verify = verify }
+}
+
+// WorldAnalyzer is the per-fault analysis hook of an analyzed MPI campaign:
+// it receives the fault's stream index, the fault, the faulty world with its
+// per-rank traces, the world's §II-A outcome, and the cross-rank propagation
+// classification, and returns an arbitrary payload delivered on
+// WorldOutcome.Analysis. It runs inside the campaign worker pool, so for
+// WithParallelism > 1 it must be safe for concurrent calls; an error aborts
+// the campaign.
+type WorldAnalyzer func(index int, f interp.Fault, faulty *Result, outcome inject.Outcome, prop Propagation) (any, error)
+
+// WithWorldAnalysis turns the campaign into an analyzed campaign: every
+// injected world runs fully traced (whatever Config.Mode says) and is handed
+// to analyze on the worker that ran it, so per-world analyses parallelize
+// with the injections themselves.
+func WithWorldAnalysis(analyze WorldAnalyzer) Option {
+	return func(c *Campaign) { c.analyze = analyze }
+}
+
+// WithDropTraces makes an analyzed campaign release each world's per-rank
+// traces as soon as its WorldAnalyzer returns: the payload's DropTrace
+// method (inject.TraceDropper) is invoked, and the world result itself is
+// never retained by the engine. Collected analyses then hold only their
+// summary artifacts, enabling memory-bounded sweeps over many worlds.
+func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
+
+// WithClean adopts an existing fault-free world instead of recording a new
+// one at construction. clean must be a TraceFull run of the same program
+// under the same Config (ranks, seed, binds); analysis layers that already
+// hold one (e.g. per-rank clean indexes) pass it here so the campaign and
+// the analysis replay the identical recording.
+func WithClean(clean *Result) Option { return func(c *Campaign) { c.clean = clean } }
+
+// NewCampaign builds a campaign over the given fault population. base
+// configures every world (ranks, per-rank seed, extra host binds, and
+// FaultRank — the rank each drawn fault is injected into); its Fault and
+// Replay fields must be nil, and Mode is ignored (plain campaigns run worlds
+// untraced, analyzed campaigns fully traced). targets draws the fault stream
+// exactly as in inject.NewCampaign, including IndexedPicker support.
+//
+// A nil targets with zero tests builds a replay-only campaign: Run and
+// Stream fail, but Clean and ReplayClean expose the recorded world — the
+// unit of work every harness over replayed worlds (e.g. the Figure 4
+// tracing-overhead study) shares with injecting campaigns.
+func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts ...Option) (*Campaign, error) {
+	c := &Campaign{prog: p, base: base, targets: targets}
+	for _, o := range opts {
+		o(c)
+	}
+	if base.Fault != nil || base.Replay != nil {
+		return nil, fmt.Errorf("mpi: campaign base config must not set Fault or Replay (the campaign draws faults and records its own replay)")
+	}
+	if base.FaultRank < 0 || base.FaultRank >= base.Ranks {
+		return nil, fmt.Errorf("mpi: fault rank %d outside world [0, %d)", base.FaultRank, base.Ranks)
+	}
+	if c.targets == nil {
+		if c.tests != 0 {
+			return nil, fmt.Errorf("mpi: campaign with %d tests needs a TargetPicker", c.tests)
+		}
+		if c.analyze != nil {
+			return nil, fmt.Errorf("mpi: replay-only campaign cannot carry a WorldAnalyzer")
+		}
+	} else {
+		if c.tests <= 0 {
+			return nil, fmt.Errorf("mpi: campaign needs a positive test count (WithTests)")
+		}
+		if v, ok := c.targets.(inject.Validator); ok {
+			if err := v.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c.dropTraces && c.analyze == nil {
+		return nil, fmt.Errorf("mpi: WithDropTraces requires WithWorldAnalysis")
+	}
+	if c.clean == nil {
+		cfg := c.base
+		cfg.Mode = interp.TraceFull
+		clean, err := Run(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: clean world: %w", err)
+		}
+		c.clean = clean
+	}
+	if len(c.clean.Ranks) != base.Ranks {
+		return nil, fmt.Errorf("mpi: clean world has %d ranks, campaign wants %d", len(c.clean.Ranks), base.Ranks)
+	}
+	if c.clean.Status() != trace.RunOK {
+		return nil, fmt.Errorf("mpi: clean world %v", c.clean.Status())
+	}
+	for _, rr := range c.clean.Ranks {
+		if len(rr.Trace.Recs) == 0 {
+			return nil, fmt.Errorf("mpi: clean world rank %d is untraced (campaign needs a TraceFull clean run)", rr.Rank)
+		}
+		if rr.Trace.Steps > c.hint {
+			c.hint = rr.Trace.Steps
+		}
+	}
+	c.hint += 64
+	if c.verify == nil {
+		c.verify = func(faulty *Result) bool { return outputsEqual(c.clean, faulty) }
+	}
+	return c, nil
+}
+
+// outputsEqual reports bit-exact per-rank output equality — a meaningful
+// default verifier because replayed worlds are deterministic (rank-ordered
+// collectives, recorded wildcard receives).
+func outputsEqual(clean, faulty *Result) bool {
+	for r := range clean.Ranks {
+		co, fo := clean.Ranks[r].Trace.Output, faulty.Ranks[r].Trace.Output
+		if len(co) != len(fo) {
+			return false
+		}
+		for i := range co {
+			if co[i].Val != fo[i].Val || co[i].Typ != fo[i].Typ {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Tests returns the configured injection count.
+func (c *Campaign) Tests() int { return c.tests }
+
+// Ranks returns the world size.
+func (c *Campaign) Ranks() int { return c.base.Ranks }
+
+// FaultRank returns the rank every fault is injected into.
+func (c *Campaign) FaultRank() int { return c.base.FaultRank }
+
+// Clean returns the fault-free fully traced world every injection replays.
+func (c *Campaign) Clean() *Result { return c.clean }
+
+// ReplayClean re-executes the fault-free world under the clean recording in
+// the given trace mode — exactly the unit of work a campaign worker runs,
+// minus the fault. The Figure 4 tracing-overhead study times this.
+func (c *Campaign) ReplayClean(mode interp.TraceMode) (*Result, error) {
+	return c.runWorld(nil, mode)
+}
+
+func (c *Campaign) runWorld(f *interp.Fault, mode interp.TraceMode) (*Result, error) {
+	cfg := c.base
+	cfg.Mode = mode
+	cfg.Fault = f
+	cfg.Replay = c.clean.Recording
+	if mode == interp.TraceFull && cfg.TraceHint == 0 {
+		cfg.TraceHint = c.hint
+	}
+	return Run(c.prog, cfg)
+}
+
+// worldMode is the trace mode of the campaign's injection runs: untraced
+// unless a WorldAnalyzer needs the per-rank traces.
+func (c *Campaign) worldMode() interp.TraceMode {
+	if c.analyze != nil {
+		return interp.TraceFull
+	}
+	return interp.TraceOff
+}
+
+// WorldOutcome is one per-fault record of a streaming MPI campaign.
+type WorldOutcome struct {
+	// Index is the fault's position in the pre-drawn stream; Stream yields
+	// outcomes in increasing Index order.
+	Index int
+	// Fault is the drawn fault, injected into the campaign's FaultRank.
+	Fault interp.Fault
+	// Outcome is the world-level §II-A classification: an MPI job crashes
+	// if any rank crashes, verifies against all ranks' outputs, and counts
+	// NotApplied when the injected rank's fault never fired.
+	Outcome inject.Outcome
+	// Propagation classifies how far the corruption spread beyond the
+	// injected rank.
+	Propagation Propagation
+	// Analysis is the WorldAnalyzer payload of an analyzed campaign; nil
+	// otherwise.
+	Analysis any
+}
+
+// Run executes the campaign and aggregates the world outcomes. On context
+// cancellation it returns the well-formed partial result accumulated so far
+// together with ctx.Err().
+func (c *Campaign) Run(ctx context.Context) (inject.Result, error) {
+	var res inject.Result
+	err := c.run(ctx, func(wo WorldOutcome) bool {
+		res.Count(wo.Outcome)
+		return true
+	})
+	return res, err
+}
+
+// Stream executes the campaign and yields one WorldOutcome per injected
+// world in fault-index order. Breaking out of the loop stops the campaign's
+// workers promptly. On failure — including context cancellation — the final
+// pair carries the error (with Index -1).
+func (c *Campaign) Stream(ctx context.Context) iter.Seq2[WorldOutcome, error] {
+	return func(yield func(WorldOutcome, error) bool) {
+		broke := false
+		err := c.run(ctx, func(wo WorldOutcome) bool {
+			if !yield(wo, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(WorldOutcome{Index: -1}, err)
+		}
+	}
+}
+
+// run is the campaign engine shared by Run and Stream: pre-draw the fault
+// stream, fan the worlds out over a bounded worker pool, and deliver
+// outcomes to emit in fault-index order (a reorder buffer absorbs
+// out-of-order completions, exactly as in inject.Campaign). emit returning
+// false stops the campaign; cancelling ctx stops it with ctx.Err(). run
+// waits for its workers before returning, so no goroutines outlive the call.
+func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error {
+	if c.targets == nil {
+		return fmt.Errorf("mpi: replay-only campaign cannot run injections")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(c.seed))
+	faults := make([]interp.Fault, c.tests)
+	ip, indexed := c.targets.(inject.IndexedPicker)
+	for i := range faults {
+		if indexed {
+			faults[i] = ip.PickAt(i, rng)
+		} else {
+			faults[i] = c.targets.Pick(rng)
+		}
+	}
+
+	n := len(faults)
+	workers := c.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indices := make(chan int, n)
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	results := make(chan WorldOutcome, n)
+	// For traced campaigns, window bounds completed-but-unemitted worlds:
+	// each holds one full trace per rank, so the reorder buffer must not
+	// absorb the whole campaign behind one slow early fault. Workers take a
+	// slot before running a world; emission frees it. Slots are acquired
+	// before indices (handed out in increasing order), so the lowest
+	// unemitted world always already holds a slot — no deadlock.
+	var window chan struct{}
+	if c.worldMode() == interp.TraceFull {
+		window = make(chan struct{}, 2*workers)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if window != nil {
+					select {
+					case window <- struct{}{}:
+					case <-wctx.Done():
+						return
+					}
+				}
+				i, ok := <-indices
+				if !ok {
+					return
+				}
+				if wctx.Err() != nil {
+					return
+				}
+				wo, err := c.runFault(i, faults[i])
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				results <- wo
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]WorldOutcome, workers)
+	next := 0
+	stopped := false
+	flush := func(wo WorldOutcome) {
+		pending[wo.Index] = wo
+		for !stopped {
+			head, ok := pending[next]
+			if !ok {
+				return
+			}
+			if ctx.Err() != nil {
+				stopped = true
+				return
+			}
+			delete(pending, next)
+			next++
+			if window != nil {
+				<-window
+			}
+			if c.progress != nil {
+				c.progress(next, n)
+			}
+			if !emit(head) {
+				stopped = true
+			}
+		}
+	}
+	for !stopped && next < n {
+		select {
+		case wo, ok := <-results:
+			if !ok {
+				stopped = true
+				break
+			}
+			flush(wo)
+		case <-ctx.Done():
+			stopped = true
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFault executes one injected world and classifies it.
+func (c *Campaign) runFault(i int, f interp.Fault) (WorldOutcome, error) {
+	faulty, err := c.runWorld(&f, c.worldMode())
+	if err != nil {
+		return WorldOutcome{}, fmt.Errorf("mpi: world %d: %w", i, err)
+	}
+	wo := WorldOutcome{
+		Index:       i,
+		Fault:       f,
+		Outcome:     c.classifyWorld(faulty),
+		Propagation: ClassifyPropagation(c.clean, faulty, c.base.FaultRank),
+	}
+	if c.analyze != nil {
+		payload, err := c.analyze(i, f, faulty, wo.Outcome, wo.Propagation)
+		if err != nil {
+			return WorldOutcome{}, fmt.Errorf("mpi: analyze world %d: %w", i, err)
+		}
+		if c.dropTraces {
+			if d, ok := payload.(inject.TraceDropper); ok {
+				d.DropTrace()
+			}
+		}
+		wo.Analysis = payload
+	}
+	return wo, nil
+}
+
+// classifyWorld maps a finished faulty world to its §II-A manifestation
+// under the campaign's verifier.
+func (c *Campaign) classifyWorld(faulty *Result) inject.Outcome {
+	return ClassifyWorld(faulty, c.base.FaultRank, c.verify)
+}
+
+// ClassifyWorld maps a finished faulty world to its §II-A manifestation:
+// crash dominates (an MPI job fails if any rank fails), verification runs
+// over all ranks, and a fault that never fired on the injected rank
+// classifies NotApplied (matching inject.Campaign's classification of
+// single-process runs). Exposed so sequential per-world analyses classify
+// identically to campaigns.
+func ClassifyWorld(faulty *Result, faultRank int, verify func(*Result) bool) inject.Outcome {
+	switch faulty.Status() {
+	case trace.RunCrashed, trace.RunHang:
+		return inject.Crashed
+	}
+	ok := verify(faulty)
+	if !faulty.Ranks[faultRank].FaultApplied {
+		if ok {
+			return inject.NotApplied
+		}
+		return inject.Failed
+	}
+	if ok {
+		return inject.Success
+	}
+	return inject.Failed
+}

@@ -48,7 +48,8 @@ type Recording struct {
 	AnySources [][]int32
 }
 
-// Config configures one world run.
+// Config configures one world run. Validate reports configuration errors;
+// Run calls it before launching any rank.
 type Config struct {
 	// Ranks is the world size (>= 1).
 	Ranks int
@@ -74,10 +75,29 @@ type Config struct {
 	ExtraBind func(m *interp.Machine, rank int) error
 }
 
+// Validate checks the configuration before any rank launches.
+func (cfg *Config) Validate() error {
+	if cfg.Ranks < 1 {
+		return fmt.Errorf("mpi: need at least 1 rank")
+	}
+	if cfg.Fault != nil && (cfg.FaultRank < 0 || cfg.FaultRank >= cfg.Ranks) {
+		return fmt.Errorf("mpi: fault rank %d outside world [0, %d)", cfg.FaultRank, cfg.Ranks)
+	}
+	if cfg.Replay != nil && len(cfg.Replay.AnySources) > cfg.Ranks {
+		return fmt.Errorf("mpi: replay recording covers %d ranks, world has %d", len(cfg.Replay.AnySources), cfg.Ranks)
+	}
+	return nil
+}
+
 // RankResult is one rank's outcome.
 type RankResult struct {
 	Rank  int
 	Trace *trace.Trace
+	// FaultApplied reports whether this rank's injected fault actually
+	// fired — only the rank's machine knows (a completed run whose fault
+	// never fired is indistinguishable from a tolerated one by trace alone).
+	// Always false on ranks that received no fault.
+	FaultApplied bool
 }
 
 // Result is a completed world run.
@@ -119,26 +139,52 @@ type world struct {
 	ranks  []*rankState
 	replay *Recording
 
-	done     chan struct{}
-	doneOnce sync.Once
-
-	// allreduce barrier state
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	gen     uint64
-	buf     []float64
-	bufN    int
+	// allreduce barrier state. Contributions are kept per rank and reduced
+	// in rank index order once the round is complete, so the floating-point
+	// sum is independent of arrival order — replayed worlds stay
+	// bit-identical, extending the §V-B record-and-replay guarantee from
+	// wildcard receives to collectives.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	parts [][]float64 // parts[rank] is rank's current-round contribution
+	bufN  int
+	gen   uint64
+	// exited[rank] is set when a rank's goroutine ends (normally or not):
+	// it will never send a message or contribute to a collective again, so
+	// peers blocked on it fail deterministically — a collective round
+	// missing a dead rank's contribution aborts, a receive from an exited
+	// rank that sent nothing fails, and only those; a round every rank
+	// contributed to still completes, whenever the exit is noticed.
+	exited map[int]bool
+	// exitCh is closed and replaced on every rank exit, waking blocked
+	// receivers so they re-evaluate whether their peer can still deliver.
+	exitCh chan struct{}
+	// blocked counts ranks waiting inside a world primitive and inFlight
+	// counts sent-but-undelivered messages. When every live rank is blocked
+	// and nothing is in flight, no event can ever occur again — a global
+	// deadlock (e.g. a corrupted rank stuck in recv while clean ranks wait
+	// for it in a collective). That terminal configuration is a
+	// deterministic fact of the program, so detecting it and failing every
+	// blocked rank keeps faulty worlds deterministic AND terminating.
+	blocked    int
+	inFlight   int
+	deadlocked bool
 	// result holds the completed round's sums. It is only replaced when a
 	// round completes, which cannot happen before every waiter of the
 	// previous round has read it (each reader holds mu while reading).
 	result []float64
 }
 
-var errAborted = fmt.Errorf("mpi: world aborted (another rank failed)")
+var errAborted = fmt.Errorf("mpi: world deadlocked (every live rank blocked on another)")
 
 func newWorld(size int, replay *Recording) *world {
-	w := &world{size: size, replay: replay, done: make(chan struct{})}
+	w := &world{
+		size:   size,
+		replay: replay,
+		parts:  make([][]float64, size),
+		exited: make(map[int]bool),
+		exitCh: make(chan struct{}),
+	}
 	w.cond = sync.NewCond(&w.mu)
 	for i := 0; i < size; i++ {
 		w.ranks = append(w.ranks, &rankState{
@@ -149,11 +195,92 @@ func newWorld(size int, replay *Recording) *world {
 	return w
 }
 
-func (w *world) abort() {
-	w.doneOnce.Do(func() { close(w.done) })
+// rankExit publishes that rank's goroutine ended (normally or not). Every
+// send the rank made completed before this call, so once a peer observes the
+// exit, all of the rank's messages are already in their destination inboxes.
+// There is deliberately no world-wide kill on failure: each remaining rank
+// runs to its own deterministic conclusion — completion, its own fault, or a
+// dependency that can never be satisfied — so per-rank traces of a crashed
+// world are identical on every replay.
+func (w *world) rankExit(rank int) {
 	w.mu.Lock()
+	w.exited[rank] = true
+	close(w.exitCh)
+	w.exitCh = make(chan struct{})
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	// Messages stranded in the dead rank's inbox can never be received;
+	// retire their in-flight counts so the deadlock detector still sees a
+	// quiescent world (an unretired count would mask a real deadlock), then
+	// re-evaluate: this exit may leave only blocked ranks behind.
+	w.drainDead(rank)
+	w.mu.Lock()
+	w.maybeDeadlockLocked()
+	w.mu.Unlock()
+}
+
+// drainDead discards every message queued for an exited rank, retiring the
+// in-flight counts. Safe to call from any goroutine (it touches only the
+// channel and the counters, not the dead rank's pending map), and safe to
+// call repeatedly — senders that race a peer's exit call it again after
+// enqueueing, so a message landing between the exit's drain and the send's
+// completion is still retired by whichever drain runs last.
+func (w *world) drainDead(rank int) {
+	for {
+		select {
+		case <-w.ranks[rank].inbox:
+			w.mu.Lock()
+			w.inFlight--
+			w.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// maybeDeadlockLocked declares a global deadlock when every live rank is
+// blocked in a primitive with no undelivered message left, waking everyone
+// so they fail deterministically. Returns whether the world is (now)
+// deadlocked. Callers must hold mu.
+func (w *world) maybeDeadlockLocked() bool {
+	if w.deadlocked {
+		return true
+	}
+	if w.blocked == 0 || w.inFlight > 0 || w.blocked != w.size-len(w.exited) {
+		return false
+	}
+	w.deadlocked = true
+	close(w.exitCh) // wake blocked receivers
+	w.exitCh = make(chan struct{})
+	w.cond.Broadcast() // wake collective waiters
+	return true
+}
+
+// peerState snapshots whether rank has exited and whether the world is
+// deadlocked, plus the channel that will signal the next membership change.
+// Callers snapshot BEFORE draining their inbox: if the snapshot says exited,
+// every message that rank ever sent is already drainable, making "exited and
+// nothing pending" a deterministic fact.
+func (w *world) peerState(rank int) (exited, dead bool, next chan struct{}) {
+	w.mu.Lock()
+	exited, dead, next = w.exited[rank], w.deadlocked, w.exitCh
+	w.mu.Unlock()
+	return exited, dead, next
+}
+
+// othersExited reports whether every rank but self has exited.
+func (w *world) othersExited(self int) (all, dead bool, next chan struct{}) {
+	w.mu.Lock()
+	all = true
+	for r := 0; r < w.size; r++ {
+		if r != self && !w.exited[r] {
+			all = false
+			break
+		}
+	}
+	dead, next = w.deadlocked, w.exitCh
+	w.mu.Unlock()
+	return all, dead, next
 }
 
 func (w *world) send(src, dst int, data []ir.Word) error {
@@ -162,36 +289,142 @@ func (w *world) send(src, dst int, data []ir.Word) error {
 	}
 	cp := make([]ir.Word, len(data))
 	copy(cp, data)
-	select {
-	case w.ranks[dst].inbox <- message{src: src, data: cp}:
-		return nil
-	case <-w.done:
-		return errAborted
-	}
-}
-
-// recvFrom blocks until a message from src arrives at rank.
-func (w *world) recvFrom(rank, src int) ([]ir.Word, error) {
-	st := w.ranks[rank]
-	if q := st.pending[src]; len(q) > 0 {
-		st.pending[src] = q[1:]
-		return q[0].data, nil
-	}
+	w.mu.Lock()
+	w.inFlight++
+	w.mu.Unlock()
+	m := message{src: src, data: cp}
 	for {
+		exited, _, exitCh := w.peerState(dst)
 		select {
-		case m := <-st.inbox:
-			if m.src == src {
-				return m.data, nil
-			}
-			st.pending[m.src] = append(st.pending[m.src], m)
-		case <-w.done:
-			return nil, errAborted
+		case w.ranks[dst].inbox <- m:
+			w.retireIfDead(dst)
+			return nil
+		default:
+		}
+		// Inbox full: an exited receiver will never drain it.
+		if exited {
+			w.mu.Lock()
+			w.inFlight--
+			w.mu.Unlock()
+			return fmt.Errorf("mpi: send to rank %d, which exited with a full inbox", dst)
+		}
+		select {
+		case w.ranks[dst].inbox <- m:
+			w.retireIfDead(dst)
+			return nil
+		case <-exitCh:
 		}
 	}
 }
 
+// retireIfDead re-checks a send target after enqueueing: if dst exited
+// meanwhile, the message (and any others stranded with it) will never be
+// received, so their in-flight counts are retired immediately instead of
+// masking a later deadlock. Delivery to a dead inbox is indistinguishable
+// from delivery just before the death on every replay, so this keeps
+// crashed worlds deterministic.
+func (w *world) retireIfDead(dst int) {
+	if exited, _, _ := w.peerState(dst); exited {
+		w.drainDead(dst)
+	}
+}
+
+// delivered queues one received message and retires its in-flight count;
+// wasBlocked additionally retires the receiver's blocked count in the same
+// critical section, so no evaluation of the deadlock condition can observe
+// "still blocked" together with "nothing in flight" for a receiver that
+// just got its message.
+func (w *world) delivered(rank int, m message, wasBlocked bool) {
+	st := w.ranks[rank]
+	st.pending[m.src] = append(st.pending[m.src], m)
+	w.mu.Lock()
+	w.inFlight--
+	if wasBlocked {
+		w.blocked--
+	}
+	w.mu.Unlock()
+}
+
+// unblocked retires a blocked count after a message-less wakeup.
+func (w *world) unblocked() {
+	w.mu.Lock()
+	w.blocked--
+	w.mu.Unlock()
+}
+
+// drainInbox moves every already-delivered message into the per-source
+// pending queues without blocking.
+func (w *world) drainInbox(rank int) {
+	st := w.ranks[rank]
+	for {
+		select {
+		case m := <-st.inbox:
+			w.delivered(rank, m, false)
+		default:
+			return
+		}
+	}
+}
+
+// awaitInbox blocks until a new message lands in the inbox (queued to
+// pending) or the world's membership changes (exitCh: a rank exited or a
+// global deadlock was declared), after which the caller re-evaluates its
+// wait. Deliberately deaf to world failure: a rank blocked on a message a
+// live peer will still send must receive it on every replay — killing it
+// early would make crashed-world traces depend on abort timing. Ranks only
+// fail on their own unsatisfiable dependencies, so faulty worlds stay
+// deterministic rank by rank.
+func (w *world) awaitInbox(rank int, exitCh chan struct{}) {
+	st := w.ranks[rank]
+	select {
+	case m := <-st.inbox:
+		w.delivered(rank, m, false)
+		return
+	default:
+	}
+	w.mu.Lock()
+	w.blocked++
+	w.maybeDeadlockLocked()
+	w.mu.Unlock()
+	select {
+	case m := <-st.inbox:
+		w.delivered(rank, m, true)
+	case <-exitCh:
+		w.unblocked()
+	}
+}
+
+// recvFrom blocks until a message from src arrives at rank. It fails
+// deterministically when src can never deliver: src is not a rank, or src
+// already exited with nothing queued.
+func (w *world) recvFrom(rank, src int) ([]ir.Word, error) {
+	if src < 0 || src >= w.size {
+		return nil, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	st := w.ranks[rank]
+	for {
+		// Snapshot the exit state BEFORE draining: if src had already
+		// exited, everything it ever sent is drainable afterwards, so an
+		// empty queue then proves nothing more will come.
+		exited, dead, exitCh := w.peerState(src)
+		w.drainInbox(rank)
+		if q := st.pending[src]; len(q) > 0 {
+			st.pending[src] = q[1:]
+			return q[0].data, nil
+		}
+		if exited {
+			return nil, fmt.Errorf("mpi: recv from rank %d, which exited without sending", src)
+		}
+		if dead {
+			return nil, errAborted
+		}
+		w.awaitInbox(rank, exitCh)
+	}
+}
+
 // recvAny receives the next message from any source; in replay mode it
-// follows the recorded source order.
+// follows the recorded source order. With every peer exited and nothing
+// queued it fails deterministically.
 func (w *world) recvAny(rank int) (int, []ir.Word, error) {
 	st := w.ranks[rank]
 	if w.replay != nil && rank < len(w.replay.AnySources) {
@@ -206,75 +439,124 @@ func (w *world) recvAny(rank int) (int, []ir.Word, error) {
 			return src, data, err
 		}
 	}
-	// Natural (nondeterministic) order: pending first, then inbox.
-	for src, q := range st.pending {
-		if len(q) > 0 {
-			st.pending[src] = q[1:]
-			st.anyLog = append(st.anyLog, int32(src))
-			return src, q[0].data, nil
+	for {
+		allExited, dead, exitCh := w.othersExited(rank)
+		w.drainInbox(rank)
+		// Natural order: queued messages in ascending source order. Inbox
+		// arrival order is the one source of nondeterminism left in a
+		// world — it is exactly what the Recording pins down.
+		for src := 0; src < w.size; src++ {
+			if q := st.pending[src]; len(q) > 0 {
+				st.pending[src] = q[1:]
+				st.anyLog = append(st.anyLog, int32(src))
+				return src, q[0].data, nil
+			}
 		}
-	}
-	select {
-	case m := <-st.inbox:
-		st.anyLog = append(st.anyLog, int32(m.src))
-		return m.src, m.data, nil
-	case <-w.done:
-		return 0, nil, errAborted
+		if allExited {
+			return 0, nil, fmt.Errorf("mpi: wildcard recv with every peer exited")
+		}
+		if dead {
+			return 0, nil, errAborted
+		}
+		w.awaitInbox(rank, exitCh)
 	}
 }
 
 // allreduceSum performs an elementwise float64 sum across all ranks. Every
-// rank must call it with the same count.
-func (w *world) allreduceSum(local []float64) ([]float64, error) {
+// rank must call it with the same count. The reduction is evaluated in rank
+// index order whatever the arrival order, so results are deterministic.
+func (w *world) allreduceSum(rank int, local []float64) ([]float64, error) {
+	// Queue any already-delivered messages (they are for later receives)
+	// before possibly waiting: a rank blocked in a collective must not hold
+	// in-flight counts that would mask the deadlock detector.
+	w.drainInbox(rank)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	select {
-	case <-w.done:
-		return nil, errAborted
-	default:
+	if w.parts[rank] != nil {
+		return nil, fmt.Errorf("mpi: rank %d re-entered allreduce round", rank)
 	}
-	if w.arrived == 0 {
-		w.buf = make([]float64, len(local))
-		w.bufN = len(local)
-	}
-	if len(local) != w.bufN {
-		return nil, fmt.Errorf("mpi: allreduce count mismatch: %d vs %d", len(local), w.bufN)
-	}
-	for i, v := range local {
-		w.buf[i] += v
-	}
-	w.arrived++
-	gen := w.gen
-	if w.arrived == w.size {
-		w.arrived = 0
-		w.gen++
-		w.result = w.buf
-		w.buf = nil
-		w.cond.Broadcast()
-	} else {
-		for w.gen == gen {
-			w.cond.Wait()
-			select {
-			case <-w.done:
-				return nil, errAborted
-			default:
-			}
+	arrived := 0
+	for _, p := range w.parts {
+		if p != nil {
+			arrived++
 		}
 	}
-	return w.result, nil
+	if arrived == 0 {
+		w.bufN = len(local)
+	} else if len(local) != w.bufN {
+		return nil, fmt.Errorf("mpi: allreduce count mismatch: %d vs %d", len(local), w.bufN)
+	}
+	// The copy is always non-nil (even zero-length, for barriers): non-nil
+	// is what marks the rank as having contributed to this round.
+	cp := make([]float64, len(local))
+	copy(cp, local)
+	w.parts[rank] = cp
+	if arrived+1 == w.size {
+		// Round complete: reduce in rank order and wake the waiters. Every
+		// co-contributor is in cond.Wait right now (contributing and
+		// waiting happen in one critical section), so their blocked counts
+		// are retired here, at satisfaction time — a satisfied-but-not-yet-
+		// scheduled waiter must not look "blocked" to the deadlock check.
+		sum := make([]float64, w.bufN)
+		for _, p := range w.parts {
+			for i, v := range p {
+				sum[i] += v
+			}
+		}
+		for i := range w.parts {
+			w.parts[i] = nil
+		}
+		w.result = sum
+		w.gen++
+		w.blocked -= w.size - 1
+		w.cond.Broadcast()
+		return w.result, nil
+	}
+	gen := w.gen
+	for {
+		if w.roundDead() || w.deadlocked {
+			return nil, errAborted
+		}
+		w.blocked++
+		if w.maybeDeadlockLocked() {
+			w.blocked--
+			return nil, errAborted
+		}
+		w.cond.Wait()
+		if w.gen != gen {
+			// Satisfied: the completer already retired our blocked count.
+			return w.result, nil
+		}
+		w.blocked-- // woken without a result (exit/abort): re-evaluate
+	}
+}
+
+// roundDead reports whether the current allreduce round can never complete:
+// some rank has neither contributed nor any chance of contributing (its
+// goroutine already ended — crashed, hung, or returned without joining the
+// collective). Completion and death are both deterministic facts of the
+// program, so waiters abort identically on every replay. Callers must hold
+// mu.
+func (w *world) roundDead() bool {
+	for r, p := range w.parts {
+		if p == nil && w.exited[r] {
+			return true
+		}
+	}
+	return false
 }
 
 // barrier synchronizes all ranks (an allreduce of nothing).
-func (w *world) barrier() error {
-	_, err := w.allreduceSum(nil)
+func (w *world) barrier(rank int) error {
+	_, err := w.allreduceSum(rank, nil)
 	return err
 }
 
 // Run executes the program SPMD across cfg.Ranks ranks and returns the
 // per-rank traces and the wildcard-receive recording.
 func Run(p *ir.Program, cfg Config) (*Result, error) {
-	if cfg.Ranks < 1 {
-		return nil, fmt.Errorf("mpi: need at least 1 rank")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if !p.Sealed() {
 		return nil, fmt.Errorf("mpi: program not sealed")
@@ -287,16 +569,13 @@ func Run(p *ir.Program, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			tr, err := w.runRank(p, cfg, rank)
-			results[rank] = RankResult{Rank: rank, Trace: tr}
+			tr, applied, err := w.runRank(p, cfg, rank)
+			results[rank] = RankResult{Rank: rank, Trace: tr, FaultApplied: applied}
 			errs[rank] = err
-			if err != nil || (tr != nil && tr.Status != trace.RunOK) {
-				w.abort()
-			}
+			w.rankExit(rank)
 		}(rank)
 	}
 	wg.Wait()
-	w.abort() // release any stragglers (none expected)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -309,10 +588,10 @@ func Run(p *ir.Program, cfg Config) (*Result, error) {
 	return &Result{Ranks: results, Recording: rec}, nil
 }
 
-func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, error) {
+func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, bool, error) {
 	m, err := interp.NewMachine(p)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	m.Mode = cfg.Mode
 	if cfg.StepLimit != 0 {
@@ -325,17 +604,18 @@ func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, erro
 		m.Fault = &f
 	}
 	if err := m.BindStandardHosts(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if err := w.bindMPIHosts(m, rank); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if cfg.ExtraBind != nil {
 		if err := cfg.ExtraBind(m, rank); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
-	return m.Run()
+	tr, err := m.Run()
+	return tr, m.FaultApplied, err
 }
 
 func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
@@ -399,7 +679,7 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 		return err
 	}
 	if err := bind(HostBarrier, func(_ *interp.Machine, _ []ir.Word) (ir.Word, error) {
-		return 0, w.barrier()
+		return 0, w.barrier(rank)
 	}); err != nil {
 		return err
 	}
@@ -412,7 +692,7 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 		for i := range local {
 			local[i] = mm.Mem[addr+int64(i)].Float()
 		}
-		sum, err := w.allreduceSum(local)
+		sum, err := w.allreduceSum(rank, local)
 		if err != nil {
 			return 0, err
 		}

@@ -210,9 +210,31 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(p, Config{Ranks: 0}); err == nil {
 		t.Error("zero ranks should fail")
 	}
+	if _, err := Run(p, Config{Ranks: -3}); err == nil {
+		t.Error("negative ranks should fail")
+	}
 	unsealed := ir.NewProgram("u")
 	if _, err := Run(unsealed, Config{Ranks: 1}); err == nil {
 		t.Error("unsealed program should fail")
+	}
+	f := &interp.Fault{Step: 1, Bit: 1, Kind: interp.FaultDst}
+	if _, err := Run(p, Config{Ranks: 4, Fault: f, FaultRank: 4}); err == nil {
+		t.Error("fault rank == world size should fail")
+	}
+	if _, err := Run(p, Config{Ranks: 4, Fault: f, FaultRank: -1}); err == nil {
+		t.Error("negative fault rank should fail")
+	}
+	// FaultRank is ignored without a fault: this must run.
+	if _, err := Run(p, Config{Ranks: 2, FaultRank: 7, Seed: 1}); err != nil {
+		t.Errorf("fault rank without fault should be ignored: %v", err)
+	}
+	// A recording from a larger world cannot replay into a smaller one.
+	big, err := Run(p, Config{Ranks: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, Config{Ranks: 2, Seed: 1, Replay: big.Recording}); err == nil {
+		t.Error("replay recording larger than the world should fail")
 	}
 }
 

@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+
+	"fliptracker/internal/trace"
+)
+
+// PropagationClass classifies how far a single-rank fault spread through the
+// world — the question the paper's methodology isolates by injecting into
+// exactly one process and matching every other process against its
+// fault-free trace.
+type PropagationClass uint8
+
+const (
+	// Contained: every non-injected rank's execution matched its clean run
+	// exactly — the corruption never escaped the injected process (it was
+	// absorbed before reaching a message, or never fired).
+	Contained PropagationClass = iota
+	// Propagated: the world completed, but at least one non-injected rank
+	// diverged from its clean trace — corruption crossed a message or
+	// collective. Propagation.Ranks lists the reached ranks.
+	Propagated
+	// WorldCrash: the world itself failed (some rank crashed or hung, which
+	// aborts the MPI job); per-rank divergence is still reported but the
+	// job-level manifestation dominates.
+	WorldCrash
+)
+
+// String names the class.
+func (p PropagationClass) String() string {
+	switch p {
+	case Contained:
+		return "contained"
+	case Propagated:
+		return "propagated"
+	case WorldCrash:
+		return "world-crash"
+	}
+	return fmt.Sprintf("propagation(%d)", uint8(p))
+}
+
+// Propagation is the cross-rank classification of one faulty world.
+type Propagation struct {
+	Class PropagationClass
+	// Ranks lists, in ascending order, the non-injected ranks whose
+	// execution diverged from their clean run. Empty for Contained.
+	Ranks []int
+}
+
+// String renders the classification for reports.
+func (p Propagation) String() string {
+	if len(p.Ranks) == 0 {
+		return p.Class.String()
+	}
+	parts := make([]string, len(p.Ranks))
+	for i, r := range p.Ranks {
+		parts[i] = fmt.Sprint(r)
+	}
+	return fmt.Sprintf("%s(%s)", p.Class, strings.Join(parts, ","))
+}
+
+// ClassifyPropagation diffs each non-injected rank of a faulty world against
+// the clean world and classifies the spread. Replayed worlds are
+// deterministic (rank-ordered collectives, recorded wildcard receives), so
+// any divergence — in run status, dynamic step count, outputs, or, when both
+// runs are traced, any trace record — is corruption reaching that rank, not
+// noise. Untraced faulty worlds still classify from status, steps and
+// outputs; fully traced worlds (analyzed campaigns) diff record by record.
+func ClassifyPropagation(clean, faulty *Result, faultRank int) Propagation {
+	var p Propagation
+	for r := range clean.Ranks {
+		if r == faultRank {
+			continue
+		}
+		if rankDiverged(clean.Ranks[r].Trace, faulty.Ranks[r].Trace) {
+			p.Ranks = append(p.Ranks, r)
+		}
+	}
+	switch {
+	case faulty.Status() != trace.RunOK:
+		p.Class = WorldCrash
+	case len(p.Ranks) > 0:
+		p.Class = Propagated
+	default:
+		p.Class = Contained
+	}
+	return p
+}
+
+// rankDiverged reports whether a rank's faulty execution differs from its
+// clean one in any observable way.
+func rankDiverged(clean, faulty *trace.Trace) bool {
+	if clean.Status != faulty.Status || clean.Steps != faulty.Steps {
+		return true
+	}
+	if len(clean.Output) != len(faulty.Output) {
+		return true
+	}
+	for i := range clean.Output {
+		if clean.Output[i].Val != faulty.Output[i].Val || clean.Output[i].Typ != faulty.Output[i].Typ {
+			return true
+		}
+	}
+	// Record-level diff only when both runs collected records (plain
+	// campaigns replay faulty worlds untraced).
+	if len(clean.Recs) == 0 || len(faulty.Recs) == 0 {
+		return false
+	}
+	if len(clean.Recs) != len(faulty.Recs) {
+		return true
+	}
+	for i := range clean.Recs {
+		if clean.Recs[i] != faulty.Recs[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fliptracker/internal/interp"
+	"fliptracker/internal/trace"
 )
 
 func TestWriteAndReadRankTraces(t *testing.T) {
@@ -34,5 +35,69 @@ func TestWriteAndReadRankTraces(t *testing.T) {
 	}
 	if _, err := ReadRankTraces([]string{"/nonexistent/x.trace"}); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// TestRankTracesRoundTripCrashedWorld persists a faulty world in which the
+// injected rank crashes (and the world teardown fails the others), then
+// round-trips every rank's trace: statuses, truncated record buffers and
+// outputs must survive the file format intact.
+func TestRankTracesRoundTripCrashedWorld(t *testing.T) {
+	p := buildCampaignProg(t)
+	clean, err := Run(p, Config{Ranks: 3, Mode: interp.TraceFull, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Searching from the middle of rank 1's run, find a high-bit flip that
+	// crashes the world (bit 62 on an address or counter does reliably).
+	var faulty *Result
+	for step := clean.Ranks[1].Trace.Steps / 2; step < clean.Ranks[1].Trace.Steps; step++ {
+		f := interp.Fault{Step: step, Bit: 62, Kind: interp.FaultDst}
+		r, err := Run(p, Config{Ranks: 3, Mode: interp.TraceFull, Seed: 1,
+			FaultRank: 1, Fault: &f, Replay: clean.Recording,
+			StepLimit: 64 * clean.Ranks[1].Trace.Steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status() == trace.RunCrashed {
+			faulty = r
+			break
+		}
+	}
+	if faulty == nil {
+		t.Fatal("no crashing fault found in the back half of the run")
+	}
+	paths, err := faulty.WriteRankTraces(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := ReadRankTraces(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := 0
+	for i, tr := range traces {
+		want := faulty.Ranks[i].Trace
+		if tr.Status != want.Status || tr.Steps != want.Steps {
+			t.Errorf("rank %d: status/steps %v/%d, want %v/%d", i, tr.Status, tr.Steps, want.Status, want.Steps)
+		}
+		if len(tr.Recs) != len(want.Recs) {
+			t.Errorf("rank %d: %d records, want %d", i, len(tr.Recs), len(want.Recs))
+		}
+		for j := range tr.Recs {
+			if tr.Recs[j] != want.Recs[j] {
+				t.Errorf("rank %d: record %d mismatch", i, j)
+				break
+			}
+		}
+		if len(tr.Output) != len(want.Output) {
+			t.Errorf("rank %d: %d outputs, want %d", i, len(tr.Output), len(want.Output))
+		}
+		if tr.Status == trace.RunCrashed {
+			crashed++
+		}
+	}
+	if crashed == 0 {
+		t.Error("round-tripped world has no crashed rank")
 	}
 }
