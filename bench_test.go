@@ -549,6 +549,69 @@ func BenchmarkMPICampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointedMPICampaign measures the checkpointed MPI scheduler's
+// headline win on late-window faults — the shape of region campaigns, where
+// every fault lands in the back quarter of the injected rank's run and the
+// shared fault-free world prefix dominates direct replay cost:
+//
+//   - direct: every injected world replays all ranks from step 0.
+//   - checkpointed: one forward pass lays world snapshots at collective
+//     boundaries; each world restores the nearest snapshot at or before its
+//     fault and resumes the suffix.
+//
+// Both variants run plain (untraced) campaigns over the same FaultList at
+// parallelism 1, so ms/world isolates scheduling from analysis and worker
+// parallelism. Results are pinned identical across schedulers by
+// TestCheckpointedMPICampaignMatchesDirect.
+func BenchmarkCheckpointedMPICampaign(b *testing.B) {
+	const (
+		ranks = 3
+		tests = 16
+	)
+	ma, err := fliptracker.NewMPIAnalyzer("is", ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ma.FaultRank = 1
+	steps := ma.InjectedSteps()
+	var faults []interp.Fault
+	for i := 0; i < tests; i++ {
+		step := steps - steps/4 + uint64(i)*(steps/4)/tests
+		faults = append(faults, interp.Fault{Step: step, Bit: uint8(30 + i%23), Kind: interp.FaultDst})
+	}
+	perWorld := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*tests), "ms/world")
+	}
+	for _, sched := range []struct {
+		name string
+		kind fliptracker.SchedulerKind
+	}{
+		{"direct", fliptracker.ScheduleDirect},
+		{"checkpointed", fliptracker.ScheduleCheckpointed},
+	} {
+		b.Run(sched.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := ma.NewCampaign(
+					fliptracker.FaultList{Faults: faults},
+					fliptracker.MPIWithTests(tests),
+					fliptracker.MPIWithScheduler(sched.kind),
+					fliptracker.MPIWithParallelism(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tests != tests {
+					b.Fatalf("ran %d worlds, want %d", res.Tests, tests)
+				}
+			}
+			perWorld(b)
+		})
+	}
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationACLLiveness compares the paper's liveness-refined ACL

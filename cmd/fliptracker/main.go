@@ -12,7 +12,7 @@
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
 //	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
-//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-stream] [-analyze]
+//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
@@ -279,7 +279,7 @@ func cmdCampaign(args []string) error {
 	defer cancel()
 
 	if *mpiMode {
-		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *stream, *analyze)
+		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *stream, *analyze)
 	}
 
 	an, err := core.NewAnalyzer(*app)
@@ -382,21 +382,29 @@ func cmdCampaign(args []string) error {
 }
 
 // mpiCampaign runs a multi-rank campaign: every injection replays the
-// recorded fault-free world with one fault injected into faultRank, and each
-// world classifies into a §II-A outcome plus a cross-rank propagation class.
-func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, stream, analyze bool) error {
+// recorded fault-free world with one fault injected into faultRank
+// (resuming from a shared world checkpoint unless -direct), and each world
+// classifies into a §II-A outcome plus a cross-rank propagation class.
+func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, stream, analyze bool) error {
 	ma, err := core.NewMPIAnalyzer(app, ranks)
 	if err != nil {
 		return err
 	}
 	ma.FaultRank = faultRank
+	if direct {
+		ma.Scheduler = mpi.ScheduleDirect
+	}
 	n := tests
 	if n == 0 {
 		// Whole-program sizing over the injected rank's dynamic trace.
 		n = stats.SampleSize(ma.InjectedSteps()*64, 0.95, 0.03)
 	}
 	copts := []mpi.Option{mpi.WithTests(n), mpi.WithSeed(seed)}
-	fmt.Printf("MPI campaign on %s: %d ranks, faults on rank %d, %d tests\n", app, ranks, faultRank, n)
+	if earlyStop {
+		copts = append(copts, mpi.WithEarlyStop(0.95, 0.03))
+	}
+	fmt.Printf("MPI campaign on %s: %d ranks, faults on rank %d, %d tests (%s scheduler)\n",
+		app, ranks, faultRank, n, ma.Scheduler)
 
 	var r inject.Result
 	propCounts := map[mpi.PropagationClass]int{}

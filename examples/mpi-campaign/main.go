@@ -54,6 +54,24 @@ func main() {
 		prop[fliptracker.PropagationPropagated],
 		prop[fliptracker.PropagationWorldCrash])
 
+	// The campaign above ran under the default checkpointed world scheduler:
+	// injected worlds resume from snapshots cut at collective boundaries
+	// instead of replaying every rank from step 0. Results are
+	// scheduler-independent — the direct scheduler reproduces the aggregate
+	// exactly, it just replays more.
+	direct, err := ma.NewCampaign(nil,
+		fliptracker.MPIWithTests(24),
+		fliptracker.MPIWithSeed(20180911),
+		fliptracker.MPIWithScheduler(fliptracker.ScheduleDirect))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dagg, err := direct.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct scheduler agrees: %v\n", dagg == agg)
+
 	// An analyzed world: per-rank ACL tables and pattern detection, with
 	// the world-level classification on top.
 	for wa, err := range ma.StreamWorldAnalysis(context.Background(), nil,

@@ -60,6 +60,8 @@
 package fliptracker
 
 import (
+	"context"
+
 	"fliptracker/internal/acl"
 	"fliptracker/internal/apps"
 	"fliptracker/internal/core"
@@ -233,6 +235,11 @@ type (
 	// WorldAnalysis is the fine-grained analysis of one faulty world:
 	// world outcome, propagation, and one FaultAnalysis per rank.
 	WorldAnalysis = core.WorldAnalysis
+	// WorldSnapshot is a deep copy of a whole world at a consistent cut
+	// (a collective boundary): every rank machine plus in-flight network
+	// state. Taken by SnapshotWorld, resumed by RestoreWorld — the
+	// substrate of the checkpointed MPI scheduler.
+	WorldSnapshot = mpi.WorldSnapshot
 )
 
 // Cross-rank propagation classes.
@@ -351,6 +358,25 @@ func NewMPICampaign(p *Program, base MPIConfig, targets TargetPicker, opts ...MP
 // ranks, returning per-rank traces and the wildcard-receive recording.
 func RunWorld(p *Program, cfg MPIConfig) (*MPIResult, error) { return mpi.Run(p, cfg) }
 
+// SnapshotWorld replays a recorded fault-free world in one forward pass,
+// pausing every rank at the selected collective boundaries (ascending
+// indices into clean.Cuts) and deep-copying the complete world state at
+// each — all rank machines plus undelivered messages and replay cursors.
+func SnapshotWorld(ctx context.Context, p *Program, cfg MPIConfig, clean *MPIResult, rounds []int) ([]*WorldSnapshot, error) {
+	return mpi.SnapshotWorld(ctx, p, cfg, clean, rounds)
+}
+
+// RestoreWorld resumes a snapshotted world to completion — with cfg.Fault
+// injected into cfg.FaultRank when set — with per-rank outputs, step counts,
+// statuses and the §II-A/propagation classification identical to a direct
+// replay of the same configuration. Traced restores (cfg.Mode TraceFull)
+// record only the post-cut suffix; full stitched traces are what analyzed
+// MPI campaigns produce (MPIAnalyzer.NewAnalyzedCampaign), which prime each
+// rank's clean prefix before resuming.
+func RestoreWorld(p *Program, cfg MPIConfig, snap *WorldSnapshot) (*MPIResult, error) {
+	return mpi.RestoreWorld(p, cfg, snap, nil)
+}
+
 // ClassifyPropagation diffs each non-injected rank of a faulty world against
 // the clean world and classifies the spread (Contained / Propagated(ranks) /
 // WorldCrash).
@@ -366,6 +392,24 @@ func MPIWithSeed(seed int64) MPIOption { return mpi.WithSeed(seed) }
 
 // MPIWithParallelism caps concurrently executing worlds; 0 means GOMAXPROCS.
 func MPIWithParallelism(n int) MPIOption { return mpi.WithParallelism(n) }
+
+// MPIWithScheduler selects the MPI campaign execution strategy; the default
+// is ScheduleCheckpointed, which shares the fault-free world prefix across
+// injections via world snapshots cut at collective boundaries. Outcomes are
+// scheduler-independent.
+func MPIWithScheduler(k SchedulerKind) MPIOption { return mpi.WithScheduler(k) }
+
+// MPIWithMaxCheckpoints caps the live world snapshots the checkpointed MPI
+// scheduler keeps; 0 means mpi.DefaultMaxWorldCheckpoints.
+func MPIWithMaxCheckpoints(n int) MPIOption { return mpi.WithMaxCheckpoints(n) }
+
+// MPIWithEarlyStop enables sequential early stopping for an MPI campaign on
+// the world outcome stream, exactly as WithEarlyStop does for single-process
+// campaigns (Agresti–Coull interval within margin at the given confidence,
+// never before EarlyStopMinTests completed worlds).
+func MPIWithEarlyStop(confidence, margin float64) MPIOption {
+	return mpi.WithEarlyStop(confidence, margin)
+}
 
 // MPIWithProgress registers a per-world progress callback.
 func MPIWithProgress(fn func(done, total int)) MPIOption { return mpi.WithProgress(fn) }

@@ -1,0 +1,193 @@
+// Package campaign provides the ordered fan-out engine shared by the
+// single-process (inject) and multi-rank (mpi) campaign runners: a pre-drawn
+// stream of indexed work items executed over a bounded worker pool, with a
+// reorder buffer delivering results in index order, an optional in-flight
+// window bounding completed-but-unemitted results, prompt context
+// cancellation, and no goroutines outliving the call. The concurrency rules
+// here are subtle (slot-before-index acquisition, the stopped/next emission
+// loop, error-path shutdown); keeping one copy lets both campaign engines
+// share the same proofs.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob against an item count: non-positive
+// means GOMAXPROCS, and the pool never exceeds the number of items.
+func Workers(parallelism, items int) int {
+	w := parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	return w
+}
+
+// Config shapes one Run of the engine.
+type Config struct {
+	// Items is the number of work indices (0..Items-1).
+	Items int
+	// Workers is the resolved pool size (see Workers); values below 1 are
+	// treated as 1.
+	Workers int
+	// Window, when positive, bounds completed-but-unemitted results: a worker
+	// takes a slot before starting an item and emission (in index order)
+	// frees it, so at most Window results are ever in flight. Use it when
+	// results are heavy (full traces, whole worlds) and the reorder buffer
+	// must not absorb the whole campaign behind one slow early item. Slots
+	// are acquired before indices — which are handed out in increasing order
+	// — so the lowest unemitted item always already holds a slot and emission
+	// is never blocked behind slot acquisition (no deadlock).
+	Window int
+	// Progress, when non-nil, is invoked after each emitted result with the
+	// number delivered so far and the planned total. It is called
+	// sequentially (never concurrently) in index order.
+	Progress func(done, total int)
+}
+
+// Run fans the work items out over the pool and delivers results to emit in
+// increasing index order (a reorder buffer absorbs out-of-order worker
+// completions). emit returning false stops the run (early stop or a broken
+// consumer loop); cancelling ctx stops it with ctx.Err(); a work error stops
+// it with that error. In every case Run waits for its workers to exit before
+// returning, so no goroutines outlive the call.
+func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error), emit func(res R) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := cfg.Items
+	if n <= 0 {
+		return nil
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// wctx stops the workers; cancelled on early stop, on caller
+	// cancellation, and on the first worker error.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indices := make(chan int, n)
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	type item struct {
+		index int
+		res   R
+	}
+	// results holds every possible send, so workers never block on it and
+	// always reach their context check.
+	results := make(chan item, n)
+	var window chan struct{}
+	if cfg.Window > 0 {
+		window = make(chan struct{}, cfg.Window)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				// The slot is acquired BEFORE taking an index (see
+				// Config.Window).
+				if window != nil {
+					select {
+					case window <- struct{}{}:
+					case <-wctx.Done():
+						return
+					}
+				}
+				i, ok := <-indices
+				if !ok {
+					return
+				}
+				if wctx.Err() != nil {
+					return
+				}
+				r, err := work(i)
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				results <- item{index: i, res: r}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder concurrent completions into index order and emit.
+	pending := make(map[int]item, workers)
+	next := 0
+	stopped := false
+	flush := func(it item) {
+		pending[it.index] = it
+		for !stopped {
+			head, ok := pending[next]
+			if !ok {
+				return
+			}
+			if ctx.Err() != nil {
+				stopped = true
+				return
+			}
+			delete(pending, next)
+			next++
+			if window != nil {
+				// Every pending entry came from a worker holding a slot;
+				// this receive never blocks.
+				<-window
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(next, n)
+			}
+			if !emit(head.res) {
+				stopped = true
+			}
+		}
+	}
+	for !stopped && next < n {
+		select {
+		case it, ok := <-results:
+			if !ok {
+				// Workers exited early (error path): nothing more will
+				// arrive.
+				stopped = true
+				break
+			}
+			flush(it)
+		case <-ctx.Done():
+			stopped = true
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

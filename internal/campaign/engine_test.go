@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrdersResults: whatever order workers finish in, emit sees results
+// in index order, exactly once each, with progress counting alongside.
+func TestRunOrdersResults(t *testing.T) {
+	const n = 50
+	var prog []int
+	var got []int
+	err := Run(context.Background(),
+		Config{Items: n, Workers: 8, Progress: func(done, total int) {
+			if total != n {
+				t.Errorf("progress total = %d, want %d", total, n)
+			}
+			prog = append(prog, done)
+		}},
+		func(i int) (int, error) {
+			// Reverse the natural completion bias so the reorder buffer works.
+			time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+			return i * i, nil
+		},
+		func(res int) bool {
+			got = append(got, res)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n || len(prog) != n {
+		t.Fatalf("emitted %d results, %d progress calls, want %d", len(got), len(prog), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+		if prog[i] != i+1 {
+			t.Fatalf("progress %d = %d, want %d", i, prog[i], i+1)
+		}
+	}
+}
+
+// TestRunEmitStop: emit returning false ends the run without error, having
+// delivered exactly the prefix.
+func TestRunEmitStop(t *testing.T) {
+	seen := 0
+	err := Run(context.Background(), Config{Items: 100, Workers: 4},
+		func(i int) (int, error) { return i, nil },
+		func(res int) bool {
+			seen++
+			return seen < 10
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Fatalf("emitted %d results after stop, want 10", seen)
+	}
+}
+
+// TestRunWorkError: the first work error cancels the rest and is returned;
+// emission stays a clean prefix.
+func TestRunWorkError(t *testing.T) {
+	boom := errors.New("boom")
+	last := -1
+	err := Run(context.Background(), Config{Items: 100, Workers: 4},
+		func(i int) (int, error) {
+			if i == 20 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(res int) bool {
+			if res != last+1 {
+				t.Errorf("emission out of order: %d after %d", res, last)
+			}
+			last = res
+			return true
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if last >= 20 {
+		t.Fatalf("emitted result %d at or past the failed index", last)
+	}
+}
+
+// TestRunCancellation: cancelling the context mid-run returns ctx.Err() and
+// no emission happens after it is observed.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	err := Run(ctx, Config{Items: 1000, Workers: 4},
+		func(i int) (int, error) {
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		},
+		func(res int) bool {
+			seen++
+			if seen == 5 {
+				cancel()
+			}
+			return true
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen < 5 || seen >= 1000 {
+		t.Fatalf("emitted %d results around cancellation", seen)
+	}
+	cancel()
+}
+
+// TestRunWindowBoundsInFlight: with Window set, the number of
+// completed-but-unemitted results never exceeds the window.
+func TestRunWindowBoundsInFlight(t *testing.T) {
+	const (
+		n      = 200
+		window = 6
+	)
+	var completed, emitted, peak atomic.Int64
+	err := Run(context.Background(), Config{Items: n, Workers: 3, Window: window},
+		func(i int) (int, error) {
+			time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+			c := completed.Add(1)
+			if f := c - emitted.Load(); f > peak.Load() {
+				peak.Store(f)
+			}
+			return i, nil
+		},
+		func(res int) bool {
+			emitted.Add(1)
+			// An artificially slow consumer forces workers to fill the window.
+			if res == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted.Load() != n {
+		t.Fatalf("emitted %d, want %d", emitted.Load(), n)
+	}
+	if p := peak.Load(); p > window {
+		t.Fatalf("peak in-flight completed results %d exceeds window %d", p, window)
+	}
+}
+
+// TestRunZeroItems: an empty run emits nothing and succeeds.
+func TestRunZeroItems(t *testing.T) {
+	err := Run(context.Background(), Config{Items: 0, Workers: 4},
+		func(i int) (int, error) { return 0, fmt.Errorf("must not run") },
+		func(int) bool { t.Fatal("must not emit"); return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkers pins the pool-size resolution.
+func TestWorkers(t *testing.T) {
+	if w := Workers(4, 100); w != 4 {
+		t.Errorf("Workers(4, 100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0, 100) = %d", w)
+	}
+}
+
+// TestRunReentrant: the engine carries no global state — concurrent Runs
+// interleave safely (the campaign engines nest worlds inside workers).
+func TestRunReentrant(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			next := 0
+			err := Run(context.Background(), Config{Items: 30, Workers: 3},
+				func(i int) (int, error) { return i + g, nil },
+				func(res int) bool {
+					if res != next+g {
+						t.Errorf("goroutine %d: got %d, want %d", g, res, next+g)
+					}
+					next++
+					return true
+				})
+			if err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -55,6 +55,13 @@ type MPIAnalyzer struct {
 	// the single process where the fault is injected", §IV-A). Set it
 	// before building campaigns or analyzing worlds; the default is 0.
 	FaultRank int
+	// Scheduler is the default campaign execution strategy for NewCampaign
+	// and NewAnalyzedCampaign (overridable per campaign with
+	// mpi.WithScheduler). The zero value is mpi.ScheduleCheckpointed, which
+	// shares the fault-free world prefix across injections via world
+	// snapshots cut at collective boundaries; results are identical to
+	// mpi.ScheduleDirect for the same seed.
+	Scheduler mpi.SchedulerKind
 
 	clean *mpi.Result
 	index []*CleanIndex
@@ -158,6 +165,7 @@ func (ma *MPIAnalyzer) NewCampaign(targets inject.TargetPicker, opts ...mpi.Opti
 	copts := append([]mpi.Option{
 		mpi.WithClean(ma.clean),
 		mpi.WithVerify(ma.verifyWorld),
+		mpi.WithScheduler(ma.Scheduler),
 	}, opts...)
 	return mpi.NewCampaign(ma.Prog, ma.worldConfig(), targets, copts...)
 }
@@ -178,6 +186,7 @@ func (ma *MPIAnalyzer) NewAnalyzedCampaign(targets inject.TargetPicker, opts ...
 	copts := append([]mpi.Option{
 		mpi.WithClean(ma.clean),
 		mpi.WithVerify(ma.verifyWorld),
+		mpi.WithScheduler(ma.Scheduler),
 	}, opts...)
 	copts = append(copts, mpi.WithWorldAnalysis(
 		func(_ int, f interp.Fault, faulty *mpi.Result, outcome inject.Outcome, prop mpi.Propagation) (any, error) {

@@ -315,7 +315,7 @@ func TestAnalyzedCampaignNonMonotonicTrace(t *testing.T) {
 	}
 
 	clean := cleanFullTrace(t, p)
-	if stepsMonotonic(clean.Recs) {
+	if trace.StepsMonotonic(clean.Recs) {
 		t.Fatal("fixture defect: value-returning calls should make record steps non-monotonic")
 	}
 	verify := func(tr *trace.Trace) bool { return len(tr.Output) == 1 }

@@ -5,10 +5,9 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
+	"fliptracker/internal/campaign"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
@@ -183,25 +182,12 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 			return nil, fmt.Errorf("inject: analyzed campaign needs the fault-free full trace (WithAnalysis clean argument)")
 		}
 		// Prefix stitching cuts the clean records by Step, which is only
-		// sound when record steps are monotonic. A value-returning call
-		// breaks that: its OpRet record is stamped with the call-site's
-		// step but emitted at return time, after the callee's higher-step
-		// records. For such programs analyzed injections replay traced
-		// from step 0 (correct, just without the prefix-sharing speedup).
-		c.stitch = stepsMonotonic(c.clean.Recs)
+		// sound when record steps are monotonic (trace.StepsMonotonic). For
+		// other programs analyzed injections replay traced from step 0
+		// (correct, just without the prefix-sharing speedup).
+		c.stitch = trace.StepsMonotonic(c.clean.Recs)
 	}
 	return c, nil
-}
-
-// stepsMonotonic reports whether record steps never decrease (several
-// records may share one step — calls record one per argument).
-func stepsMonotonic(recs []trace.Rec) bool {
-	for i := 1; i < len(recs); i++ {
-		if recs[i].Step < recs[i-1].Step {
-			return false
-		}
-	}
-	return true
 }
 
 // Tests returns the configured injection count (the cap, under early
@@ -267,14 +253,13 @@ func (c *Campaign) metEarlyStop(res Result) bool {
 	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
 }
 
-// run is the campaign engine shared by Run and Stream: pre-draw the fault
-// stream, plan checkpoints when the checkpointed scheduler is selected, fan
-// the injections out over a bounded worker pool, and deliver outcomes to
-// emit in fault-index order (a reorder buffer absorbs out-of-order worker
-// completions). emit returning false stops the campaign (early stop or a
-// broken Stream loop); cancelling ctx stops it with ctx.Err(). In every
-// case run waits for its workers to exit before returning, so no goroutines
-// outlive the call.
+// run is the campaign driver shared by Run and Stream: pre-draw the fault
+// stream, plan checkpoints when the checkpointed scheduler is selected, and
+// fan the injections out through the shared ordered fan-out engine
+// (internal/campaign), which delivers outcomes to emit in fault-index order.
+// emit returning false stops the campaign (early stop or a broken Stream
+// loop); cancelling ctx stops it with ctx.Err(). In every case run waits for
+// its workers to exit before returning, so no goroutines outlive the call.
 func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -307,134 +292,26 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	}
 
 	n := len(faults)
-	workers := c.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	// wctx stops the workers; cancelled on early stop, on caller
-	// cancellation, and on the first worker error.
-	wctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	indices := make(chan int, n)
-	for i := 0; i < n; i++ {
-		indices <- i
-	}
-	close(indices)
-	// results holds every possible send, so workers never block on it and
-	// always reach their context check.
-	results := make(chan FaultOutcome, n)
-	// For analyzed campaigns, window bounds completed-but-unemitted
+	workers := campaign.Workers(c.parallelism, n)
+	// For analyzed campaigns, the window bounds completed-but-unemitted
 	// injections: each payload references a full faulty trace, so letting
 	// the reorder buffer absorb the whole campaign behind one slow early
-	// fault would pin O(tests) traces in memory. A worker takes a slot
-	// before running an injection; emitting the outcome (in fault-index
-	// order) frees it, so at most cap(window) analyzed traces are ever in
-	// flight. Untraced outcomes are a few words, so they stay unbounded.
-	var window chan struct{}
+	// fault would pin O(tests) traces in memory. Untraced outcomes are a
+	// few words, so they stay unbounded.
+	window := 0
 	if c.analyze != nil {
-		window = make(chan struct{}, 2*workers)
+		window = 2 * workers
 	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				// The slot is acquired BEFORE taking an index: indices are
-				// handed out in increasing order, so the lowest unemitted
-				// fault always already holds a slot and can run — emission
-				// is never blocked behind slot acquisition (no deadlock).
-				if window != nil {
-					select {
-					case window <- struct{}{}:
-					case <-wctx.Done():
-						return
-					}
-				}
-				i, ok := <-indices
-				if !ok {
-					return
-				}
-				if wctx.Err() != nil {
-					return
-				}
-				o, payload, err := c.runFault(i, faults[i], plan)
-				if err != nil {
-					errs[w] = err
-					cancel()
-					return
-				}
-				results <- FaultOutcome{Index: i, Fault: faults[i], Outcome: o, Analysis: payload}
+	return campaign.Run(ctx,
+		campaign.Config{Items: n, Workers: workers, Window: window, Progress: c.progress},
+		func(i int) (FaultOutcome, error) {
+			o, payload, err := c.runFault(i, faults[i], plan)
+			if err != nil {
+				return FaultOutcome{}, err
 			}
-		}(w)
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	// Reorder concurrent completions into fault-index order and emit.
-	pending := make(map[int]FaultOutcome, workers)
-	next := 0
-	stopped := false
-	flush := func(fo FaultOutcome) {
-		pending[fo.Index] = fo
-		for !stopped {
-			head, ok := pending[next]
-			if !ok {
-				return
-			}
-			if ctx.Err() != nil {
-				stopped = true
-				return
-			}
-			delete(pending, next)
-			next++
-			if window != nil {
-				// Every pending entry came from a worker holding a slot;
-				// this receive never blocks.
-				<-window
-			}
-			if c.progress != nil {
-				c.progress(next, n)
-			}
-			if !emit(head) {
-				stopped = true
-			}
-		}
-	}
-	for !stopped && next < n {
-		select {
-		case fo, ok := <-results:
-			if !ok {
-				// Workers exited early (error path): nothing more will
-				// arrive.
-				stopped = true
-				break
-			}
-			flush(fo)
-		case <-ctx.Done():
-			stopped = true
-		}
-	}
-	cancel()
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+			return FaultOutcome{Index: i, Fault: faults[i], Outcome: o, Analysis: payload}, nil
+		},
+		emit)
 }
 
 // runFault executes one injection under the planned scheduler.
@@ -459,20 +336,25 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 		return NotApplied, nil, fmt.Errorf("inject: make machine: %w", err)
 	}
 	m.Mode = interp.TraceFull
-	m.TraceHint = uint64(len(c.clean.Recs)) + 64
 	m.Fault = &f
+	// TraceHint is deliberately left unset until after Restore: a restored
+	// record-free snapshot would preallocate a clean-trace-sized buffer that
+	// PrimeTrace immediately replaces.
+	hint := uint64(len(c.clean.Recs)) + 64
 	var tr *trace.Trace
 	if snap != nil {
 		if rerr := m.Restore(snap); rerr == nil {
-			m.PrimeTrace(c.cleanPrefix(snap.Step()), m.TraceHint)
+			m.PrimeTrace(c.cleanPrefix(snap.Step()), hint)
 			tr, err = m.Resume()
 		} else {
 			// Restore can only fail when MakeMachine rebuilds its program
 			// per call; replay this same (still unstarted) machine from
 			// step 0, which is always correct.
+			m.TraceHint = hint
 			tr, err = m.Run()
 		}
 	} else {
+		m.TraceHint = hint
 		tr, err = m.Run()
 	}
 	if err != nil {

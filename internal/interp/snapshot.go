@@ -169,6 +169,17 @@ func (m *Machine) restore(s *Snapshot) error {
 	m.recs = nil
 	if len(s.recs) > 0 {
 		m.recs = append([]trace.Rec(nil), s.recs...)
+	} else if m.Mode == TraceFull && m.TraceHint > 0 {
+		// A record-free snapshot restored into a tracing machine: honor
+		// TraceHint exactly as start() does, so resumed traced runs (e.g.
+		// restored MPI worlds traced without a primed prefix) append
+		// without growth copies. PrimeTrace, when used, replaces this
+		// buffer with prefix + hint.
+		hint := m.TraceHint
+		if hint > maxTraceReserve {
+			hint = maxTraceReserve
+		}
+		m.recs = make([]trace.Rec, 0, hint)
 	}
 	m.stack = m.stack[:0]
 	for _, fs := range s.frames {

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"fliptracker/internal/campaign"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
 )
 
@@ -35,17 +35,44 @@ type Campaign struct {
 	base    Config
 	targets inject.TargetPicker
 
-	tests       int
-	seed        int64
-	parallelism int
-	progress    func(done, total int)
-	verify      func(*Result) bool
-	analyze     WorldAnalyzer
-	dropTraces  bool
+	tests          int
+	seed           int64
+	parallelism    int
+	scheduler      SchedulerKind
+	maxCheckpoints int
+	progress       func(done, total int)
+	verify         func(*Result) bool
+	analyze        WorldAnalyzer
+	dropTraces     bool
+
+	earlyStop           bool
+	earlyStopConfidence float64
+	earlyStopMargin     float64
 
 	clean *Result
 	hint  uint64
+	// stitch permits clean-prefix reuse for analyzed checkpointed worlds; it
+	// requires every rank's clean record steps to be monotonic (see
+	// NewCampaign), else analyzed injections replay traced from step 0.
+	stitch bool
 }
+
+// SchedulerKind selects how a campaign executes its injected worlds; MPI
+// campaigns share inject's kinds, so ScheduleCheckpointed and ScheduleDirect
+// mean the same thing in both engines and one CLI knob drives both.
+type SchedulerKind = inject.SchedulerKind
+
+// Campaign schedulers. ScheduleCheckpointed — the default — shares
+// fault-free world-prefix work across injections: one forward pass replays
+// the clean world, pausing at collective boundaries to lay WorldSnapshots
+// (every rank machine plus in-flight network state at a consistent cut), and
+// each injected world restores from the nearest snapshot at or before its
+// fault instead of replaying every rank from step 0. Results are identical
+// to ScheduleDirect for the same seed.
+const (
+	ScheduleCheckpointed = inject.ScheduleCheckpointed
+	ScheduleDirect       = inject.ScheduleDirect
+)
 
 // Option configures a Campaign at construction time.
 type Option func(*Campaign)
@@ -64,6 +91,32 @@ func WithSeed(seed int64) Option { return func(c *Campaign) { c.seed = seed } }
 // GOMAXPROCS. Each world already runs one goroutine per rank, so the useful
 // ceiling is lower than in single-process campaigns.
 func WithParallelism(n int) Option { return func(c *Campaign) { c.parallelism = n } }
+
+// WithScheduler selects the execution strategy; the default is
+// ScheduleCheckpointed. Outcomes are scheduler-independent.
+func WithScheduler(k SchedulerKind) Option { return func(c *Campaign) { c.scheduler = k } }
+
+// WithMaxCheckpoints caps the live world snapshots the checkpointed
+// scheduler keeps; 0 (the default) means DefaultMaxWorldCheckpoints. Each
+// snapshot deep-copies every rank's memory and frame stack, so the cap also
+// bounds the scheduler's memory overhead.
+func WithMaxCheckpoints(n int) Option { return func(c *Campaign) { c.maxCheckpoints = n } }
+
+// WithEarlyStop enables sequential early stopping, exactly as in
+// single-process campaigns (inject.WithEarlyStop): the campaign ends as soon
+// as the world success rate's Agresti–Coull confidence interval half-width
+// (stats.AdjustedProportionCI, at the given confidence level) is within
+// margin, instead of always running the full WithTests count — never before
+// inject.EarlyStopMinTests completed worlds. The stop decision is evaluated
+// on the world outcome stream in fault-index order, so for a fixed seed it
+// is deterministic whatever the parallelism or scheduler.
+func WithEarlyStop(confidence, margin float64) Option {
+	return func(c *Campaign) {
+		c.earlyStop = true
+		c.earlyStopConfidence = confidence
+		c.earlyStopMargin = margin
+	}
+}
 
 // WithProgress registers a callback invoked after each completed world with
 // the number of outcomes delivered so far and the planned total. It is
@@ -151,6 +204,14 @@ func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts .
 	if c.dropTraces && c.analyze == nil {
 		return nil, fmt.Errorf("mpi: WithDropTraces requires WithWorldAnalysis")
 	}
+	if c.earlyStop {
+		if c.earlyStopConfidence <= 0 || c.earlyStopConfidence >= 1 {
+			return nil, fmt.Errorf("mpi: early-stop confidence %v outside (0, 1)", c.earlyStopConfidence)
+		}
+		if c.earlyStopMargin <= 0 || c.earlyStopMargin >= 1 {
+			return nil, fmt.Errorf("mpi: early-stop margin %v outside (0, 1)", c.earlyStopMargin)
+		}
+	}
 	if c.clean == nil {
 		cfg := c.base
 		cfg.Mode = interp.TraceFull
@@ -175,6 +236,20 @@ func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts .
 		}
 	}
 	c.hint += 64
+	if c.analyze != nil {
+		// Prefix stitching cuts each rank's clean records by Step, which is
+		// only sound when every rank's record steps are monotonic
+		// (trace.StepsMonotonic). For other programs analyzed injections
+		// replay traced from step 0 (correct, just without the
+		// prefix-sharing speedup) — exactly as in inject.NewCampaign.
+		c.stitch = true
+		for _, rr := range c.clean.Ranks {
+			if !trace.StepsMonotonic(rr.Trace.Recs) {
+				c.stitch = false
+				break
+			}
+		}
+	}
 	if c.verify == nil {
 		c.verify = func(faulty *Result) bool { return outputsEqual(c.clean, faulty) }
 	}
@@ -264,7 +339,7 @@ func (c *Campaign) Run(ctx context.Context) (inject.Result, error) {
 	var res inject.Result
 	err := c.run(ctx, func(wo WorldOutcome) bool {
 		res.Count(wo.Outcome)
-		return true
+		return !c.metEarlyStop(res)
 	})
 	return res, err
 }
@@ -272,16 +347,19 @@ func (c *Campaign) Run(ctx context.Context) (inject.Result, error) {
 // Stream executes the campaign and yields one WorldOutcome per injected
 // world in fault-index order. Breaking out of the loop stops the campaign's
 // workers promptly. On failure — including context cancellation — the final
-// pair carries the error (with Index -1).
+// pair carries the error (with Index -1); early stopping ends the sequence
+// without one.
 func (c *Campaign) Stream(ctx context.Context) iter.Seq2[WorldOutcome, error] {
 	return func(yield func(WorldOutcome, error) bool) {
+		var res inject.Result
 		broke := false
 		err := c.run(ctx, func(wo WorldOutcome) bool {
+			res.Count(wo.Outcome)
 			if !yield(wo, nil) {
 				broke = true
 				return false
 			}
-			return true
+			return !c.metEarlyStop(res)
 		})
 		if err != nil && !broke {
 			yield(WorldOutcome{Index: -1}, err)
@@ -289,12 +367,22 @@ func (c *Campaign) Stream(ctx context.Context) iter.Seq2[WorldOutcome, error] {
 	}
 }
 
-// run is the campaign engine shared by Run and Stream: pre-draw the fault
-// stream, fan the worlds out over a bounded worker pool, and deliver
-// outcomes to emit in fault-index order (a reorder buffer absorbs
-// out-of-order completions, exactly as in inject.Campaign). emit returning
-// false stops the campaign; cancelling ctx stops it with ctx.Err(). run
-// waits for its workers before returning, so no goroutines outlive the call.
+// metEarlyStop reports whether the sequential stopping rule is satisfied by
+// the world outcomes counted so far.
+func (c *Campaign) metEarlyStop(res inject.Result) bool {
+	if !c.earlyStop || res.Tests < inject.EarlyStopMinTests || res.Tests >= c.tests {
+		return false
+	}
+	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
+}
+
+// run is the campaign driver shared by Run and Stream: pre-draw the fault
+// stream, plan world checkpoints when the checkpointed scheduler is selected,
+// and fan the worlds out through the shared ordered fan-out engine
+// (internal/campaign), which delivers outcomes to emit in fault-index order —
+// exactly as in inject.Campaign. emit returning false stops the campaign;
+// cancelling ctx stops it with ctx.Err(). run waits for its workers before
+// returning, so no goroutines outlive the call.
 func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error {
 	if c.targets == nil {
 		return fmt.Errorf("mpi: replay-only campaign cannot run injections")
@@ -317,126 +405,41 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 		}
 	}
 
-	n := len(faults)
-	workers := c.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	wctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	indices := make(chan int, n)
-	for i := 0; i < n; i++ {
-		indices <- i
-	}
-	close(indices)
-	results := make(chan WorldOutcome, n)
-	// For traced campaigns, window bounds completed-but-unemitted worlds:
-	// each holds one full trace per rank, so the reorder buffer must not
-	// absorb the whole campaign behind one slow early fault. Workers take a
-	// slot before running a world; emission frees it. Slots are acquired
-	// before indices (handed out in increasing order), so the lowest
-	// unemitted world always already holds a slot — no deadlock.
-	var window chan struct{}
-	if c.worldMode() == interp.TraceFull {
-		window = make(chan struct{}, 2*workers)
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if window != nil {
-					select {
-					case window <- struct{}{}:
-					case <-wctx.Done():
-						return
-					}
-				}
-				i, ok := <-indices
-				if !ok {
-					return
-				}
-				if wctx.Err() != nil {
-					return
-				}
-				wo, err := c.runFault(i, faults[i])
-				if err != nil {
-					errs[w] = err
-					cancel()
-					return
-				}
-				results <- wo
-			}
-		}(w)
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	pending := make(map[int]WorldOutcome, workers)
-	next := 0
-	stopped := false
-	flush := func(wo WorldOutcome) {
-		pending[wo.Index] = wo
-		for !stopped {
-			head, ok := pending[next]
-			if !ok {
-				return
-			}
-			if ctx.Err() != nil {
-				stopped = true
-				return
-			}
-			delete(pending, next)
-			next++
-			if window != nil {
-				<-window
-			}
-			if c.progress != nil {
-				c.progress(next, n)
-			}
-			if !emit(head) {
-				stopped = true
-			}
-		}
-	}
-	for !stopped && next < n {
-		select {
-		case wo, ok := <-results:
-			if !ok {
-				stopped = true
-				break
-			}
-			flush(wo)
-		case <-ctx.Done():
-			stopped = true
-		}
-	}
-	cancel()
-	wg.Wait()
-
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for _, err := range errs {
+	var plan *worldPlan
+	// World checkpoints need collective boundaries to cut at, and analyzed
+	// campaigns additionally need stitchable (per-rank monotonic) clean
+	// traces; planWorldCheckpoints degrades to a nil plan (direct replay)
+	// when either is missing.
+	if c.scheduler == inject.ScheduleCheckpointed && (c.analyze == nil || c.stitch) {
+		var err error
+		plan, err = c.planWorldCheckpoints(ctx, faults)
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+
+	n := len(faults)
+	workers := campaign.Workers(c.parallelism, n)
+	// For traced campaigns, the window bounds completed-but-unemitted
+	// worlds: each holds one full trace per rank, so the reorder buffer must
+	// not absorb the whole campaign behind one slow early fault.
+	window := 0
+	if c.worldMode() == interp.TraceFull {
+		window = 2 * workers
+	}
+	return campaign.Run(ctx,
+		campaign.Config{Items: n, Workers: workers, Window: window, Progress: c.progress},
+		func(i int) (WorldOutcome, error) {
+			return c.runFault(i, faults[i], plan)
+		},
+		emit)
 }
 
-// runFault executes one injected world and classifies it.
-func (c *Campaign) runFault(i int, f interp.Fault) (WorldOutcome, error) {
-	faulty, err := c.runWorld(&f, c.worldMode())
+// runFault executes one injected world — restored from its planned world
+// checkpoint when one is assigned, replayed from step 0 otherwise — and
+// classifies it.
+func (c *Campaign) runFault(i int, f interp.Fault, plan *worldPlan) (WorldOutcome, error) {
+	faulty, err := c.runPlanned(i, &f, plan)
 	if err != nil {
 		return WorldOutcome{}, fmt.Errorf("mpi: world %d: %w", i, err)
 	}

@@ -105,6 +105,16 @@ type Result struct {
 	Ranks []RankResult
 	// Recording is the wildcard-receive log (always captured).
 	Recording *Recording
+	// Cuts[rank][k] is rank's machine step immediately after its k-th
+	// collective (barrier or allreduce) returned — the world's consistent
+	// cut points. A collective completes at one world-wide moment, so
+	// pausing every rank at Cuts[rank][k] yields a consistent cut: any
+	// receive before a rank's cut is matched by a send before the sender's
+	// cut, and only point-to-point messages crossing the boundary are in
+	// flight. World snapshots (SnapshotWorld) are taken at these cuts. On a
+	// clean world every rank has the same number of cuts (every rank joins
+	// every round); crashed worlds may record ragged prefixes.
+	Cuts [][]uint64
 }
 
 // Status returns the worst status across ranks (crash dominates hang
@@ -131,8 +141,22 @@ type rankState struct {
 	inbox   chan message
 	pending map[int][]message
 	anyLog  []int32
-	anyNext int // replay cursor
+	anyNext int      // replay cursor
+	cutLog  []uint64 // machine step after each completed collective
 }
+
+// waitKind classifies what a blocked rank is waiting inside.
+type waitKind uint8
+
+const (
+	waitNone waitKind = iota
+	// waitInbox: blocked in awaitInbox — the rank consumes any message that
+	// lands in its inbox and re-evaluates its wait.
+	waitInbox
+	// waitCollective: blocked in an allreduce round — deaf to its inbox
+	// until the round completes.
+	waitCollective
+)
 
 type world struct {
 	size   int
@@ -159,15 +183,20 @@ type world struct {
 	// exitCh is closed and replaced on every rank exit, waking blocked
 	// receivers so they re-evaluate whether their peer can still deliver.
 	exitCh chan struct{}
-	// blocked counts ranks waiting inside a world primitive and inFlight
-	// counts sent-but-undelivered messages. When every live rank is blocked
-	// and nothing is in flight, no event can ever occur again — a global
-	// deadlock (e.g. a corrupted rank stuck in recv while clean ranks wait
-	// for it in a collective). That terminal configuration is a
-	// deterministic fact of the program, so detecting it and failing every
-	// blocked rank keeps faulty worlds deterministic AND terminating.
+	// blocked counts ranks waiting inside a world primitive, waiting records
+	// what each is waiting inside, and inFlight / inFlightTo[rank] count
+	// sent-but-undelivered messages (total and per destination). When every
+	// live rank is blocked and no undelivered message can still be consumed,
+	// no event can ever occur again — a global deadlock (e.g. a corrupted
+	// rank stuck in recv while clean ranks wait for it in a collective).
+	// That terminal configuration is a deterministic fact of the program, so
+	// detecting it and failing every blocked rank keeps faulty worlds
+	// deterministic AND terminating. See maybeDeadlockLocked for the
+	// wait-for-graph rule that decides "can still be consumed".
 	blocked    int
+	waiting    []waitKind
 	inFlight   int
+	inFlightTo []int
 	deadlocked bool
 	// result holds the completed round's sums. It is only replaced when a
 	// round completes, which cannot happen before every waiter of the
@@ -179,11 +208,13 @@ var errAborted = fmt.Errorf("mpi: world deadlocked (every live rank blocked on a
 
 func newWorld(size int, replay *Recording) *world {
 	w := &world{
-		size:   size,
-		replay: replay,
-		parts:  make([][]float64, size),
-		exited: make(map[int]bool),
-		exitCh: make(chan struct{}),
+		size:       size,
+		replay:     replay,
+		parts:      make([][]float64, size),
+		exited:     make(map[int]bool),
+		exitCh:     make(chan struct{}),
+		waiting:    make([]waitKind, size),
+		inFlightTo: make([]int, size),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	for i := 0; i < size; i++ {
@@ -231,6 +262,7 @@ func (w *world) drainDead(rank int) {
 		case <-w.ranks[rank].inbox:
 			w.mu.Lock()
 			w.inFlight--
+			w.inFlightTo[rank]--
 			w.mu.Unlock()
 		default:
 			return
@@ -239,21 +271,56 @@ func (w *world) drainDead(rank int) {
 }
 
 // maybeDeadlockLocked declares a global deadlock when every live rank is
-// blocked in a primitive with no undelivered message left, waking everyone
-// so they fail deterministically. Returns whether the world is (now)
-// deadlocked. Callers must hold mu.
+// blocked in a primitive and no undelivered message can ever be consumed,
+// waking everyone so they fail deterministically. Returns whether the world
+// is (now) deadlocked. Callers must hold mu.
+//
+// This is a wait-for-graph check collapsed to its one decidable edge: with
+// every live rank blocked, the only event that can still occur is an
+// inbox-waiter draining an undelivered message (it wakes, queues the
+// message, and re-evaluates — possibly unblocking, possibly re-blocking with
+// the deadlock check re-run). A message bound for a rank waiting in a
+// collective is stranded: collective waiters are deaf to their inboxes, and
+// the round they wait on cannot complete while its missing contributors are
+// blocked elsewhere. Messages bound for exited ranks are equally dead
+// (drainDead retires their counts). So partial wait-for cycles among live
+// ranks are terminal even when undelivered messages remain for uninvolved
+// parties — previously such worlds (cycle + a message stranded at a
+// collective-blocked rank) hung forever because any nonzero in-flight count
+// vetoed the deadlock declaration.
 func (w *world) maybeDeadlockLocked() bool {
 	if w.deadlocked {
 		return true
 	}
-	if w.blocked == 0 || w.inFlight > 0 || w.blocked != w.size-len(w.exited) {
+	if w.blocked == 0 || w.blocked != w.size-len(w.exited) {
 		return false
+	}
+	for r := 0; r < w.size; r++ {
+		if w.inFlightTo[r] > 0 && w.waiting[r] == waitInbox {
+			return false // r will wake, drain, and re-evaluate
+		}
 	}
 	w.deadlocked = true
 	close(w.exitCh) // wake blocked receivers
 	w.exitCh = make(chan struct{})
 	w.cond.Broadcast() // wake collective waiters
 	return true
+}
+
+// abort marks the world dead, failing every rank currently blocked (or about
+// to block) in a world primitive with the deterministic abort error. It is
+// the teardown path for abandoned worlds — e.g. a snapshot forward pass
+// cancelled mid-phase — not part of normal execution, which only ever aborts
+// through maybeDeadlockLocked.
+func (w *world) abort() {
+	w.mu.Lock()
+	if !w.deadlocked {
+		w.deadlocked = true
+		close(w.exitCh)
+		w.exitCh = make(chan struct{})
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
 }
 
 // peerState snapshots whether rank has exited and whether the world is
@@ -291,21 +358,27 @@ func (w *world) send(src, dst int, data []ir.Word) error {
 	copy(cp, data)
 	w.mu.Lock()
 	w.inFlight++
+	w.inFlightTo[dst]++
 	w.mu.Unlock()
 	m := message{src: src, data: cp}
 	for {
-		exited, _, exitCh := w.peerState(dst)
+		exited, dead, exitCh := w.peerState(dst)
 		select {
 		case w.ranks[dst].inbox <- m:
 			w.retireIfDead(dst)
 			return nil
 		default:
 		}
-		// Inbox full: an exited receiver will never drain it.
-		if exited {
+		// Inbox full: an exited receiver will never drain it, and in a dead
+		// (deadlocked or aborted) world nobody will.
+		if exited || dead {
 			w.mu.Lock()
 			w.inFlight--
+			w.inFlightTo[dst]--
 			w.mu.Unlock()
+			if dead {
+				return errAborted
+			}
 			return fmt.Errorf("mpi: send to rank %d, which exited with a full inbox", dst)
 		}
 		select {
@@ -339,16 +412,19 @@ func (w *world) delivered(rank int, m message, wasBlocked bool) {
 	st.pending[m.src] = append(st.pending[m.src], m)
 	w.mu.Lock()
 	w.inFlight--
+	w.inFlightTo[rank]--
 	if wasBlocked {
 		w.blocked--
+		w.waiting[rank] = waitNone
 	}
 	w.mu.Unlock()
 }
 
 // unblocked retires a blocked count after a message-less wakeup.
-func (w *world) unblocked() {
+func (w *world) unblocked(rank int) {
 	w.mu.Lock()
 	w.blocked--
+	w.waiting[rank] = waitNone
 	w.mu.Unlock()
 }
 
@@ -384,13 +460,14 @@ func (w *world) awaitInbox(rank int, exitCh chan struct{}) {
 	}
 	w.mu.Lock()
 	w.blocked++
+	w.waiting[rank] = waitInbox
 	w.maybeDeadlockLocked()
 	w.mu.Unlock()
 	select {
 	case m := <-st.inbox:
 		w.delivered(rank, m, true)
 	case <-exitCh:
-		w.unblocked()
+		w.unblocked(rank)
 	}
 }
 
@@ -497,6 +574,8 @@ func (w *world) allreduceSum(rank int, local []float64) ([]float64, error) {
 		// waiting happen in one critical section), so their blocked counts
 		// are retired here, at satisfaction time — a satisfied-but-not-yet-
 		// scheduled waiter must not look "blocked" to the deadlock check.
+		// (All size ranks contributed, so nobody is blocked anywhere else:
+		// clearing every waiting entry is exact.)
 		sum := make([]float64, w.bufN)
 		for _, p := range w.parts {
 			for i, v := range p {
@@ -509,6 +588,9 @@ func (w *world) allreduceSum(rank int, local []float64) ([]float64, error) {
 		w.result = sum
 		w.gen++
 		w.blocked -= w.size - 1
+		for i := range w.waiting {
+			w.waiting[i] = waitNone
+		}
 		w.cond.Broadcast()
 		return w.result, nil
 	}
@@ -518,8 +600,10 @@ func (w *world) allreduceSum(rank int, local []float64) ([]float64, error) {
 			return nil, errAborted
 		}
 		w.blocked++
+		w.waiting[rank] = waitCollective
 		if w.maybeDeadlockLocked() {
 			w.blocked--
+			w.waiting[rank] = waitNone
 			return nil, errAborted
 		}
 		w.cond.Wait()
@@ -528,6 +612,7 @@ func (w *world) allreduceSum(rank int, local []float64) ([]float64, error) {
 			return w.result, nil
 		}
 		w.blocked-- // woken without a result (exit/abort): re-evaluate
+		w.waiting[rank] = waitNone
 	}
 }
 
@@ -562,14 +647,24 @@ func Run(p *ir.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("mpi: program not sealed")
 	}
 	w := newWorld(cfg.Ranks, cfg.Replay)
-	results := make([]RankResult, cfg.Ranks)
-	errs := make([]error, cfg.Ranks)
+	return w.runRanks(cfg.Ranks, func(rank int) (*trace.Trace, bool, error) {
+		return w.runRank(p, cfg, rank)
+	})
+}
+
+// runRanks launches one goroutine per rank, each executing runOne to its own
+// deterministic conclusion (rankExit publishes the end either way), and
+// assembles the world Result — the spine shared by fresh runs (Run) and
+// world-snapshot resumes (RestoreWorld).
+func (w *world) runRanks(n int, runOne func(rank int) (*trace.Trace, bool, error)) (*Result, error) {
+	results := make([]RankResult, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for rank := 0; rank < cfg.Ranks; rank++ {
+	for rank := 0; rank < n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			tr, applied, err := w.runRank(p, cfg, rank)
+			tr, applied, err := runOne(rank)
 			results[rank] = RankResult{Rank: rank, Trace: tr, FaultApplied: applied}
 			errs[rank] = err
 			w.rankExit(rank)
@@ -581,38 +676,53 @@ func Run(p *ir.Program, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	rec := &Recording{AnySources: make([][]int32, cfg.Ranks)}
-	for rank := 0; rank < cfg.Ranks; rank++ {
+	rec := &Recording{AnySources: make([][]int32, n)}
+	cuts := make([][]uint64, n)
+	for rank := 0; rank < n; rank++ {
 		rec.AnySources[rank] = w.ranks[rank].anyLog
+		cuts[rank] = w.ranks[rank].cutLog
 	}
-	return &Result{Ranks: results, Recording: rec}, nil
+	return &Result{Ranks: results, Recording: rec, Cuts: cuts}, nil
 }
 
-func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, bool, error) {
+// newRankMachine builds and fully binds one rank's machine under cfg —
+// standard hosts, this world's MPI hosts, and the app's ExtraBind — without
+// seeding the RNG or installing the fault. Fresh runs (runRank) seed and
+// inject on top; world-snapshot restores instead load a snapshot, which
+// overwrites the RNG, and install the fault afterwards.
+func (w *world) newRankMachine(p *ir.Program, cfg Config, rank int) (*interp.Machine, error) {
 	m, err := interp.NewMachine(p)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	m.Mode = cfg.Mode
 	if cfg.StepLimit != 0 {
 		m.StepLimit = cfg.StepLimit
 	}
 	m.TraceHint = cfg.TraceHint
+	if err := m.BindStandardHosts(); err != nil {
+		return nil, err
+	}
+	if err := w.bindMPIHosts(m, rank); err != nil {
+		return nil, err
+	}
+	if cfg.ExtraBind != nil {
+		if err := cfg.ExtraBind(m, rank); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (w *world) runRank(p *ir.Program, cfg Config, rank int) (*trace.Trace, bool, error) {
+	m, err := w.newRankMachine(p, cfg, rank)
+	if err != nil {
+		return nil, false, err
+	}
 	m.SeedRNG(cfg.Seed + uint64(rank) + 1)
 	if cfg.Fault != nil && rank == cfg.FaultRank {
 		f := *cfg.Fault
 		m.Fault = &f
-	}
-	if err := m.BindStandardHosts(); err != nil {
-		return nil, false, err
-	}
-	if err := w.bindMPIHosts(m, rank); err != nil {
-		return nil, false, err
-	}
-	if cfg.ExtraBind != nil {
-		if err := cfg.ExtraBind(m, rank); err != nil {
-			return nil, false, err
-		}
 	}
 	tr, err := m.Run()
 	return tr, m.FaultApplied, err
@@ -678,8 +788,15 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 	}); err != nil {
 		return err
 	}
-	if err := bind(HostBarrier, func(_ *interp.Machine, _ []ir.Word) (ir.Word, error) {
-		return 0, w.barrier(rank)
+	if err := bind(HostBarrier, func(mm *interp.Machine, _ []ir.Word) (ir.Word, error) {
+		if err := w.barrier(rank); err != nil {
+			return 0, err
+		}
+		// Steps() inside a host call is the step of the NEXT instruction —
+		// exactly the consistent cut point right after this collective
+		// (see Result.Cuts).
+		w.ranks[rank].cutLog = append(w.ranks[rank].cutLog, mm.Steps())
+		return 0, nil
 	}); err != nil {
 		return err
 	}
@@ -699,6 +816,7 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 		for i, v := range sum {
 			mm.Mem[addr+int64(i)] = ir.F64Word(v)
 		}
+		w.ranks[rank].cutLog = append(w.ranks[rank].cutLog, mm.Steps())
 		return 0, nil
 	})
 }

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fliptracker/internal/ir"
+	"fliptracker/internal/trace"
+)
+
+// TestPartialCycleWithStrandedCollectiveMessage is the regression test for
+// the teardown gap the wait-for-graph check closes: a recv cycle among live
+// ranks while an undelivered message for an uninvolved party sits at a rank
+// blocked in a collective. Rank 0 busy-works, strands a message in rank 2's
+// inbox, then waits on rank 1; rank 1 waits on rank 0 (the cycle); rank 2
+// entered the barrier first and is deaf to its inbox. Before the fix any
+// nonzero in-flight count vetoed the deadlock declaration, so this world
+// hung forever; now every blocked rank must fail deterministically.
+func TestPartialCycleWithStrandedCollectiveMessage(t *testing.T) {
+	p := ir.NewProgram("waitfor")
+	DeclareHosts(p)
+	buf := p.AllocGlobal("buf", 1, ir.F64)
+	sink := p.AllocGlobal("sink", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	rank := b.Host(HostRank, 0, true)
+	addr := b.ConstI(buf.Addr)
+	one := b.ConstI(1)
+	isZero := b.ICmp(ir.OpICmpEQ, rank, b.ConstI(0))
+	isOne := b.ICmp(ir.OpICmpEQ, rank, b.ConstI(1))
+	b.IfElse(isZero, func() {
+		// Rank 0: give rank 2 time to enter the barrier (the fix is correct
+		// under either interleaving; the delay makes the stranded-message
+		// path the overwhelmingly likely one), strand a message in its
+		// inbox, then join the cycle.
+		b.ForI(0, 5000, func(i ir.Reg) {
+			b.StoreG(sink, b.ConstI(0), b.SIToFP(i))
+		})
+		b.Host(HostSend, 3, false, b.ConstI(2), addr, one)
+		b.Host(HostRecv, 3, false, b.ConstI(1), addr, one)
+	}, func() {
+		b.IfElse(isOne, func() {
+			// Rank 1: wait on rank 0 — a cycle with it.
+			b.Host(HostRecv, 3, false, b.ConstI(0), addr, one)
+		}, func() {
+			// Rank 2: enter the collective at once, deaf to the inbox.
+			b.Host(HostBarrier, 0, false)
+		})
+	})
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for i := 0; i < 20; i++ {
+		done := make(chan *Result, 1)
+		errc := make(chan error, 1)
+		go func() {
+			r, err := Run(p, Config{Ranks: 3, Seed: 1})
+			if err != nil {
+				errc <- err
+				return
+			}
+			done <- r
+		}()
+		var res *Result
+		select {
+		case res = <-done:
+		case err := <-errc:
+			t.Fatal(err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("partial wait-for cycle with stranded collective-bound message hung (wait-for-graph check missing)")
+		}
+		for r := 0; r < 3; r++ {
+			if res.Ranks[r].Trace.Status != trace.RunCrashed {
+				t.Fatalf("rank %d status %v, want crashed (all three are stuck)", r, res.Ranks[r].Trace.Status)
+			}
+		}
+		d := fmt.Sprintf("%d %d %d", res.Ranks[0].Trace.Steps, res.Ranks[1].Trace.Steps, res.Ranks[2].Trace.Steps)
+		if i == 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("run %d steps %q, want %q (teardown nondeterministic)", i, d, first)
+		}
+	}
+}
+
+// TestTwoRankStrandedCollectiveMessage is the minimal shape of the same gap:
+// rank 0 sends to rank 1 and then waits for a reply; rank 1 is in a barrier
+// and will never receive or respond. The send is in flight forever, the
+// barrier can never complete — the world must terminate with both ranks
+// failed, not hang.
+func TestTwoRankStrandedCollectiveMessage(t *testing.T) {
+	p := ir.NewProgram("waitfor2")
+	DeclareHosts(p)
+	buf := p.AllocGlobal("buf", 1, ir.F64)
+	sink := p.AllocGlobal("sink", 1, ir.F64)
+	b := p.NewFunc("main", 0)
+	rank := b.Host(HostRank, 0, true)
+	addr := b.ConstI(buf.Addr)
+	one := b.ConstI(1)
+	isZero := b.ICmp(ir.OpICmpEQ, rank, b.ConstI(0))
+	b.IfElse(isZero, func() {
+		b.ForI(0, 5000, func(i ir.Reg) {
+			b.StoreG(sink, b.ConstI(0), b.SIToFP(i))
+		})
+		b.Host(HostSend, 3, false, b.ConstI(1), addr, one)
+		b.Host(HostRecv, 3, false, b.ConstI(1), addr, one)
+	}, func() {
+		b.Host(HostBarrier, 0, false)
+	})
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		r, err := Run(p, Config{Ranks: 2, Seed: 1})
+		if err != nil {
+			errc <- err
+			return
+		}
+		done <- r
+	}()
+	select {
+	case res := <-done:
+		for r := 0; r < 2; r++ {
+			if res.Ranks[r].Trace.Status != trace.RunCrashed {
+				t.Fatalf("rank %d status %v, want crashed", r, res.Ranks[r].Trace.Status)
+			}
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("stranded message at a collective-blocked rank hung the world")
+	}
+}

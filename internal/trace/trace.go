@@ -151,6 +151,22 @@ func (t *Trace) SplitRegions() []Span {
 	return spans
 }
 
+// StepsMonotonic reports whether record steps never decrease (several
+// records may share one step — calls record one per argument). Monotonicity
+// is what makes cutting a trace's records by Step sound; a value-returning
+// call breaks it, because its OpRet record is stamped with the call-site's
+// step but emitted at return time, after the callee's higher-step records.
+// The checkpointed schedulers (inject and mpi) gate clean-prefix stitching
+// on it.
+func StepsMonotonic(recs []Rec) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Step < recs[i-1].Step {
+			return false
+		}
+	}
+	return true
+}
+
 // InstancesOf returns the spans of one region, in instance order.
 func (t *Trace) InstancesOf(regionID int32) []Span {
 	var out []Span
