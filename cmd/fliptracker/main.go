@@ -11,8 +11,8 @@
 //	fliptracker trace    -app cg -out cg.trace
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
-//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
-//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze]
+//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze] [-journal path [-resume]]
+//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze] [-journal path [-resume]]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
@@ -272,14 +272,33 @@ func cmdCampaign(args []string) error {
 	mpiMode := fs.Bool("mpi", false, "run a multi-rank MPI campaign: each injection replays a full world with the fault on one rank")
 	ranks := fs.Int("ranks", 4, "MPI world size (with -mpi)")
 	faultRank := fs.Int("faultrank", 0, "rank the faults are injected into (with -mpi)")
+	journalPath := fs.String("journal", "", "durable journal path: outcomes are committed per fault and a killed campaign resumes from its last committed index")
+	resume := fs.Bool("resume", false, "require -journal to already exist and resume it (without -resume, an existing journal is an error)")
 	fs.Parse(args)
+
+	// A journaled campaign is resumable by construction; -resume only
+	// states intent, so a stale journal can never be continued by accident
+	// and a typo'd path can never silently start a fresh campaign.
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume needs -journal")
+	}
+	if *journalPath != "" {
+		st, err := os.Stat(*journalPath)
+		exists := err == nil && st.Size() > 0
+		if exists && !*resume {
+			return fmt.Errorf("journal %s already exists; pass -resume to continue it", *journalPath)
+		}
+		if !exists && *resume {
+			return fmt.Errorf("journal %s does not exist, nothing to resume", *journalPath)
+		}
+	}
 
 	// Ctrl-C cancels the campaign; partial results are still reported.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
 	if *mpiMode {
-		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *stream, *analyze)
+		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *stream, *analyze, *journalPath)
 	}
 
 	an, err := core.NewAnalyzer(*app)
@@ -313,6 +332,12 @@ func cmdCampaign(args []string) error {
 	copts := []inject.Option{inject.WithTests(n), inject.WithSeed(*seed)}
 	if *earlyStop {
 		copts = append(copts, inject.WithEarlyStop(0.95, 0.03))
+	}
+	if *journalPath != "" {
+		if *analyze {
+			return fmt.Errorf("-journal does not combine with -analyze (analysis payloads are not journaled)")
+		}
+		copts = append(copts, inject.WithJournal(*journalPath), inject.WithJournalApp(*app))
 	}
 
 	fmt.Printf("campaign on %s (%s): %d tests\n", *app, pop, n)
@@ -385,7 +410,7 @@ func cmdCampaign(args []string) error {
 // recorded fault-free world with one fault injected into faultRank
 // (resuming from a shared world checkpoint unless -direct), and each world
 // classifies into a §II-A outcome plus a cross-rank propagation class.
-func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, stream, analyze bool) error {
+func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, stream, analyze bool, journalPath string) error {
 	ma, err := core.NewMPIAnalyzer(app, ranks)
 	if err != nil {
 		return err
@@ -402,6 +427,12 @@ func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, s
 	copts := []mpi.Option{mpi.WithTests(n), mpi.WithSeed(seed)}
 	if earlyStop {
 		copts = append(copts, mpi.WithEarlyStop(0.95, 0.03))
+	}
+	if journalPath != "" {
+		if analyze {
+			return fmt.Errorf("-journal does not combine with -analyze (analysis payloads are not journaled)")
+		}
+		copts = append(copts, mpi.WithJournal(journalPath), mpi.WithJournalApp(app))
 	}
 	fmt.Printf("MPI campaign on %s: %d ranks, faults on rank %d, %d tests (%s scheduler)\n",
 		app, ranks, faultRank, n, ma.Scheduler)

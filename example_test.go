@@ -107,3 +107,29 @@ func ExampleAnalyzer_NewCampaign() {
 		fmt.Printf("stopped after %d injections: %v\n", res.Tests, err)
 	}
 }
+
+// ExampleWithJournal shows a durable campaign: every outcome is committed
+// to an append-only checksummed journal before it is delivered, so a
+// campaign killed partway — machine crash, OOM kill, Ctrl-C — resumes from
+// its last committed fault instead of restarting. Running the same code
+// again with the same journal path replays the committed prefix from disk
+// and injects only the remainder; the merged Result is byte-identical to an
+// uninterrupted run.
+func ExampleWithJournal() {
+	an, err := fliptracker.NewAnalyzer("cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.Campaign(context.Background(), fliptracker.WholeProgram(),
+		fliptracker.WithTests(10_000),
+		fliptracker.WithSeed(42),
+		fliptracker.WithJournal("cg.journal"))
+	if err != nil {
+		// A torn tail from a previous kill is truncated automatically; an
+		// error here means the journal belongs to a different campaign
+		// (fliptracker.ErrJournalMismatch) or its header is damaged
+		// (fliptracker.ErrJournalCorruptHeader).
+		log.Fatal(err)
+	}
+	fmt.Printf("success rate %.3f over %d injections\n", res.SuccessRate(), res.Tests)
+}

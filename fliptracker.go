@@ -69,6 +69,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/journal"
 	"fliptracker/internal/mpi"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/predict"
@@ -336,6 +337,22 @@ func WithAnalysis(clean *Trace, analyze TraceAnalyzer) CampaignOption {
 // Analyzer campaign).
 func WithDropTraces() CampaignOption { return inject.WithDropTraces() }
 
+// WithJournal makes the campaign durable: every outcome is appended, in
+// fault-index order, to an append-only checksummed journal at path and
+// fsync'd before the next outcome is delivered, and Run/Stream on an
+// existing journal resume it — validating the header against this campaign
+// (ErrJournalMismatch on a different seed, test count or population),
+// replaying the committed outcomes from disk, truncating any torn or
+// bit-flipped tail to the last committed record, and executing only the
+// remaining faults. A killed campaign resumed this way produces a Result
+// byte-identical to an uninterrupted run. Parallelism and scheduler may
+// differ between the original run and the resume.
+func WithJournal(path string) CampaignOption { return inject.WithJournal(path) }
+
+// WithJournalApp labels a campaign journal's header with the application
+// name, so a journal recorded for one app refuses to resume under another.
+func WithJournalApp(app string) CampaignOption { return inject.WithJournalApp(app) }
+
 // NewMPIAnalyzer builds the per-rank pipeline for a registered application's
 // SPMD variant at the given world size: the fault-free world is recorded
 // once under full tracing and each rank's clean trace is indexed. Set
@@ -423,6 +440,30 @@ func MPIWithWorldAnalysis(analyze WorldAnalyzer) MPIOption { return mpi.WithWorl
 // MPIWithDropTraces releases each analyzed world's per-rank traces after its
 // analysis hook returns (WorldAnalysis keeps only summary artifacts).
 func MPIWithDropTraces() MPIOption { return mpi.WithDropTraces() }
+
+// MPIWithJournal makes an MPI campaign durable, exactly as WithJournal does
+// for single-process campaigns: world outcomes (with their propagation
+// classification) are committed to an append-only checksummed journal, and
+// Run/Stream on an existing journal resume from its last committed world.
+func MPIWithJournal(path string) MPIOption { return mpi.WithJournal(path) }
+
+// MPIWithJournalApp labels an MPI campaign journal's header with an
+// application name; defaults to the program's name.
+func MPIWithJournalApp(app string) MPIOption { return mpi.WithJournalApp(app) }
+
+// Durable-journal failure classes (see WithJournal / MPIWithJournal), for
+// errors.Is against Run/Stream errors.
+var (
+	// ErrJournalMismatch: the journal belongs to a different campaign
+	// (engine, app, seed, test count, or population fingerprint).
+	ErrJournalMismatch = journal.ErrMismatch
+	// ErrJournalCorruptHeader: the journal header itself is damaged, or
+	// the file is not a campaign journal.
+	ErrJournalCorruptHeader = journal.ErrCorruptHeader
+	// ErrJournalCorrupt: a record passed its checksum but is internally
+	// inconsistent — a state no torn write can produce.
+	ErrJournalCorrupt = journal.ErrCorrupt
+)
 
 // WholeProgram targets uniform dynamic instructions across the full run
 // (the Table IV population).

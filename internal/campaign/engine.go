@@ -32,6 +32,11 @@ func Workers(parallelism, items int) int {
 type Config struct {
 	// Items is the number of work indices (0..Items-1).
 	Items int
+	// First is the first index actually executed; indices below it were
+	// already delivered by the caller (e.g. replayed from a durable
+	// journal), so the engine schedules only First..Items-1 and Progress
+	// counts the skipped prefix as done.
+	First int
 	// Workers is the resolved pool size (see Workers); values below 1 are
 	// treated as 1.
 	Workers int
@@ -64,15 +69,19 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 		return err
 	}
 	n := cfg.Items
-	if n <= 0 {
+	first := cfg.First
+	if first < 0 {
+		first = 0
+	}
+	if n <= first {
 		return nil
 	}
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n {
-		workers = n
+	if workers > n-first {
+		workers = n - first
 	}
 
 	// wctx stops the workers; cancelled on early stop, on caller
@@ -80,8 +89,8 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	indices := make(chan int, n)
-	for i := 0; i < n; i++ {
+	indices := make(chan int, n-first)
+	for i := first; i < n; i++ {
 		indices <- i
 	}
 	close(indices)
@@ -91,7 +100,7 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 	}
 	// results holds every possible send, so workers never block on it and
 	// always reach their context check.
-	results := make(chan item, n)
+	results := make(chan item, n-first)
 	var window chan struct{}
 	if cfg.Window > 0 {
 		window = make(chan struct{}, cfg.Window)
@@ -136,7 +145,7 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 
 	// Reorder concurrent completions into index order and emit.
 	pending := make(map[int]item, workers)
-	next := 0
+	next := first
 	stopped := false
 	flush := func(it item) {
 		pending[it.index] = it

@@ -203,3 +203,115 @@ func TestRunReentrant(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRunFirst: a resume offset schedules only First..Items-1 — work is
+// never called below First — while progress keeps counting whole-campaign
+// positions, so a resumed campaign reports "k/n" not "k-First/n".
+func TestRunFirst(t *testing.T) {
+	const n, first = 30, 12
+	var got, prog []int
+	err := Run(context.Background(),
+		Config{Items: n, First: first, Workers: 4, Progress: func(done, total int) {
+			if total != n {
+				t.Errorf("progress total = %d, want %d", total, n)
+			}
+			prog = append(prog, done)
+		}},
+		func(i int) (int, error) {
+			if i < first {
+				t.Errorf("work called with replayed index %d", i)
+			}
+			return i, nil
+		},
+		func(res int) bool {
+			got = append(got, res)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-first {
+		t.Fatalf("emitted %d results, want %d", len(got), n-first)
+	}
+	for k, v := range got {
+		if v != first+k {
+			t.Fatalf("result %d = %d, want %d", k, v, first+k)
+		}
+		if prog[k] != first+k+1 {
+			t.Fatalf("progress %d = %d, want %d", k, prog[k], first+k+1)
+		}
+	}
+}
+
+// TestRunFirstDone: when everything was already replayed there is nothing
+// to schedule — no work calls, no emissions, nil error.
+func TestRunFirstDone(t *testing.T) {
+	for _, first := range []int{10, 11, 50} {
+		err := Run(context.Background(), Config{Items: 10, First: first, Workers: 4},
+			func(i int) (int, error) {
+				t.Errorf("work called with index %d on a completed campaign", i)
+				return 0, nil
+			},
+			func(res int) bool {
+				t.Error("emit called on a completed campaign")
+				return true
+			})
+		if err != nil {
+			t.Fatalf("First=%d: %v", first, err)
+		}
+	}
+}
+
+// TestRunFirstClampsWorkers: the pool never exceeds the remaining items —
+// with 2 items left, at most 2 workers ever run, however large the knob.
+func TestRunFirstClampsWorkers(t *testing.T) {
+	const n, first = 10, 8
+	var inFlight, peak atomic.Int32
+	err := Run(context.Background(), Config{Items: n, First: first, Workers: 16},
+		func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inFlight.Add(-1)
+			return i, nil
+		},
+		func(res int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > n-first {
+		t.Fatalf("peak concurrency %d with only %d items remaining", p, n-first)
+	}
+}
+
+// TestRunFirstWithWindow: the in-flight window and the resume offset
+// compose — ordered delivery of exactly the tail under a 2-slot window.
+func TestRunFirstWithWindow(t *testing.T) {
+	const n, first = 40, 25
+	var got []int
+	err := Run(context.Background(), Config{Items: n, First: first, Workers: 4, Window: 2},
+		func(i int) (int, error) {
+			time.Sleep(time.Duration((n-i)%3) * time.Millisecond)
+			return i, nil
+		},
+		func(res int) bool {
+			got = append(got, res)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-first {
+		t.Fatalf("emitted %d results, want %d", len(got), n-first)
+	}
+	for k, v := range got {
+		if v != first+k {
+			t.Fatalf("result %d = %d, want %d", k, v, first+k)
+		}
+	}
+}

@@ -214,8 +214,14 @@ func (an *Analyzer) NewCampaign(pop Population, opts ...inject.Option) (*inject.
 	if err != nil {
 		return nil, err
 	}
+	// The app name labels any durable journal (inject.WithJournal), so a
+	// journal recorded for one benchmark refuses to resume another; later
+	// options may still override it.
 	return inject.NewCampaign(an.App.NewMachine, an.App.Verify, picker,
-		append([]inject.Option{inject.WithScheduler(an.Scheduler)}, opts...)...)
+		append([]inject.Option{
+			inject.WithScheduler(an.Scheduler),
+			inject.WithJournalApp(an.App.Name),
+		}, opts...)...)
 }
 
 // Campaign measures a population's success rate (Equation 1): it builds the

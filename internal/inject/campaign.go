@@ -3,12 +3,14 @@ package inject
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"iter"
 	"math/rand"
 	"sort"
 
 	"fliptracker/internal/campaign"
 	"fliptracker/internal/interp"
+	"fliptracker/internal/journal"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
 )
@@ -34,6 +36,9 @@ type Campaign struct {
 	earlyStop           bool
 	earlyStopConfidence float64
 	earlyStopMargin     float64
+
+	journalPath string
+	journalApp  string
 
 	analyze    TraceAnalyzer
 	dropTraces bool
@@ -118,6 +123,29 @@ type TraceDropper interface {
 // results outlive the campaign. Requires WithAnalysis.
 func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
 
+// WithJournal makes the campaign durable: every emitted outcome is
+// appended, in fault-index order, to an append-only checksummed journal at
+// path and fsync'd before the next outcome is delivered. When path already
+// holds a journal, Run and Stream resume it instead: the header is
+// validated against this campaign (seed, test count, population
+// fingerprint — journal.ErrMismatch on any difference), the committed
+// outcomes are replayed from disk (each re-checked against the campaign's
+// own drawn fault stream), and only the remaining index range is executed.
+// A torn or bit-flipped tail — the signature of a kill mid-write — is
+// detected by per-record CRC and cleanly truncated to the last committed
+// record, so a resumed campaign's merged Result is byte-identical to an
+// uninterrupted run. Parallelism and scheduler may differ between the
+// original run and the resume; they are result-invariant and excluded from
+// the fingerprint. Incompatible with WithAnalysis (analysis payloads are
+// not journaled).
+func WithJournal(path string) Option { return func(c *Campaign) { c.journalPath = path } }
+
+// WithJournalApp labels the journal header with an application name, so a
+// journal recorded for one app refuses to resume under another even when
+// their populations fingerprint alike. Optional; core.Analyzer and the CLI
+// set it automatically.
+func WithJournalApp(app string) Option { return func(c *Campaign) { c.journalApp = app } }
+
 // EarlyStopMinTests is the minimum number of completed injections before
 // WithEarlyStop may end a campaign, guarding the normal-approximation
 // confidence interval against tiny samples.
@@ -176,6 +204,9 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 	}
 	if c.dropTraces && c.analyze == nil {
 		return nil, fmt.Errorf("inject: WithDropTraces requires WithAnalysis")
+	}
+	if c.journalPath != "" && c.analyze != nil {
+		return nil, fmt.Errorf("inject: WithJournal cannot be combined with WithAnalysis (analysis payloads are not journaled)")
 	}
 	if c.analyze != nil {
 		if c.clean == nil || len(c.clean.Recs) == 0 {
@@ -279,6 +310,28 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 		}
 	}
 
+	// A journaled campaign replays its committed outcomes from disk and
+	// schedules only the remaining index range; every freshly computed
+	// outcome is committed (written + fsync'd) before it is emitted.
+	first := 0
+	var jr *journal.Journal
+	if c.journalPath != "" {
+		j, recs, err := journal.OpenOrCreate(c.journalPath, c.journalHeader())
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		jr = j
+		done, stopped, err := c.replayJournal(recs, faults, emit)
+		if err != nil {
+			return err
+		}
+		if stopped || done == len(faults) {
+			return nil
+		}
+		first = done
+	}
+
 	var plan *checkpointPlan
 	// Checkpoints are useless for an analyzed campaign that cannot stitch
 	// the clean prefix (non-monotonic record steps): such runs replay
@@ -292,7 +345,7 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	}
 
 	n := len(faults)
-	workers := campaign.Workers(c.parallelism, n)
+	workers := campaign.Workers(c.parallelism, n-first)
 	// For analyzed campaigns, the window bounds completed-but-unemitted
 	// injections: each payload references a full faulty trace, so letting
 	// the reorder buffer absorb the whole campaign behind one slow early
@@ -302,8 +355,23 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	if c.analyze != nil {
 		window = 2 * workers
 	}
-	return campaign.Run(ctx,
-		campaign.Config{Items: n, Workers: workers, Window: window, Progress: c.progress},
+	jemit := emit
+	var journalErr error
+	if jr != nil {
+		jemit = func(fo FaultOutcome) bool {
+			if err := jr.Append(journal.Record{
+				Index:   uint64(fo.Index),
+				Outcome: uint8(fo.Outcome),
+				Fault:   fo.Fault,
+			}); err != nil {
+				journalErr = err
+				return false
+			}
+			return emit(fo)
+		}
+	}
+	err := campaign.Run(ctx,
+		campaign.Config{Items: n, First: first, Workers: workers, Window: window, Progress: c.progress},
 		func(i int) (FaultOutcome, error) {
 			o, payload, err := c.runFault(i, faults[i], plan)
 			if err != nil {
@@ -311,7 +379,57 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 			}
 			return FaultOutcome{Index: i, Fault: faults[i], Outcome: o, Analysis: payload}, nil
 		},
-		emit)
+		jemit)
+	if err == nil && journalErr != nil {
+		return fmt.Errorf("inject: journal append: %w", journalErr)
+	}
+	return err
+}
+
+// journalHeader identifies this campaign for the durable journal.
+func (c *Campaign) journalHeader() journal.Header {
+	return journal.Header{
+		Engine:      journal.EngineInject,
+		App:         c.journalApp,
+		Seed:        c.seed,
+		Tests:       uint64(c.tests),
+		Fingerprint: c.fingerprint(),
+	}
+}
+
+// fingerprint digests the campaign configuration that determines per-index
+// outcomes: the population (picker type and parameters) and the stopping
+// rule. Seed and test count live in their own header fields; parallelism,
+// scheduler and checkpoint budget are proven result-invariant and stay out,
+// so a campaign may resume under different ones.
+func (c *Campaign) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "inject|targets=%T%+v|earlystop=%v:%g:%g",
+		c.targets, c.targets, c.earlyStop, c.earlyStopConfidence, c.earlyStopMargin)
+	return h.Sum64()
+}
+
+// replayJournal delivers committed outcomes from a resumed journal to emit,
+// re-checking each record's fault against the campaign's own drawn stream —
+// a journal that fingerprint-collided its way past the header can still
+// never splice foreign outcomes into this campaign. It reports how many
+// indices are already done and whether the consumer stopped the run.
+func (c *Campaign) replayJournal(recs []journal.Record, faults []interp.Fault, emit func(FaultOutcome) bool) (done int, stopped bool, err error) {
+	for _, r := range recs {
+		i := int(r.Index)
+		if i >= len(faults) || r.Fault != faults[i] {
+			return 0, false, fmt.Errorf("inject: journal %s record %d (%v) does not match this campaign's fault stream: %w",
+				c.journalPath, i, &r.Fault, journal.ErrMismatch)
+		}
+		fo := FaultOutcome{Index: i, Fault: r.Fault, Outcome: Outcome(r.Outcome)}
+		if c.progress != nil {
+			c.progress(i+1, len(faults))
+		}
+		if !emit(fo) {
+			return i + 1, true, nil
+		}
+	}
+	return len(recs), false, nil
 }
 
 // runFault executes one injection under the planned scheduler.

@@ -1,0 +1,138 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fliptracker/internal/interp"
+)
+
+// recordsFromBytes derives a deterministic record slice from fuzz input,
+// consuming a few bytes per field so the fuzzer can explore field
+// interactions (negative addresses, empty vs populated rank lists, all
+// outcome codes).
+func recordsFromBytes(data []byte) []Record {
+	var recs []Record
+	next := func() uint64 {
+		if len(data) == 0 {
+			return 0
+		}
+		v := uint64(data[0])
+		data = data[1:]
+		return v
+	}
+	for i := 0; len(data) > 0 && i < 64; i++ {
+		r := Record{
+			Index:   uint64(i),
+			Outcome: uint8(next()),
+			Fault: interp.Fault{
+				Kind: interp.FaultKind(next() % 3),
+				Step: next()<<8 | next(),
+				Bit:  uint8(next() % 64),
+				Addr: int64(next()) - 128,
+				Reg:  0,
+			},
+			PropClass: uint8(next()),
+		}
+		if n := next() % 5; n > 0 {
+			r.PropRanks = make([]int, n)
+			for k := range r.PropRanks {
+				r.PropRanks[k] = int(next()) - 128
+			}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// FuzzJournalRoundTrip: whatever records we commit must come back
+// identical after a reopen.
+func FuzzJournalRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 3, 200, 199, 198})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want := recordsFromBytes(data)
+		h := Header{Engine: EngineMPI, App: "fuzz", Seed: -7, Tests: 64, Fingerprint: 0x1234}
+		path := filepath.Join(t.TempDir(), "f.journal")
+		writeJournal(t, path, h, want)
+		j, got, err := Open(path, h)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer j.Close()
+		if len(got) != len(want) {
+			t.Fatalf("got %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzJournalOpen: arbitrary bytes on disk must never panic Open, and any
+// successful open must yield a contiguous record prefix. Seeds include a
+// fully valid journal so mutations explore near-valid corruption.
+func FuzzJournalOpen(f *testing.F) {
+	h := Header{Engine: EngineInject, App: "cg", Seed: 20181111, Tests: 8, Fingerprint: 42}
+	dir, err := os.MkdirTemp("", "journal-fuzz-seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	seedPath := filepath.Join(dir, "seed.journal")
+	j, err := Create(seedPath, h)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(Record{Index: uint64(i), Outcome: uint8(i), Fault: interp.Fault{Step: uint64(i * 11), Bit: uint8(i)}}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	j.Close()
+	valid, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Add([]byte("FTRC1\nnot a journal"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "f.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs, err := Open(path, h)
+		if err != nil {
+			// Every failure must be one of the typed classes (or an OS
+			// error, which WriteFile above rules out).
+			if !errors.Is(err, ErrCorruptHeader) && !errors.Is(err, ErrMismatch) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		defer j.Close()
+		// Success: the survivors are a contiguous prefix and the journal
+		// accepts the next index.
+		for i, r := range recs {
+			if r.Index != uint64(i) {
+				t.Fatalf("record %d carries index %d", i, r.Index)
+			}
+		}
+		if uint64(len(recs)) < h.Tests {
+			if err := j.Append(Record{Index: uint64(len(recs))}); err != nil {
+				t.Fatalf("append after open: %v", err)
+			}
+		}
+	})
+}

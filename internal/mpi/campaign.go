@@ -3,6 +3,7 @@ package mpi
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"iter"
 	"math/rand"
 
@@ -10,6 +11,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/journal"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
 )
@@ -48,6 +50,9 @@ type Campaign struct {
 	earlyStop           bool
 	earlyStopConfidence float64
 	earlyStopMargin     float64
+
+	journalPath string
+	journalApp  string
 
 	clean *Result
 	hint  uint64
@@ -155,6 +160,22 @@ func WithWorldAnalysis(analyze WorldAnalyzer) Option {
 // summary artifacts, enabling memory-bounded sweeps over many worlds.
 func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
 
+// WithJournal makes the campaign durable, exactly as inject.WithJournal
+// does for single-process campaigns: every world outcome (including its
+// cross-rank propagation classification) is appended to an append-only
+// checksummed journal at path and fsync'd before the next outcome is
+// delivered. Run and Stream on an existing journal validate its header
+// (app, seeds, world shape, population fingerprint — journal.ErrMismatch
+// on any difference), replay the committed worlds from disk, and execute
+// only the remaining index range; a torn or bit-flipped tail is truncated
+// to the last committed record. Parallelism and scheduler may change
+// between runs. Incompatible with WithWorldAnalysis.
+func WithJournal(path string) Option { return func(c *Campaign) { c.journalPath = path } }
+
+// WithJournalApp labels the journal header with an application name;
+// defaults to the program's name.
+func WithJournalApp(app string) Option { return func(c *Campaign) { c.journalApp = app } }
+
 // WithClean adopts an existing fault-free world instead of recording a new
 // one at construction. clean must be a TraceFull run of the same program
 // under the same Config (ranks, seed, binds); analysis layers that already
@@ -203,6 +224,9 @@ func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts .
 	}
 	if c.dropTraces && c.analyze == nil {
 		return nil, fmt.Errorf("mpi: WithDropTraces requires WithWorldAnalysis")
+	}
+	if c.journalPath != "" && c.analyze != nil {
+		return nil, fmt.Errorf("mpi: WithJournal cannot be combined with WithWorldAnalysis (analysis payloads are not journaled)")
 	}
 	if c.earlyStop {
 		if c.earlyStopConfidence <= 0 || c.earlyStopConfidence >= 1 {
@@ -405,6 +429,28 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 		}
 	}
 
+	// A journaled campaign replays its committed world outcomes from disk
+	// and schedules only the remaining index range; every freshly computed
+	// outcome is committed (written + fsync'd) before it is emitted.
+	first := 0
+	var jr *journal.Journal
+	if c.journalPath != "" {
+		j, recs, err := journal.OpenOrCreate(c.journalPath, c.journalHeader())
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		jr = j
+		done, stopped, err := c.replayJournal(recs, faults, emit)
+		if err != nil {
+			return err
+		}
+		if stopped || done == len(faults) {
+			return nil
+		}
+		first = done
+	}
+
 	var plan *worldPlan
 	// World checkpoints need collective boundaries to cut at, and analyzed
 	// campaigns additionally need stitchable (per-rank monotonic) clean
@@ -419,7 +465,7 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 	}
 
 	n := len(faults)
-	workers := campaign.Workers(c.parallelism, n)
+	workers := campaign.Workers(c.parallelism, n-first)
 	// For traced campaigns, the window bounds completed-but-unemitted
 	// worlds: each holds one full trace per rank, so the reorder buffer must
 	// not absorb the whole campaign behind one slow early fault.
@@ -427,12 +473,88 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 	if c.worldMode() == interp.TraceFull {
 		window = 2 * workers
 	}
-	return campaign.Run(ctx,
-		campaign.Config{Items: n, Workers: workers, Window: window, Progress: c.progress},
+	jemit := emit
+	var journalErr error
+	if jr != nil {
+		jemit = func(wo WorldOutcome) bool {
+			if err := jr.Append(journal.Record{
+				Index:     uint64(wo.Index),
+				Outcome:   uint8(wo.Outcome),
+				Fault:     wo.Fault,
+				PropClass: uint8(wo.Propagation.Class),
+				PropRanks: wo.Propagation.Ranks,
+			}); err != nil {
+				journalErr = err
+				return false
+			}
+			return emit(wo)
+		}
+	}
+	err := campaign.Run(ctx,
+		campaign.Config{Items: n, First: first, Workers: workers, Window: window, Progress: c.progress},
 		func(i int) (WorldOutcome, error) {
 			return c.runFault(i, faults[i], plan)
 		},
-		emit)
+		jemit)
+	if err == nil && journalErr != nil {
+		return fmt.Errorf("mpi: journal append: %w", journalErr)
+	}
+	return err
+}
+
+// journalHeader identifies this campaign for the durable journal.
+func (c *Campaign) journalHeader() journal.Header {
+	app := c.journalApp
+	if app == "" {
+		app = c.prog.Name
+	}
+	return journal.Header{
+		Engine:      journal.EngineMPI,
+		App:         app,
+		Seed:        c.seed,
+		Tests:       uint64(c.tests),
+		Fingerprint: c.fingerprint(),
+	}
+}
+
+// fingerprint digests the campaign configuration that determines per-index
+// world outcomes: the world shape (ranks, injected rank, per-rank seed,
+// step limit), the population, and the stopping rule. Parallelism,
+// scheduler and checkpoint budget are result-invariant and stay out, so a
+// campaign may resume under different ones.
+func (c *Campaign) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mpi|ranks=%d|faultrank=%d|worldseed=%d|steplimit=%d|targets=%T%+v|earlystop=%v:%g:%g",
+		c.base.Ranks, c.base.FaultRank, c.base.Seed, c.base.StepLimit,
+		c.targets, c.targets, c.earlyStop, c.earlyStopConfidence, c.earlyStopMargin)
+	return h.Sum64()
+}
+
+// replayJournal delivers committed world outcomes from a resumed journal to
+// emit, re-checking each record's fault against the campaign's own drawn
+// stream (journal.ErrMismatch on any difference). It reports how many
+// indices are already done and whether the consumer stopped the run.
+func (c *Campaign) replayJournal(recs []journal.Record, faults []interp.Fault, emit func(WorldOutcome) bool) (done int, stopped bool, err error) {
+	for _, r := range recs {
+		i := int(r.Index)
+		if i >= len(faults) || r.Fault != faults[i] {
+			return 0, false, fmt.Errorf("mpi: journal %s record %d (%v) does not match this campaign's fault stream: %w",
+				c.journalPath, i, &r.Fault, journal.ErrMismatch)
+		}
+		wo := WorldOutcome{
+			Index:       i,
+			Fault:       r.Fault,
+			Outcome:     inject.Outcome(r.Outcome),
+			Propagation: Propagation{Class: PropagationClass(r.PropClass), Ranks: r.PropRanks},
+		}
+		if c.progress != nil {
+			c.progress(i+1, len(faults))
+		}
+		if !emit(wo) {
+			return i + 1, true, nil
+		}
+	}
+	return len(recs), false, nil
 }
 
 // runFault executes one injected world — restored from its planned world

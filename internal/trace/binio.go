@@ -102,7 +102,7 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 			return err
 		}
 		prevStep = r.Step
-		if err := bw.uvarint(zigzag(int64(r.SID) - int64(prevSID))); err != nil {
+		if err := bw.uvarint(Zigzag(int64(r.SID) - int64(prevSID))); err != nil {
 			return err
 		}
 		prevSID = uint64(r.SID)
@@ -187,17 +187,23 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if nOut > 1<<30 {
 		return nil, fmt.Errorf("trace: output count %d too large", nOut)
 	}
-	t.Output = make([]OutVal, nOut)
-	for i := range t.Output {
+	// Grow from a bounded capacity instead of trusting the declared count:
+	// a corrupt or hostile stream can claim any count below the sanity cap,
+	// and the upfront make would allocate it all before the first decode
+	// error surfaces.
+	t.Output = make([]OutVal, 0, min(nOut, 1<<16))
+	for i := uint64(0); i < nOut; i++ {
+		var o OutVal
 		flags, err := rd()
 		if err != nil {
 			return nil, err
 		}
-		t.Output[i].Typ = ir.Type(flags & 1)
-		t.Output[i].Sci6 = flags&2 != 0
-		if t.Output[i].Val, err = rword(); err != nil {
+		o.Typ = ir.Type(flags & 1)
+		o.Sci6 = flags&2 != 0
+		if o.Val, err = rword(); err != nil {
 			return nil, err
 		}
+		t.Output = append(t.Output, o)
 	}
 	nRecs, err := rd()
 	if err != nil {
@@ -206,11 +212,14 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if nRecs > 1<<34 {
 		return nil, fmt.Errorf("trace: record count %d too large", nRecs)
 	}
-	t.Recs = make([]Rec, nRecs)
+	// Same bounded-growth rule as Output above (records are the larger
+	// target: each Rec is over a hundred bytes).
+	t.Recs = make([]Rec, 0, min(nRecs, 1<<16))
 	var prevStep uint64
 	var prevSID int64
-	for i := range t.Recs {
-		rc := &t.Recs[i]
+	for i := uint64(0); i < nRecs; i++ {
+		t.Recs = append(t.Recs, Rec{})
+		rc := &t.Recs[len(t.Recs)-1]
 		op, err := rd()
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
@@ -223,6 +232,11 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		rc.Typ = ir.Type(flags & 1)
 		rc.Taken = flags&(1<<1) != 0
 		rc.NSrc = uint8((flags >> 2) & 3)
+		if int(rc.NSrc) > len(rc.Src) {
+			// The 2-bit field can encode 3 but the record holds 2 sources;
+			// only corrupt input reaches here, and indexing would panic.
+			return nil, fmt.Errorf("trace: record %d: source count %d", i, rc.NSrc)
+		}
 		hasRegion := flags&(1<<4) != 0
 		rc.RegionID = -1
 		dStep, err := rd()
@@ -235,7 +249,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		prevSID += unzigzag(dSID)
+		prevSID += Unzigzag(dSID)
 		rc.SID = int32(prevSID)
 		if hasRegion {
 			rid, err := rd()
@@ -291,5 +305,11 @@ func ReadBinaryFile(path string) (*Trace, error) {
 	return ReadBinary(f)
 }
 
-func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+// Zigzag maps a signed value onto an unsigned one with small magnitudes
+// staying small, so signed deltas varint-encode compactly. Shared with the
+// campaign journal codec (internal/journal), which frames the same varint
+// vocabulary into checksummed records.
+func Zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

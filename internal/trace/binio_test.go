@@ -147,7 +147,7 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 
 func TestZigzag(t *testing.T) {
 	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
-		if got := unzigzag(zigzag(v)); got != v {
+		if got := Unzigzag(Zigzag(v)); got != v {
 			t.Errorf("zigzag(%d) round trip = %d", v, got)
 		}
 	}

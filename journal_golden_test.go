@@ -1,0 +1,185 @@
+package fliptracker_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fliptracker"
+)
+
+// digestFO renders one streamed fault outcome for FNV comparison.
+func digestFO(fo fliptracker.FaultOutcome) string {
+	return fmt.Sprintf("#%d %s -> %s", fo.Index, fo.Fault.String(), fo.Outcome)
+}
+
+// TestJournalResumeGoldenInject is the acceptance matrix for durable
+// single-process campaigns: a journaled campaign killed (Stream break — the
+// journal holds exactly the committed prefix) at three distinct fault
+// indices resumes, under both schedulers and parallelism 1 and 4, to an
+// outcome stream and Result FNV-identical to the uninterrupted run's.
+func TestJournalResumeGoldenInject(t *testing.T) {
+	const tests = 24
+	an, err := fliptracker.NewAnalyzer("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := func(extra ...fliptracker.CampaignOption) []fliptracker.CampaignOption {
+		return append([]fliptracker.CampaignOption{
+			fliptracker.WithTests(tests), fliptracker.WithSeed(20181111),
+		}, extra...)
+	}
+
+	// The reference digest: one uninterrupted run.
+	var ref []string
+	c, err := an.NewCampaign(fliptracker.WholeProgram(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fo, err := range c.Stream(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, digestFO(fo))
+	}
+	if len(ref) != tests {
+		t.Fatalf("reference run streamed %d outcomes, want %d", len(ref), tests)
+	}
+	want := fnv64(strings.Join(ref, "\n"))
+	wantRes, err := an.Campaign(ctx, fliptracker.WholeProgram(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sched := range []fliptracker.SchedulerKind{fliptracker.ScheduleCheckpointed, fliptracker.ScheduleDirect} {
+		for _, par := range []int{1, 4} {
+			for _, kill := range []int{2, 5, 7} {
+				name := fmt.Sprintf("%v/par%d/kill%d", sched, par, kill)
+				path := filepath.Join(t.TempDir(), "c.journal")
+				run := opts(fliptracker.WithJournal(path),
+					fliptracker.WithScheduler(sched), fliptracker.WithParallelism(par))
+
+				c, err := an.NewCampaign(fliptracker.WholeProgram(), run...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for fo, err := range c.Stream(ctx) {
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if fo.Index == kill {
+						break
+					}
+				}
+
+				var got []string
+				c2, err := an.NewCampaign(fliptracker.WholeProgram(), run...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for fo, err := range c2.Stream(ctx) {
+					if err != nil {
+						t.Fatalf("%s: resume: %v", name, err)
+					}
+					got = append(got, digestFO(fo))
+				}
+				if g := fnv64(strings.Join(got, "\n")); g != want {
+					t.Errorf("%s: resumed stream digest %#x, want %#x", name, g, want)
+				}
+
+				// A third pass replays the now-complete journal without
+				// injecting anything; its Result must match too.
+				res, err := an.Campaign(ctx, fliptracker.WholeProgram(), run...)
+				if err != nil {
+					t.Fatalf("%s: replay: %v", name, err)
+				}
+				if res != wantRes {
+					t.Errorf("%s: replayed Result %+v, want %+v", name, res, wantRes)
+				}
+			}
+		}
+	}
+}
+
+// TestJournalResumeGoldenMPI is the same acceptance matrix for world
+// campaigns: kills at three indices, both schedulers, parallelism 1 and 4,
+// resumed outcome stream (world outcome and cross-rank propagation
+// included) FNV-identical to the uninterrupted run.
+func TestJournalResumeGoldenMPI(t *testing.T) {
+	const (
+		ranks = 3
+		tests = 8
+	)
+	ma, err := fliptracker.NewMPIAnalyzer("is", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.FaultRank = 1
+	ctx := context.Background()
+	digest := func(wo fliptracker.WorldOutcome) string {
+		return fmt.Sprintf("#%d %s -> %s %s", wo.Index, wo.Fault.String(), wo.Outcome, wo.Propagation)
+	}
+	opts := func(extra ...fliptracker.MPIOption) []fliptracker.MPIOption {
+		return append([]fliptracker.MPIOption{
+			fliptracker.MPIWithTests(tests), fliptracker.MPIWithSeed(20181111),
+		}, extra...)
+	}
+
+	var ref []string
+	c, err := ma.NewCampaign(nil, opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wo, err := range c.Stream(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, digest(wo))
+	}
+	if len(ref) != tests {
+		t.Fatalf("reference run streamed %d worlds, want %d", len(ref), tests)
+	}
+	want := fnv64(strings.Join(ref, "\n"))
+
+	for _, sched := range []fliptracker.SchedulerKind{fliptracker.ScheduleCheckpointed, fliptracker.ScheduleDirect} {
+		for _, par := range []int{1, 4} {
+			for _, kill := range []int{1, 3, 5} {
+				name := fmt.Sprintf("%v/par%d/kill%d", sched, par, kill)
+				path := filepath.Join(t.TempDir(), "w.journal")
+				run := opts(fliptracker.MPIWithJournal(path),
+					fliptracker.MPIWithScheduler(sched), fliptracker.MPIWithParallelism(par))
+
+				c, err := ma.NewCampaign(nil, run...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for wo, err := range c.Stream(ctx) {
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if wo.Index == kill {
+						break
+					}
+				}
+
+				var got []string
+				c2, err := ma.NewCampaign(nil, run...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for wo, err := range c2.Stream(ctx) {
+					if err != nil {
+						t.Fatalf("%s: resume: %v", name, err)
+					}
+					got = append(got, digest(wo))
+				}
+				if g := fnv64(strings.Join(got, "\n")); g != want {
+					t.Errorf("%s: resumed stream digest %#x, want %#x", name, g, want)
+				}
+			}
+		}
+	}
+}
