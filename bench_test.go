@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"fliptracker"
+	"math/rand"
+
 	"fliptracker/internal/acl"
 	"fliptracker/internal/dddg"
 	"fliptracker/internal/experiments"
@@ -609,6 +611,77 @@ func BenchmarkCheckpointedMPICampaign(b *testing.B) {
 			}
 			perWorld(b)
 		})
+	}
+}
+
+// BenchmarkStaticPrunedCampaign measures what the static IR dependence
+// analysis buys a whole-program campaign: the unpruned baseline runs every
+// injection, the pruned half classifies each drawn fault first and skips the
+// statically provable ones (benign -> Success, never-fires -> NotApplied)
+// without executing. Both halves report ms/fault; the pruned half also
+// reports the measured prune rate. Results are pinned identical by
+// TestStaticPruneSoundnessMatrix; the benchmark re-checks them anyway so a
+// -bench run can never report a speedup bought with wrong results.
+func BenchmarkStaticPrunedCampaign(b *testing.B) {
+	const (
+		tests = 64
+		seed  = 20181111
+	)
+	for _, app := range []string{"cg", "kmeans", "lulesh"} {
+		an, err := fliptracker.NewAnalyzer(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pruner, err := an.StaticPruner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, opts ...fliptracker.CampaignOption) fliptracker.CampaignResult {
+			b.Helper()
+			res, err := an.Campaign(context.Background(), fliptracker.WholeProgram(),
+				append([]fliptracker.CampaignOption{
+					fliptracker.WithTests(tests),
+					fliptracker.WithSeed(seed),
+				}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res
+		}
+		perFault := func(b *testing.B) {
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N*tests), "ms/fault")
+		}
+		var plain, pruned fliptracker.CampaignResult
+		b.Run(app+"/unpruned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plain = run(b)
+			}
+			perFault(b)
+		})
+		b.Run(app+"/pruned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pruned = run(b, fliptracker.WithStaticPrune(pruner))
+			}
+			perFault(b)
+			// The prune rate over the campaign's own fault stream: draw the
+			// same faults the campaign pre-draws (whole-program population,
+			// same seed) and classify them without running anything.
+			clean, err := an.CleanTrace()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			picker := inject.UniformDst{TotalSteps: clean.Steps}
+			faults := make([]interp.Fault, tests)
+			for i := range faults {
+				faults[i] = picker.Pick(rng)
+			}
+			b.ReportMetric(100*pruner.StatsFor(faults).Rate(), "pruned-%")
+		})
+		// Zero Tests means a -bench filter skipped that half's closure.
+		if plain.Tests != 0 && pruned.Tests != 0 && plain != pruned {
+			b.Fatalf("%s: pruned and unpruned campaigns disagree: %+v vs %+v", app, pruned, plain)
+		}
 	}
 }
 

@@ -11,8 +11,9 @@
 //	fliptracker trace    -app cg -out cg.trace
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
-//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze] [-journal path [-resume]]
-//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-stream] [-analyze] [-journal path [-resume]]
+//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-journal path [-resume]]
+//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-journal path [-resume]]
+//	fliptracker static   -app cg [-disasm]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
 
@@ -29,6 +30,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/mpi"
 	"fliptracker/internal/patterns"
 	"fliptracker/internal/stats"
@@ -57,6 +59,8 @@ func main() {
 		err = cmdInject(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "static":
+		err = cmdStatic(args)
 	case "dot":
 		err = cmdDot(args)
 	case "acl":
@@ -76,7 +80,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fliptracker <command> [flags]
-commands: list, regions, disasm, trace, rates, inject, campaign, dot, acl
+commands: list, regions, disasm, trace, rates, inject, campaign, static, dot, acl
 run "fliptracker <command> -h" for the command's flags`)
 }
 
@@ -267,6 +271,7 @@ func cmdCampaign(args []string) error {
 	seed := fs.Int64("seed", 1, "campaign seed")
 	direct := fs.Bool("direct", false, "replay every injection from step 0 instead of the checkpointed scheduler")
 	earlyStop := fs.Bool("earlystop", false, "stop sequentially once the 95% CI is within 3%")
+	staticPrune := fs.Bool("staticprune", false, "skip statically provable faults (benign -> success, never-fires -> not-applied) without running them; results are identical to an unpruned run")
 	stream := fs.Bool("stream", false, "print one line per fault outcome as the campaign runs")
 	analyze := fs.Bool("analyze", false, "run the full per-fault analysis (ACL, DDDG comparison, patterns) on every injection and stream one line per fault; implies -stream")
 	mpiMode := fs.Bool("mpi", false, "run a multi-rank MPI campaign: each injection replays a full world with the fault on one rank")
@@ -298,7 +303,7 @@ func cmdCampaign(args []string) error {
 	defer cancel()
 
 	if *mpiMode {
-		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *stream, *analyze, *journalPath)
+		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *staticPrune, *stream, *analyze, *journalPath)
 	}
 
 	an, err := core.NewAnalyzer(*app)
@@ -332,6 +337,16 @@ func cmdCampaign(args []string) error {
 	copts := []inject.Option{inject.WithTests(n), inject.WithSeed(*seed)}
 	if *earlyStop {
 		copts = append(copts, inject.WithEarlyStop(0.95, 0.03))
+	}
+	if *staticPrune {
+		if *analyze {
+			return fmt.Errorf("-staticprune does not combine with -analyze (pruned faults produce no trace to analyze)")
+		}
+		pruner, err := an.StaticPruner()
+		if err != nil {
+			return err
+		}
+		copts = append(copts, inject.WithStaticPrune(pruner))
 	}
 	if *journalPath != "" {
 		if *analyze {
@@ -410,7 +425,7 @@ func cmdCampaign(args []string) error {
 // recorded fault-free world with one fault injected into faultRank
 // (resuming from a shared world checkpoint unless -direct), and each world
 // classifies into a §II-A outcome plus a cross-rank propagation class.
-func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, stream, analyze bool, journalPath string) error {
+func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, staticPrune, stream, analyze bool, journalPath string) error {
 	ma, err := core.NewMPIAnalyzer(app, ranks)
 	if err != nil {
 		return err
@@ -427,6 +442,16 @@ func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, s
 	copts := []mpi.Option{mpi.WithTests(n), mpi.WithSeed(seed)}
 	if earlyStop {
 		copts = append(copts, mpi.WithEarlyStop(0.95, 0.03))
+	}
+	if staticPrune {
+		if analyze {
+			return fmt.Errorf("-staticprune does not combine with -analyze (pruned worlds produce no traces to analyze)")
+		}
+		pruner, err := ma.StaticPruner()
+		if err != nil {
+			return err
+		}
+		copts = append(copts, mpi.WithStaticPrune(pruner))
 	}
 	if journalPath != "" {
 		if analyze {
@@ -500,6 +525,42 @@ func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, s
 		fmt.Printf("success rate %.3f ± %.3f (95%% CI), crash rate %.3f\n", r.SuccessRate(), ci, r.CrashRate())
 	}
 	return runErr
+}
+
+// cmdStatic reports the whole-program static dependence analysis: how many
+// of each function's instruction sites are provably benign (a corrupted
+// result cannot reach any output, store, or branch condition), never fire at
+// all, or must be treated as live — the static counterpart of a campaign's
+// dynamic outcome histogram.
+func cmdStatic(args []string) error {
+	fs := flag.NewFlagSet("static", flag.ExitOnError)
+	app := fs.String("app", "cg", "application name")
+	disasm := fs.Bool("disasm", false, "print the annotated disassembly (each instruction tagged live/benign/never-fires) instead of the per-function table")
+	fs.Parse(args)
+	an, err := core.NewAnalyzer(*app)
+	if err != nil {
+		return err
+	}
+	sa, err := an.StaticAnalysis()
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		fmt.Print(sa.Disassemble())
+		return nil
+	}
+	fmt.Printf("%-16s %8s %8s %8s %12s %9s\n", "function", "sites", "live", "benign", "never-fires", "prunable")
+	var tot irstatic.SiteStats
+	for _, s := range sa.Stats() {
+		tot.Live += s.Live
+		tot.Benign += s.Benign
+		tot.NeverFires += s.NeverFires
+		fmt.Printf("%-16s %8d %8d %8d %12d %8.1f%%\n", s.Func, s.Total(), s.Live, s.Benign, s.NeverFires,
+			100*float64(s.Benign+s.NeverFires)/float64(max(s.Total(), 1)))
+	}
+	fmt.Printf("%-16s %8d %8d %8d %12d %8.1f%%\n", "TOTAL", tot.Total(), tot.Live, tot.Benign, tot.NeverFires,
+		100*float64(tot.Benign+tot.NeverFires)/float64(max(tot.Total(), 1)))
+	return nil
 }
 
 func cmdACL(args []string) error {

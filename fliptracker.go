@@ -69,6 +69,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/journal"
 	"fliptracker/internal/mpi"
 	"fliptracker/internal/patterns"
@@ -464,6 +465,80 @@ var (
 	// inconsistent — a state no torn write can produce.
 	ErrJournalCorrupt = journal.ErrCorrupt
 )
+
+// Static IR dependence analysis (the static counterpart of the dynamic
+// DDDG): a sound whole-program over-approximation of whether a corrupted
+// value can reach any program output, store, or branch condition.
+type (
+	// StaticAnalysis is the whole-program static dependence analysis of a
+	// sealed program: per-site fault classification (Live / Benign /
+	// NeverFires), per-function CFGs and dominator trees, and def-use
+	// chains. Build it with AnalyzeProgram or get the cached one from
+	// Analyzer.StaticAnalysis / MPIAnalyzer.StaticAnalysis.
+	StaticAnalysis = irstatic.Analysis
+	// StaticPruner maps dynamic fault sites (step, target) to static
+	// classes through a clean run's step-indexed instruction log. Get one
+	// from Analyzer.StaticPruner / MPIAnalyzer.StaticPruner and pass it to
+	// WithStaticPrune / MPIWithStaticPrune.
+	StaticPruner = irstatic.Pruner
+	// StaticClass is a static fault-site classification.
+	StaticClass = irstatic.Class
+	// StaticSiteStats counts one function's static instruction-site
+	// classes (StaticAnalysis.Stats).
+	StaticSiteStats = irstatic.SiteStats
+	// StaticPruneStats counts how a concrete fault list classifies
+	// (StaticPruner.StatsFor); Rate() is the fraction skippable.
+	StaticPruneStats = irstatic.PruneStats
+)
+
+// Static fault-site classes.
+const (
+	// StaticLive: corruption may reach an output, store, branch condition
+	// or crash — the fault must run.
+	StaticLive = irstatic.Live
+	// StaticBenign: the fault fires but the corrupted value provably
+	// cannot reach any output, store, or branch — the outcome is Success
+	// without running.
+	StaticBenign = irstatic.Benign
+	// StaticNeverFires: the fault site cannot latch a flip at all — the
+	// outcome is NotApplied without running.
+	StaticNeverFires = irstatic.NeverFires
+)
+
+// AnalyzeProgram runs the whole-program static dependence analysis over a
+// sealed program. For registered workloads prefer Analyzer.StaticAnalysis,
+// which caches the result.
+func AnalyzeProgram(p *Program) (*StaticAnalysis, error) { return irstatic.Analyze(p) }
+
+// NewStaticPruner pairs a static analysis with a clean run's step-indexed
+// instruction log (Machine.RecordSIDs + Machine.SIDLog). For registered
+// workloads prefer Analyzer.StaticPruner / MPIAnalyzer.StaticPruner, which
+// run the clean replay and verify it for you.
+func NewStaticPruner(an *StaticAnalysis, sids []int32) (*StaticPruner, error) {
+	return irstatic.NewPruner(an, sids)
+}
+
+// WithStaticPrune skips statically provable faults in a campaign: Benign
+// sites record Success and NeverFires sites record NotApplied without
+// running. Result-invariant — the campaign Result is byte-identical to an
+// unpruned run of the same seed — and therefore excluded from journal
+// fingerprints. Incompatible with WithAnalysis (pruned runs produce no
+// trace to analyze).
+func WithStaticPrune(p *StaticPruner) CampaignOption { return inject.WithStaticPrune(p) }
+
+// MPIWithStaticPrune is WithStaticPrune for MPI campaigns: statically
+// provable faults record their outcome (with Contained propagation) without
+// replaying the world. Incompatible with MPIWithWorldAnalysis.
+func MPIWithStaticPrune(p *StaticPruner) MPIOption { return mpi.WithStaticPrune(p) }
+
+// CrossCheckStaticOutcome asserts the static analysis's soundness contract
+// against one dynamically observed outcome: statically Benign must have
+// classified Success, statically NeverFires must have classified
+// NotApplied. A non-nil error means an internal error in the static
+// analysis or the interpreter, never in the application.
+func CrossCheckStaticOutcome(p *StaticPruner, f Fault, o Outcome) error {
+	return core.CrossCheckOutcome(p, f, o)
+}
 
 // WholeProgram targets uniform dynamic instructions across the full run
 // (the Table IV population).

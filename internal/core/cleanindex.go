@@ -308,7 +308,7 @@ func (ix *CleanIndex) AnalyzeTrace(f interp.Fault, faulty *trace.Trace) *FaultAn
 		// detection cannot see. Re-run the detector over all instances of
 		// each touched region and attribute hits to that region's first
 		// report.
-		for regionID := range touched {
+		for regionID := range touched { //ftlint:ok each region appends only to its own report; cross-region order has no effect
 			spans := fIdx.Instances(regionID)
 			if len(spans) < 2 {
 				continue

@@ -40,6 +40,8 @@ type Analyzer struct {
 	indexOnce sync.Once
 	index     *CleanIndex
 	indexErr  error
+
+	static staticState
 }
 
 // NewAnalyzer builds an analyzer for a registered application.

@@ -63,9 +63,10 @@ type MPIAnalyzer struct {
 	// mpi.ScheduleDirect for the same seed.
 	Scheduler mpi.SchedulerKind
 
-	clean *mpi.Result
-	index []*CleanIndex
-	hint  uint64
+	clean  *mpi.Result
+	index  []*CleanIndex
+	hint   uint64
+	static staticState
 }
 
 // NewMPIAnalyzer builds the per-rank pipeline for a registered application

@@ -10,6 +10,7 @@ import (
 
 	"fliptracker/internal/campaign"
 	"fliptracker/internal/interp"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/journal"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
@@ -39,6 +40,8 @@ type Campaign struct {
 
 	journalPath string
 	journalApp  string
+
+	pruner *irstatic.Pruner
 
 	analyze    TraceAnalyzer
 	dropTraces bool
@@ -146,6 +149,23 @@ func WithJournal(path string) Option { return func(c *Campaign) { c.journalPath 
 // set it automatically.
 func WithJournalApp(app string) Option { return func(c *Campaign) { c.journalApp = app } }
 
+// WithStaticPrune short-circuits injections whose outcome the static
+// dependence analysis (internal/irstatic) has already proven. A fault site
+// classified Benign is recorded as Success, and one classified NeverFires as
+// NotApplied, without running the world; Live faults execute exactly as
+// before. The pruner must be built over this campaign's program and the
+// SID log of its fault-free run (irstatic.NewPruner), and the campaign's
+// clean run must pass Verify — the Benign guarantee is "output identical to
+// the fault-free run", which only classifies Success when the fault-free
+// output itself verifies (core checks this when it builds the pruner).
+//
+// Pruning is result-invariant: for a fixed seed the Result is byte-identical
+// to the unpruned campaign's, so it stays out of the journal fingerprint and
+// a journal written by a pruned campaign resumes under an unpruned one (and
+// vice versa). Incompatible with WithAnalysis, whose per-fault payloads
+// require the faulty trace that a pruned injection never produces.
+func WithStaticPrune(p *irstatic.Pruner) Option { return func(c *Campaign) { c.pruner = p } }
+
 // EarlyStopMinTests is the minimum number of completed injections before
 // WithEarlyStop may end a campaign, guarding the normal-approximation
 // confidence interval against tiny samples.
@@ -204,6 +224,9 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 	}
 	if c.dropTraces && c.analyze == nil {
 		return nil, fmt.Errorf("inject: WithDropTraces requires WithAnalysis")
+	}
+	if c.pruner != nil && c.analyze != nil {
+		return nil, fmt.Errorf("inject: WithStaticPrune cannot be combined with WithAnalysis (pruned injections produce no trace to analyze)")
 	}
 	if c.journalPath != "" && c.analyze != nil {
 		return nil, fmt.Errorf("inject: WithJournal cannot be combined with WithAnalysis (analysis payloads are not journaled)")
@@ -432,8 +455,18 @@ func (c *Campaign) replayJournal(recs []journal.Record, faults []interp.Fault, e
 	return len(recs), false, nil
 }
 
-// runFault executes one injection under the planned scheduler.
+// runFault executes one injection under the planned scheduler — unless the
+// static pruner already proved its outcome, in which case the injection is
+// recorded without running.
 func (c *Campaign) runFault(i int, f interp.Fault, plan *checkpointPlan) (Outcome, any, error) {
+	if c.pruner != nil {
+		switch c.pruner.Classify(f) {
+		case irstatic.Benign:
+			return Success, nil, nil
+		case irstatic.NeverFires:
+			return NotApplied, nil, nil
+		}
+	}
 	if plan != nil {
 		return plan.runFault(c, i, f)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fliptracker/internal/interp"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/trace"
 )
 
@@ -44,9 +45,31 @@ type checkpointPlan struct {
 // planning is prompt.
 func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (*checkpointPlan, error) {
 	n := len(faults)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	// Statically pruned faults never run, so they neither force checkpoints
+	// nor need assignments. Skipping them here is purely a scheduling matter:
+	// assignments are result-invariant, and pruned indices short-circuit in
+	// runFault before consulting the plan.
+	pruned := make([]bool, n)
+	if c.pruner != nil {
+		for i := range faults {
+			if c.pruner.Classify(faults[i]) != irstatic.Live {
+				pruned[i] = true
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !pruned[i] {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		// Everything pruned: no prefix pass needed.
+		plan := &checkpointPlan{assign: make([]int, n)}
+		for i := range plan.assign {
+			plan.assign[i] = -1
+		}
+		return plan, nil
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if faults[order[a]].Step != faults[order[b]].Step {
@@ -62,7 +85,7 @@ func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (
 	// Spreading the budget over the faulted span caps the per-run replay
 	// distance near span/budget while clustered faults (region-entry
 	// campaigns aim thousands of flips at one step) share one checkpoint.
-	maxStep := faults[order[n-1]].Step
+	maxStep := faults[order[len(order)-1]].Step
 	interval := maxStep / uint64(budget)
 	if interval == 0 {
 		interval = 1

@@ -61,10 +61,19 @@ type Machine struct {
 	// selectively collect traces for individual functions"). Region
 	// markers are always recorded so spans stay recoverable.
 	TraceFuncs map[int]bool
+	// RecordSIDs, when set before the run starts, logs the global static
+	// id of every executed instruction, indexed by dynamic step (SIDLog).
+	// Static fault pruning uses one such clean run to map a fault's Step
+	// to the static instruction it would strike; trace records cannot
+	// substitute (branches, nops and returns leave no per-step record).
+	// The log is deliberately excluded from Snapshot/Restore: it is a
+	// whole-run artifact of a dedicated recording run, not machine state.
+	RecordSIDs bool
 
 	hosts  []HostFn
 	output []trace.OutVal
 	recs   []trace.Rec
+	sidLog []int32
 	steps  uint64
 	frames uint64
 	rng    uint64
@@ -142,6 +151,11 @@ func (m *Machine) SeedRNG(seed uint64) {
 
 // Steps returns the number of dynamic instructions executed so far.
 func (m *Machine) Steps() uint64 { return m.steps }
+
+// SIDLog returns the step-indexed log of executed static instruction ids
+// recorded under RecordSIDs: SIDLog()[s] is the global static id of the
+// instruction executed at dynamic step s. Nil unless RecordSIDs was set.
+func (m *Machine) SIDLog() []int32 { return m.sidLog }
 
 // Output returns the emitted output values.
 func (m *Machine) Output() []trace.OutVal { return m.output }
@@ -312,6 +326,9 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			m.crash("pc %d out of range in %s", pc, f.Name)
 		}
 		in := &code[pc]
+		if m.RecordSIDs {
+			m.sidLog = append(m.sidLog, int32(f.Base+pc))
+		}
 		step := m.steps
 		m.steps++
 		if m.steps > m.StepLimit {

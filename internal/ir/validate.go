@@ -2,13 +2,18 @@ package ir
 
 import "fmt"
 
-// Validate checks structural well-formedness of every function: register
-// indices in range, branch targets in range, call arities matching, region
-// markers balanced within each function, and terminators present. It is run
-// automatically by Seal.
+// Validate checks every function, in two layers. The structural layer:
+// register indices in range, branch targets in range, call arities matching,
+// region markers balanced within each function, and terminators present. The
+// semantic layer (see semantic.go): no unreachable code, definite assignment
+// of every register on all paths, and region markers that balance
+// identically across every branch. It is run automatically by Seal.
 func (p *Program) Validate() error {
 	for _, f := range p.Funcs {
 		if err := p.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: function %q: %w", f.Name, err)
+		}
+		if err := p.validateSemanticFunc(f); err != nil {
 			return fmt.Errorf("ir: function %q: %w", f.Name, err)
 		}
 	}

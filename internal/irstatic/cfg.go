@@ -1,0 +1,205 @@
+package irstatic
+
+import (
+	"fliptracker/internal/ir"
+)
+
+// InstrSuccs appends the instruction-level control-flow successors of
+// f.Code[i] to dst and returns it: branch targets for terminators, the next
+// instruction otherwise, nothing for returns. This is the primitive both the
+// basic-block CFG and the instruction-grained dataflow iterate over.
+func InstrSuccs(f *ir.Function, i int, dst []int) []int {
+	in := &f.Code[i]
+	switch in.Op {
+	case ir.OpBr:
+		return append(dst, int(in.Imm.Int()))
+	case ir.OpCondBr:
+		t, e := int(in.Imm.Int()), int(in.Imm2.Int())
+		dst = append(dst, t)
+		if e != t {
+			dst = append(dst, e)
+		}
+		return dst
+	case ir.OpRet:
+		return dst
+	default:
+		return append(dst, i+1)
+	}
+}
+
+// Block is one basic block of a function CFG: the maximal straight-line run
+// of instructions [Start, End) entered only at Start and left only at End-1.
+type Block struct {
+	Start, End int
+	Succs      []int // successor block indices
+	Preds      []int // predecessor block indices
+}
+
+// CFG is the basic-block control-flow graph of one function, with the
+// dominator tree computed over its reachable blocks. Blocks are ordered by
+// Start, so block 0 is the entry.
+type CFG struct {
+	F      *ir.Function
+	Blocks []Block
+	// BlockOf maps each instruction index to its block.
+	BlockOf []int
+	// Idom is the immediate dominator of each block; the entry's is itself
+	// and unreachable blocks carry -1.
+	Idom []int
+	// RPO lists the reachable blocks in reverse postorder.
+	RPO []int
+}
+
+// BuildCFG partitions f into basic blocks, links them, and computes the
+// dominator tree (iterative Cooper–Harvey–Kennedy over reverse postorder).
+func BuildCFG(f *ir.Function) *CFG {
+	n := len(f.Code)
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	var succBuf [2]int
+	for i := 0; i < n; i++ {
+		if f.Code[i].Op.IsTerminator() {
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			for _, s := range InstrSuccs(f, i, succBuf[:0]) {
+				leader[s] = true
+			}
+		}
+	}
+
+	c := &CFG{F: f, BlockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			c.Blocks = append(c.Blocks, Block{Start: i})
+		}
+		c.BlockOf[i] = len(c.Blocks) - 1
+	}
+	for b := range c.Blocks {
+		if b+1 < len(c.Blocks) {
+			c.Blocks[b].End = c.Blocks[b+1].Start
+		} else {
+			c.Blocks[b].End = n
+		}
+	}
+	for b := range c.Blocks {
+		last := c.Blocks[b].End - 1
+		for _, s := range InstrSuccs(f, last, succBuf[:0]) {
+			sb := c.BlockOf[s]
+			c.Blocks[b].Succs = append(c.Blocks[b].Succs, sb)
+			c.Blocks[sb].Preds = append(c.Blocks[sb].Preds, b)
+		}
+	}
+
+	c.computeRPO()
+	c.computeDominators()
+	return c
+}
+
+// computeRPO fills RPO with the blocks reachable from the entry, in reverse
+// postorder of an iterative depth-first walk.
+func (c *CFG) computeRPO() {
+	if len(c.Blocks) == 0 {
+		return
+	}
+	visited := make([]bool, len(c.Blocks))
+	var post []int
+	// Iterative DFS with an explicit stack of (block, next-successor) pairs.
+	type item struct{ b, next int }
+	stack := []item{{b: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(c.Blocks[top.b].Succs) {
+			s := c.Blocks[top.b].Succs[top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, item{b: s})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i, b := range post {
+		c.RPO[len(post)-1-i] = b
+	}
+}
+
+// computeDominators runs the classic iterative dominator algorithm over the
+// reverse postorder.
+func (c *CFG) computeDominators() {
+	c.Idom = make([]int, len(c.Blocks))
+	for i := range c.Idom {
+		c.Idom[i] = -1
+	}
+	if len(c.RPO) == 0 {
+		return
+	}
+	rpoNum := make([]int, len(c.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range c.RPO {
+		rpoNum[b] = i
+	}
+	entry := c.RPO[0]
+	c.Idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = c.Idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = c.Idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			newIdom := -1
+			for _, p := range c.Blocks[b].Preds {
+				if c.Idom[p] == -1 {
+					continue // unprocessed or unreachable predecessor
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && c.Idom[b] != newIdom {
+				c.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.Idom[b] != -1 }
+
+// Dominates reports whether block a dominates block b (every path from the
+// entry to b passes through a). A block dominates itself; unreachable blocks
+// dominate nothing and are dominated by nothing.
+func (c *CFG) Dominates(a, b int) bool {
+	if !c.Reachable(a) || !c.Reachable(b) {
+		return false
+	}
+	entry := c.RPO[0]
+	for {
+		if b == a {
+			return true
+		}
+		if b == entry {
+			return false
+		}
+		b = c.Idom[b]
+	}
+}

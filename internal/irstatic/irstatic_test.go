@@ -1,0 +1,484 @@
+package irstatic_test
+
+import (
+	"testing"
+
+	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/irstatic"
+)
+
+// buildDiamond constructs the canonical branchy function:
+//
+//	0: r0 = const 1          ; branch condition
+//	1: condbr r0 @2 @4
+//	2: r1 = const 10         ; then
+//	3: br @6
+//	4: r1 = const 20         ; else
+//	5: br @6
+//	6: emit r1               ; join
+//	7: ret
+func buildDiamond(t *testing.T) (*ir.Program, *ir.Function, ir.Reg) {
+	t.Helper()
+	p := ir.NewProgram("diamond")
+	b := p.NewFunc("main", 0)
+	c := b.ConstI(1)
+	r := b.NewReg()
+	thenL, elseL, join := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.CondBr(c, thenL, elseL)
+	b.Bind(thenL)
+	b.ConstITo(r, 10)
+	b.Br(join)
+	b.Bind(elseL)
+	b.ConstITo(r, 20)
+	b.Br(join)
+	b.Bind(join)
+	b.Emit(ir.I64, r)
+	b.RetVoid()
+	f := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return p, f, r
+}
+
+func TestCFGDiamond(t *testing.T) {
+	_, f, _ := buildDiamond(t)
+	cfg := irstatic.BuildCFG(f)
+	if len(cfg.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %+v", len(cfg.Blocks), cfg.Blocks)
+	}
+	// Entry [0,2), then [2,4), else [4,6), join [6,8).
+	wantStarts := []int{0, 2, 4, 6}
+	for i, w := range wantStarts {
+		if cfg.Blocks[i].Start != w {
+			t.Errorf("block %d start = %d, want %d", i, cfg.Blocks[i].Start, w)
+		}
+	}
+	if got := cfg.Blocks[0].Succs; len(got) != 2 {
+		t.Errorf("entry succs = %v, want 2", got)
+	}
+	if got := cfg.Blocks[3].Preds; len(got) != 2 {
+		t.Errorf("join preds = %v, want 2", got)
+	}
+	// The entry dominates everything; neither arm dominates the join.
+	for b := 0; b < 4; b++ {
+		if !cfg.Dominates(0, b) {
+			t.Errorf("entry should dominate block %d", b)
+		}
+	}
+	if cfg.Dominates(1, 3) || cfg.Dominates(2, 3) {
+		t.Errorf("branch arms must not dominate the join")
+	}
+	if cfg.Idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0 (entry)", cfg.Idom[3])
+	}
+	for b := 0; b < 4; b++ {
+		if !cfg.Reachable(b) {
+			t.Errorf("block %d should be reachable", b)
+		}
+	}
+}
+
+func TestCFGUnreachable(t *testing.T) {
+	p := ir.NewProgram("unreach")
+	b := p.NewFunc("main", 0)
+	end := b.NewLabel()
+	b.Br(end)
+	b.ConstI(42) // skipped over: never executed
+	b.Bind(end)
+	b.RetVoid()
+	// Not sealed: semantic validation rejects unreachable non-padding code,
+	// and BuildCFG needs only the function body.
+	f := b.Done()
+	cfg := irstatic.BuildCFG(f)
+	dead := cfg.BlockOf[1]
+	if cfg.Reachable(dead) {
+		t.Errorf("block of skipped instruction should be unreachable")
+	}
+	if !cfg.Reachable(cfg.BlockOf[2]) {
+		t.Errorf("branch target should be reachable")
+	}
+}
+
+func TestDefUseDiamond(t *testing.T) {
+	_, f, r := buildDiamond(t)
+	du := irstatic.BuildDefUse(f, nil)
+
+	// Both arms' defs of r reach the join's emit.
+	defs := du.Reaching(6, r)
+	if len(defs) != 2 {
+		t.Fatalf("reaching defs of r%d at join = %+v, want 2", r, defs)
+	}
+	got := map[int]bool{defs[0].Instr: true, defs[1].Instr: true}
+	if !got[2] || !got[4] {
+		t.Errorf("reaching defs = %+v, want instrs 2 and 4", defs)
+	}
+
+	// Inside the then-arm the local def shadows.
+	defs = du.Reaching(3, r)
+	if len(defs) != 1 || defs[0].Instr != 2 {
+		t.Errorf("reaching defs at instr 3 = %+v, want [{2 -1}]", defs)
+	}
+
+	// The condition register's only def is instruction 0.
+	defs = du.Reaching(1, f.Code[1].A)
+	if len(defs) != 1 || defs[0].Instr != 0 {
+		t.Errorf("reaching defs of cond at condbr = %+v, want [{0 -1}]", defs)
+	}
+}
+
+func TestDefUseParams(t *testing.T) {
+	p := ir.NewProgram("params")
+	b := p.NewFunc("main", 0)
+	b.RetVoid()
+	b.Done()
+	g := p.NewFunc("g", 1)
+	x := g.Arg(0)
+	over := g.NewLabel()
+	cond := g.ConstI(0)
+	g.CondBr(cond, over, over) // single successor both ways
+	g.Bind(over)
+	g.Ret(x)
+	gf := g.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	du := irstatic.BuildDefUse(gf, nil)
+	retIdx := len(gf.Code) - 1
+	defs := du.Reaching(retIdx, x)
+	if len(defs) != 1 || defs[0].Instr != -1 || defs[0].Arg != 0 {
+		t.Errorf("reaching defs of arg at ret = %+v, want the parameter def", defs)
+	}
+}
+
+// buildClassify constructs main with one instance of every classification:
+//
+//	0: r0 = const 7          ; dead               → Benign
+//	1: r1 = const 1          ; branch condition   → Live
+//	2: condbr r1 @3 @5                            → NeverFires
+//	3: r2 = const 10         ; emitted at join    → Live
+//	4: br @7                                      → NeverFires
+//	5: r2 = const 20                              → Live
+//	6: br @7                                      → NeverFires
+//	7: emit r2                                    → NeverFires
+//	8: ret                                        → NeverFires
+func buildClassify(t *testing.T) (*ir.Program, *ir.Function) {
+	t.Helper()
+	p := ir.NewProgram("classify")
+	b := p.NewFunc("main", 0)
+	b.ConstI(7)
+	c := b.ConstI(1)
+	r := b.NewReg()
+	thenL, elseL, join := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.CondBr(c, thenL, elseL)
+	b.Bind(thenL)
+	b.ConstITo(r, 10)
+	b.Br(join)
+	b.Bind(elseL)
+	b.ConstITo(r, 20)
+	b.Br(join)
+	b.Bind(join)
+	b.Emit(ir.I64, r)
+	b.RetVoid()
+	f := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return p, f
+}
+
+func TestClassifyDst(t *testing.T) {
+	p, f := buildClassify(t)
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	want := []irstatic.Class{
+		irstatic.Benign,     // dead const
+		irstatic.Live,       // branch condition
+		irstatic.NeverFires, // condbr
+		irstatic.Live,       // emitted const (then)
+		irstatic.NeverFires, // br
+		irstatic.Live,       // emitted const (else)
+		irstatic.NeverFires, // br
+		irstatic.NeverFires, // emit
+		irstatic.NeverFires, // ret
+	}
+	if len(f.Code) != len(want) {
+		t.Fatalf("code length = %d, want %d", len(f.Code), len(want))
+	}
+	for i, w := range want {
+		if got := an.ClassifyDst(f.Base + i); got != w {
+			t.Errorf("ClassifyDst(%d: %s) = %s, want %s", i, f.Code[i].Op, got, w)
+		}
+	}
+}
+
+func TestClassifyRegAndMem(t *testing.T) {
+	p, f := buildClassify(t)
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	emitIdx := 7
+	if f.Code[emitIdx].Op != ir.OpEmit {
+		t.Fatalf("instr %d is %s, want emit", emitIdx, f.Code[emitIdx].Op)
+	}
+	emitted := f.Code[emitIdx].A
+	if got := an.ClassifyReg(f.Base+emitIdx, emitted); got != irstatic.Live {
+		t.Errorf("emitted reg before emit = %s, want live", got)
+	}
+	// r0 (the dead const's register) reaches nothing anywhere.
+	if got := an.ClassifyReg(f.Base+emitIdx, 0); got != irstatic.Benign {
+		t.Errorf("dead reg = %s, want benign", got)
+	}
+	if got := an.ClassifyReg(f.Base+emitIdx, ir.Reg(f.NumRegs)); got != irstatic.NeverFires {
+		t.Errorf("out-of-range reg = %s, want never-fires", got)
+	}
+	// The interpreter would fault on a negative register index; never prune.
+	if got := an.ClassifyReg(f.Base+emitIdx, -2); got != irstatic.Live {
+		t.Errorf("negative reg = %s, want live", got)
+	}
+
+	if got := an.ClassifyMem(0); got != irstatic.Live {
+		t.Errorf("in-range mem = %s, want live", got)
+	}
+	if got := an.ClassifyMem(p.MemWords); got != irstatic.NeverFires {
+		t.Errorf("out-of-range mem = %s, want never-fires", got)
+	}
+	if got := an.ClassifyMem(-1); got != irstatic.NeverFires {
+		t.Errorf("negative mem = %s, want never-fires", got)
+	}
+}
+
+func TestClassifyMemoryAndDiv(t *testing.T) {
+	p := ir.NewProgram("memdiv")
+	g := p.AllocGlobal("g", 1, ir.I64)
+	b := p.NewFunc("main", 0)
+	v := b.ConstI(5)
+	b.StoreGI(g, 0, v) // store value and address are sinks
+	_ = b.LoadGI(g, 0) // loaded value unused: dst benign, address live
+	x := b.ConstI(10)  // division operand: live (crash sink)
+	y := b.ConstI(2)   // division operand: live
+	_ = b.SDiv(x, y)   // quotient unused: benign
+	b.RetVoid()
+	f := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	classOf := func(op ir.Opcode) []irstatic.Class {
+		var out []irstatic.Class
+		for i := range f.Code {
+			if f.Code[i].Op == op {
+				out = append(out, an.ClassifyDst(f.Base+i))
+			}
+		}
+		return out
+	}
+	if got := classOf(ir.OpStore); len(got) != 1 || got[0] != irstatic.Live {
+		t.Errorf("store = %v, want [live] (stored value is untracked memory)", got)
+	}
+	if got := classOf(ir.OpLoad); len(got) != 1 || got[0] != irstatic.Benign {
+		t.Errorf("unused load = %v, want [benign]", got)
+	}
+	if got := classOf(ir.OpSDiv); len(got) != 1 || got[0] != irstatic.Benign {
+		t.Errorf("unused sdiv = %v, want [benign]", got)
+	}
+	// The store's value const must be live.
+	if got := an.ClassifyDst(f.Base + 0); got != irstatic.Live {
+		t.Errorf("stored const = %s, want live", got)
+	}
+	// Both division operand consts are live through the crash sink.
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.Op == ir.OpConst && (in.Dst == x || in.Dst == y) {
+			if got := an.ClassifyDst(f.Base + i); got != irstatic.Live {
+				t.Errorf("div operand const (instr %d) = %s, want live", i, got)
+			}
+		}
+	}
+}
+
+// TestInterprocedural checks call summaries and return-value danger:
+//
+//	id(x): ret x
+//	sq(x): r = mul x x; ret r
+//	main:
+//	  r0 = const 3
+//	  r1 = call id(r0)   ; result emitted → id's return value is dangerous
+//	  emit r1
+//	  r2 = const 4
+//	  r3 = call sq(r2)   ; result discarded → everything about sq is benign
+//	  ret
+func TestInterprocedural(t *testing.T) {
+	p := ir.NewProgram("interproc")
+	idb := p.NewFunc("id", 1)
+	idb.Ret(idb.Arg(0))
+	idf := idb.Done()
+	sqb := p.NewFunc("sq", 1)
+	sqb.Ret(sqb.Mul(sqb.Arg(0), sqb.Arg(0)))
+	sqf := sqb.Done()
+	b := p.NewFunc("main", 0)
+	a3 := b.ConstI(3)
+	r1 := b.Call("id", a3)
+	b.Emit(ir.I64, r1)
+	a4 := b.ConstI(4)
+	_ = b.Call("sq", a4)
+	b.RetVoid()
+	mf := b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+
+	if !an.RetDanger(idf.Index) {
+		t.Errorf("id's return value should be dangerous (emitted by caller)")
+	}
+	if an.RetDanger(sqf.Index) {
+		t.Errorf("sq's return value should be benign (discarded by caller)")
+	}
+
+	// sq's multiply feeds only a discarded return value.
+	if got := an.ClassifyDst(sqf.Base + 0); got != irstatic.Benign {
+		t.Errorf("sq's mul = %s, want benign", got)
+	}
+
+	for i := range mf.Code {
+		in := &mf.Code[i]
+		sid := mf.Base + i
+		switch {
+		case in.Op == ir.OpConst && in.Dst == a3:
+			// Flows through id into the emitted result.
+			if got := an.ClassifyDst(sid); got != irstatic.Live {
+				t.Errorf("const 3 = %s, want live", an.ClassifyDst(sid))
+			}
+		case in.Op == ir.OpConst && in.Dst == a4:
+			// Flows only into sq's discarded result.
+			if got := an.ClassifyDst(sid); got != irstatic.Benign {
+				t.Errorf("const 4 = %s, want benign", got)
+			}
+		case in.Op == ir.OpCall && in.Dst == r1:
+			if got := an.ClassifyDst(sid); got != irstatic.Live {
+				t.Errorf("call id = %s, want live", got)
+			}
+		case in.Op == ir.OpCall && in.Dst != r1:
+			// The flip fires on sq's returned value, which nothing reads.
+			if got := an.ClassifyDst(sid); got != irstatic.Benign {
+				t.Errorf("call sq = %s, want benign", got)
+			}
+		}
+	}
+}
+
+func TestAnalyzeUnsealed(t *testing.T) {
+	p := ir.NewProgram("raw")
+	if _, err := irstatic.Analyze(p); err == nil {
+		t.Fatalf("Analyze should reject an unsealed program")
+	}
+}
+
+func TestStatsAndDisasm(t *testing.T) {
+	p, f := buildClassify(t)
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	stats := an.Stats()
+	if len(stats) != 1 || stats[0].Func != "main" {
+		t.Fatalf("stats = %+v, want one entry for main", stats)
+	}
+	s := stats[0]
+	if s.Total() != len(f.Code) {
+		t.Errorf("stats total = %d, want %d", s.Total(), len(f.Code))
+	}
+	if s.Benign != 1 || s.Live != 3 || s.NeverFires != 5 {
+		t.Errorf("stats = %+v, want 1 benign / 3 live / 5 never-fires", s)
+	}
+	out := an.Disassemble()
+	for _, want := range []string{"; benign", "; live", "; never-fires"} {
+		if !contains(out, want) {
+			t.Errorf("annotated disasm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPruner(t *testing.T) {
+	p := ir.NewProgram("pruner")
+	b := p.NewFunc("main", 0)
+	b.ConstI(7) // step 0: dead → benign
+	c := b.ConstI(1)
+	b.Emit(ir.I64, c) // step 2: never fires
+	b.RetVoid()
+	b.Done()
+	if err := p.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	an, err := irstatic.Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	m, err := interp.NewMachine(p)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	m.RecordSIDs = true
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pr, err := irstatic.NewPruner(an, m.SIDLog())
+	if err != nil {
+		t.Fatalf("pruner: %v", err)
+	}
+	if len(pr.SIDs) != 4 {
+		t.Fatalf("SID log = %v, want 4 entries", pr.SIDs)
+	}
+	cases := []struct {
+		f    interp.Fault
+		want irstatic.Class
+	}{
+		{interp.Fault{Step: 0, Kind: interp.FaultDst}, irstatic.Benign},
+		{interp.Fault{Step: 1, Kind: interp.FaultDst}, irstatic.Live},
+		{interp.Fault{Step: 2, Kind: interp.FaultDst}, irstatic.NeverFires},
+		{interp.Fault{Step: 3, Kind: interp.FaultDst}, irstatic.NeverFires},
+		{interp.Fault{Step: 99, Kind: interp.FaultDst}, irstatic.NeverFires},
+		// At step 1 the flip in c is overwritten by c's own defining const;
+		// just before the emit (step 2) it reaches the output.
+		{interp.Fault{Step: 1, Kind: interp.FaultReg, Reg: c}, irstatic.Benign},
+		{interp.Fault{Step: 2, Kind: interp.FaultReg, Reg: c}, irstatic.Live},
+		{interp.Fault{Step: 1, Kind: interp.FaultReg, Reg: 77}, irstatic.NeverFires},
+		{interp.Fault{Step: 1, Kind: interp.FaultMem, Addr: 0}, irstatic.Live},
+		{interp.Fault{Step: 1, Kind: interp.FaultMem, Addr: 1 << 30}, irstatic.NeverFires},
+	}
+	for _, tc := range cases {
+		if got := pr.Classify(tc.f); got != tc.want {
+			t.Errorf("Classify(%+v) = %s, want %s", tc.f, got, tc.want)
+		}
+	}
+	st := pr.StatsFor([]interp.Fault{cases[0].f, cases[1].f, cases[2].f})
+	if st.Benign != 1 || st.Live != 1 || st.NeverFires != 1 || st.Total != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if r := st.Rate(); r < 0.66 || r > 0.67 {
+		t.Errorf("rate = %v, want 2/3", r)
+	}
+	if (irstatic.PruneStats{}).Rate() != 0 {
+		t.Errorf("empty rate should be 0")
+	}
+}

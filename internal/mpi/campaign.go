@@ -11,6 +11,7 @@ import (
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
 	"fliptracker/internal/ir"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/journal"
 	"fliptracker/internal/stats"
 	"fliptracker/internal/trace"
@@ -46,6 +47,7 @@ type Campaign struct {
 	verify         func(*Result) bool
 	analyze        WorldAnalyzer
 	dropTraces     bool
+	pruner         *irstatic.Pruner
 
 	earlyStop           bool
 	earlyStopConfidence float64
@@ -160,6 +162,20 @@ func WithWorldAnalysis(analyze WorldAnalyzer) Option {
 // summary artifacts, enabling memory-bounded sweeps over many worlds.
 func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
 
+// WithStaticPrune short-circuits injected worlds whose outcome the static
+// dependence analysis (internal/irstatic) has already proven, exactly as
+// inject.WithStaticPrune does for single-process campaigns: a fault site
+// classified Benign records Success, one classified NeverFires records
+// NotApplied — both with a Contained propagation, since a corruption that
+// reaches no sink on the injected rank can never cross a message or
+// collective — and Live faults replay their world as before. The pruner must
+// pair the campaign program's analysis with the SID log of the injected
+// rank's fault-free run (see SIDLog), and the clean world must pass the
+// campaign verifier (core checks this when it builds the pruner). Pruning is
+// result-invariant and stays out of the journal fingerprint. Incompatible
+// with WithWorldAnalysis.
+func WithStaticPrune(p *irstatic.Pruner) Option { return func(c *Campaign) { c.pruner = p } }
+
 // WithJournal makes the campaign durable, exactly as inject.WithJournal
 // does for single-process campaigns: every world outcome (including its
 // cross-rank propagation classification) is appended to an append-only
@@ -227,6 +243,9 @@ func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts .
 	}
 	if c.journalPath != "" && c.analyze != nil {
 		return nil, fmt.Errorf("mpi: WithJournal cannot be combined with WithWorldAnalysis (analysis payloads are not journaled)")
+	}
+	if c.pruner != nil && c.analyze != nil {
+		return nil, fmt.Errorf("mpi: WithStaticPrune cannot be combined with WithWorldAnalysis (pruned worlds produce no traces to analyze)")
 	}
 	if c.earlyStop {
 		if c.earlyStopConfidence <= 0 || c.earlyStopConfidence >= 1 {
@@ -315,6 +334,48 @@ func (c *Campaign) Clean() *Result { return c.clean }
 // minus the fault. The Figure 4 tracing-overhead study times this.
 func (c *Campaign) ReplayClean(mode interp.TraceMode) (*Result, error) {
 	return c.runWorld(nil, mode)
+}
+
+// RankSIDLog replays the fault-free world once with instruction-id logging
+// (interp.Machine.RecordSIDs) enabled on the given rank and returns that
+// rank's step-indexed static-id log — the step→instruction mapping
+// irstatic.NewPruner needs to classify this campaign's faults, which are all
+// injected into FaultRank. The replay is pinned to the clean Recording, so
+// the log is exactly the instruction sequence every injected world executes
+// on that rank up to its fault step.
+func (c *Campaign) RankSIDLog(rank int) ([]int32, error) {
+	if rank < 0 || rank >= c.base.Ranks {
+		return nil, fmt.Errorf("mpi: SID log rank %d outside world [0, %d)", rank, c.base.Ranks)
+	}
+	cfg := c.base
+	cfg.Mode = interp.TraceOff
+	cfg.Fault = nil
+	cfg.Replay = c.clean.Recording
+	var target *interp.Machine
+	inner := cfg.ExtraBind
+	// Run joins every rank goroutine before returning, so reading the
+	// captured machine after it is race-free.
+	cfg.ExtraBind = func(m *interp.Machine, r int) error {
+		if r == rank {
+			m.RecordSIDs = true
+			target = m
+		}
+		if inner != nil {
+			return inner(m, r)
+		}
+		return nil
+	}
+	res, err := Run(c.prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: SID log replay: %w", err)
+	}
+	if res.Status() != trace.RunOK {
+		return nil, fmt.Errorf("mpi: SID log replay %v", res.Status())
+	}
+	if target == nil || len(target.SIDLog()) == 0 {
+		return nil, fmt.Errorf("mpi: SID log replay recorded nothing for rank %d", rank)
+	}
+	return target.SIDLog(), nil
 }
 
 func (c *Campaign) runWorld(f *interp.Fault, mode interp.TraceMode) (*Result, error) {
@@ -561,6 +622,18 @@ func (c *Campaign) replayJournal(recs []journal.Record, faults []interp.Fault, e
 // checkpoint when one is assigned, replayed from step 0 otherwise — and
 // classifies it.
 func (c *Campaign) runFault(i int, f interp.Fault, plan *worldPlan) (WorldOutcome, error) {
+	if c.pruner != nil {
+		// A statically proven fault never perturbs the world: every rank —
+		// including the injected one — behaves exactly as in the clean run,
+		// so the propagation is Contained with no diverged ranks, matching
+		// what ClassifyPropagation computes for an undisturbed replay.
+		switch c.pruner.Classify(f) {
+		case irstatic.Benign:
+			return WorldOutcome{Index: i, Fault: f, Outcome: inject.Success, Propagation: Propagation{Class: Contained}}, nil
+		case irstatic.NeverFires:
+			return WorldOutcome{Index: i, Fault: f, Outcome: inject.NotApplied, Propagation: Propagation{Class: Contained}}, nil
+		}
+	}
 	faulty, err := c.runPlanned(i, &f, plan)
 	if err != nil {
 		return WorldOutcome{}, fmt.Errorf("mpi: world %d: %w", i, err)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fliptracker/internal/interp"
+	"fliptracker/internal/irstatic"
 	"fliptracker/internal/trace"
 )
 
@@ -71,8 +72,18 @@ func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fau
 	bestRound := func(step uint64) int {
 		return sort.Search(rounds, func(k int) bool { return faultCuts[k] > step }) - 1
 	}
+	// Statically pruned faults never replay a world, so they request no
+	// cuts and need no assignments (runFault short-circuits them before
+	// consulting the plan). Scheduling-only: assignments are
+	// result-invariant.
+	live := func(f interp.Fault) bool {
+		return c.pruner == nil || c.pruner.Classify(f) == irstatic.Live
+	}
 	want := make(map[int]bool, rounds)
 	for _, f := range faults {
+		if !live(f) {
+			continue
+		}
 		if k := bestRound(f.Step); k >= 0 {
 			want[k] = true
 		}
@@ -81,7 +92,7 @@ func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fau
 		return nil, nil
 	}
 	desired := make([]int, 0, len(want))
-	for k := range want {
+	for k := range want { //ftlint:ok keys collected then sorted below
 		desired = append(desired, k)
 	}
 	sort.Ints(desired)
@@ -114,6 +125,9 @@ func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fau
 	plan := &worldPlan{snaps: snaps, assign: make([]int, len(faults))}
 	for i, f := range faults {
 		plan.assign[i] = -1
+		if !live(f) {
+			continue
+		}
 		step := f.Step
 		// The nearest SELECTED cut at or before the fault.
 		for si := len(selected) - 1; si >= 0; si-- {

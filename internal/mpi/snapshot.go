@@ -231,7 +231,7 @@ func (w *world) snapshot(machines []*interp.Machine, round int, clean *Result) (
 		s.cuts[rank] = m.Steps()
 		st := w.ranks[rank]
 		rs := rankSnap{anyNext: st.anyNext}
-		for src, q := range st.pending {
+		for src, q := range st.pending { //ftlint:ok per-source deep copy into a map; order has no effect
 			if len(q) == 0 {
 				continue
 			}
@@ -283,7 +283,7 @@ func RestoreWorld(p *ir.Program, cfg Config, snap *WorldSnapshot, prime func(m *
 	for rank := range snap.ranks {
 		rs := &snap.ranks[rank]
 		st := w.ranks[rank]
-		for src, q := range rs.pending {
+		for src, q := range rs.pending { //ftlint:ok per-source deep copy into a map; order has no effect
 			// Fresh backing arrays per restore (len == cap), so a restored
 			// world's own queue growth never touches the snapshot; message
 			// payloads stay shared, read-only.

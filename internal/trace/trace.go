@@ -143,7 +143,7 @@ func (t *Trace) SplitRegions() []Span {
 		}
 	}
 	// Close spans left open by a crash at the end of the trace.
-	for _, st := range open {
+	for _, st := range open { //ftlint:ok each span index is patched once; order has no effect
 		for _, si := range st {
 			spans[si].End = len(t.Recs)
 		}

@@ -1,0 +1,196 @@
+package fliptracker_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"fliptracker"
+	"fliptracker/internal/apps"
+	"fliptracker/internal/interp"
+)
+
+// digestResult renders a campaign Result for FNV comparison (the acceptance
+// form of the prune-invariance contract: pruned and unpruned Results must be
+// FNV-identical, not merely rate-equal).
+func digestResult(r fliptracker.CampaignResult) string {
+	return fmt.Sprintf("tests=%d success=%d failed=%d crashed=%d notapplied=%d",
+		r.Tests, r.Success, r.Failed, r.Crashed, r.NotApplied)
+}
+
+// TestStaticPruneSoundnessMatrix is the static-analysis acceptance test for
+// the single-process engine, swept over all ten Table IV applications:
+//
+//   - Invariance: a whole-program campaign with WithStaticPrune produces a
+//     Result FNV-identical to the unpruned campaign of the same seed, under
+//     both the direct and the checkpointed scheduler.
+//   - Soundness: every fault the unpruned campaign actually ran is
+//     cross-checked against its static class — no statically-benign site may
+//     manifest as SDC/crash/NotApplied dynamically, and no statically
+//     never-fires site may manifest at all (CrossCheckStaticOutcome).
+//   - Coverage: the measured prune rate is > 0 on at least three apps, so
+//     the pruning is exercised for real, not vacuously invariant.
+func TestStaticPruneSoundnessMatrix(t *testing.T) {
+	const (
+		tests = 40
+		seed  = 20181111
+	)
+	ctx := context.Background()
+	appsWithPruning := 0
+	for _, name := range apps.TableIVNames() {
+		an, err := fliptracker.NewAnalyzer(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruner, err := an.StaticPruner()
+		if err != nil {
+			t.Fatalf("%s: static pruner: %v", name, err)
+		}
+		base := []fliptracker.CampaignOption{
+			fliptracker.WithTests(tests),
+			fliptracker.WithSeed(seed),
+		}
+		pop := fliptracker.WholeProgram()
+
+		// Reference: stream the unpruned campaign once to learn the drawn
+		// faults and dynamic outcomes, cross-checking each against its
+		// static class.
+		c, err := an.NewCampaign(pop, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faults []interp.Fault
+		var unpruned fliptracker.CampaignResult
+		for fo, err := range c.Stream(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults = append(faults, fo.Fault)
+			unpruned.Count(fo.Outcome)
+			if err := fliptracker.CrossCheckStaticOutcome(pruner, fo.Fault, fo.Outcome); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		if unpruned.Tests != tests {
+			t.Fatalf("%s: unpruned campaign ran %d tests, want %d", name, unpruned.Tests, tests)
+		}
+
+		// Invariance under both schedulers, pruned and unpruned.
+		for _, sched := range []struct {
+			name string
+			kind fliptracker.SchedulerKind
+		}{
+			{"direct", fliptracker.ScheduleDirect},
+			{"checkpointed", fliptracker.ScheduleCheckpointed},
+		} {
+			plain, err := an.Campaign(ctx, pop, append(base[:len(base):len(base)],
+				fliptracker.WithScheduler(sched.kind))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := an.Campaign(ctx, pop, append(base[:len(base):len(base)],
+				fliptracker.WithScheduler(sched.kind),
+				fliptracker.WithStaticPrune(pruner))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fnv64(digestResult(plain)) != fnv64(digestResult(unpruned)) {
+				t.Errorf("%s/%s: unpruned Run %s != streamed reference %s",
+					name, sched.name, digestResult(plain), digestResult(unpruned))
+			}
+			if fnv64(digestResult(pruned)) != fnv64(digestResult(plain)) {
+				t.Errorf("%s/%s: pruned Result diverges\npruned:   %s\nunpruned: %s",
+					name, sched.name, digestResult(pruned), digestResult(plain))
+			}
+		}
+
+		stats := pruner.StatsFor(faults)
+		t.Logf("%s: prune rate %.1f%% (%d benign + %d never-fires of %d)",
+			name, 100*stats.Rate(), stats.Benign, stats.NeverFires, stats.Total)
+		if stats.Rate() > 0 {
+			appsWithPruning++
+		}
+	}
+	if appsWithPruning < 3 {
+		t.Errorf("prune rate > 0 on only %d apps, want at least 3", appsWithPruning)
+	}
+}
+
+// TestStaticPruneSoundnessMatrixMPI is the same acceptance contract for the
+// MPI engine over all ten Table IV applications' SPMD variants: pruned world
+// campaigns (MPIWithStaticPrune) must be Result-identical to unpruned ones
+// under both world schedulers, and every world the unpruned campaign
+// replayed must satisfy the static soundness contract.
+func TestStaticPruneSoundnessMatrixMPI(t *testing.T) {
+	const (
+		ranks = 2
+		tests = 6
+		seed  = 20181111
+	)
+	ctx := context.Background()
+	for _, name := range apps.TableIVNames() {
+		ma, err := fliptracker.NewMPIAnalyzer(name, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruner, err := ma.StaticPruner()
+		if err != nil {
+			t.Fatalf("%s: static pruner: %v", name, err)
+		}
+		base := []fliptracker.MPIOption{
+			fliptracker.MPIWithTests(tests),
+			fliptracker.MPIWithSeed(seed),
+		}
+
+		// Reference stream with per-world soundness cross-check.
+		c, err := ma.NewCampaign(nil, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var unpruned fliptracker.CampaignResult
+		for wo, err := range c.Stream(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			unpruned.Count(wo.Outcome)
+			if err := fliptracker.CrossCheckStaticOutcome(pruner, wo.Fault, wo.Outcome); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		if unpruned.Tests != tests {
+			t.Fatalf("%s: unpruned campaign ran %d worlds, want %d", name, unpruned.Tests, tests)
+		}
+
+		for _, sched := range []struct {
+			name string
+			kind fliptracker.SchedulerKind
+		}{
+			{"direct", fliptracker.ScheduleDirect},
+			{"checkpointed", fliptracker.ScheduleCheckpointed},
+		} {
+			run := func(opts ...fliptracker.MPIOption) fliptracker.CampaignResult {
+				t.Helper()
+				c, err := ma.NewCampaign(nil, append(append(base[:len(base):len(base)],
+					fliptracker.MPIWithScheduler(sched.kind)), opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.Run(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain := run()
+			pruned := run(fliptracker.MPIWithStaticPrune(pruner))
+			if fnv64(digestResult(plain)) != fnv64(digestResult(unpruned)) {
+				t.Errorf("%s/%s: unpruned Run %s != streamed reference %s",
+					name, sched.name, digestResult(plain), digestResult(unpruned))
+			}
+			if fnv64(digestResult(pruned)) != fnv64(digestResult(plain)) {
+				t.Errorf("%s/%s: pruned Result diverges\npruned:   %s\nunpruned: %s",
+					name, sched.name, digestResult(pruned), digestResult(plain))
+			}
+		}
+	}
+}
