@@ -20,10 +20,13 @@ import (
 	"math/rand"
 
 	"fliptracker/internal/acl"
+	"fliptracker/internal/apps"
 	"fliptracker/internal/dddg"
 	"fliptracker/internal/experiments"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
+	"fliptracker/internal/ir"
+	"fliptracker/internal/mpi"
 	"fliptracker/internal/trace"
 )
 
@@ -614,6 +617,142 @@ func BenchmarkCheckpointedMPICampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotRestore pins the copy-on-write snapshot primitives
+// themselves, outside any campaign: Snapshot() on a machine whose memory is
+// fully materialized (the page-table copy the checkpointed schedulers pay
+// per checkpoint), restore+run at varying memory sizes and dirty fractions
+// (the per-injection cost of re-dirtying shared pages), and the MPI world
+// variants (forward-pass SnapshotWorld, RestoreWorld resume). Memory size
+// scales the page table; the dirty fraction scales how many pages a resumed
+// run copies, which is what CoW makes proportional to writes instead of to
+// memory size.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	build := func(memWords, dirtyWords int64) *ir.Program {
+		p := ir.NewProgram(fmt.Sprintf("snapbench_%d_%d", memWords, dirtyWords))
+		g := p.AllocGlobal("g", memWords, ir.F64)
+		bb := p.NewFunc("main", 0)
+		one := bb.ConstF(1.0)
+		acc := bb.ConstF(0)
+		bb.ForI(0, dirtyWords, func(i ir.Reg) {
+			w := bb.FAdd(bb.LoadG(g, i), one)
+			bb.StoreG(g, i, w)
+			bb.BinTo(ir.OpFAdd, acc, acc, w)
+		})
+		bb.Emit(ir.F64, acc)
+		bb.RetVoid()
+		bb.Done()
+		if err := p.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name                 string
+		memWords, dirtyWords int64
+	}{
+		{"mem=32KB/dirty=6%", 1 << 12, 1 << 8},
+		{"mem=512KB/dirty=0.4%", 1 << 16, 1 << 8},
+		{"mem=512KB/dirty=100%", 1 << 16, 1 << 16},
+	} {
+		p := build(tc.memWords, tc.dirtyWords)
+		paused := func() *interp.Machine {
+			m, err := interp.NewMachine(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Materialize every page before pausing, so snapshots measure a
+			// fully dirty memory — the state a mid-run checkpoint sees.
+			fill := make([]ir.Word, tc.memWords)
+			for i := range fill {
+				fill[i] = ir.F64Word(float64(i%97) * 0.5)
+			}
+			m.WriteMem(0, fill)
+			if ok, err := m.RunUntil(0); err != nil || !ok {
+				b.Fatalf("pause: ok=%v err=%v", ok, err)
+			}
+			return m
+		}
+		m := paused()
+		b.Run("snapshot/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap, err := m.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("restore+run/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rm, err := interp.NewMachine(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rm.Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rm.Resume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// MPI world variants over a real app: SnapshotWorld pays one fault-free
+	// forward pass plus a per-rank page-table copy at the chosen cut;
+	// RestoreWorld rebuilds the world from that cut and runs it out.
+	a, ok := apps.Get("is")
+	if !ok {
+		b.Fatal("is app missing")
+	}
+	p, err := a.MPIProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mpi.Config{
+		Ranks:     3,
+		Seed:      apps.DefaultSeed,
+		FaultRank: 1,
+		ExtraBind: func(m *interp.Machine, _ int) error { return apps.BindMathHosts(m) },
+	}
+	clean, err := mpi.Run(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := len(clean.Cuts[0])
+	for _, cl := range clean.Cuts {
+		if len(cl) < rounds {
+			rounds = len(cl)
+		}
+	}
+	if rounds == 0 {
+		b.Fatal("is has no collective rounds")
+	}
+	mid := []int{rounds / 2}
+	b.Run("world-snapshot/is/ranks=3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mpi.SnapshotWorld(context.Background(), p, cfg, clean, mid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snaps, err := mpi.SnapshotWorld(context.Background(), p, cfg, clean, mid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Replay = clean.Recording
+	b.Run("world-restore/is/ranks=3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mpi.RestoreWorld(p, rcfg, snaps[0], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStaticPrunedCampaign measures what the static IR dependence
 // analysis buys a whole-program campaign: the unpruned baseline runs every
 // injection, the pruned half classifies each drawn fault first and skips the
@@ -748,7 +887,7 @@ func BenchmarkAblationTraceSplitting(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	spans := tr.InstancesOf(int32(region.ID))
+	spans := trace.NewSpanIndex(tr).Instances(int32(region.ID))
 	whole := trace.Span{Start: 0, End: len(tr.Recs)}
 	b.Run("split-per-instance", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON record, so CI can publish headline benchmark numbers
+// (name, ns/op and derived ms/op, B/op, allocs/op, custom metrics) as an
+// artifact and the performance trajectory stays trackable across PRs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem . | go run ./cmd/benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	MsPerOp     float64 `json:"ms_per_op,omitempty"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every reported unit verbatim, including custom
+	// b.ReportMetric units like Msteps/s or ms/world.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   ..." — the name
+// (CPU-count suffix stripped), the iteration count, and the metric tail.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func parseLine(line string) (Record, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimRight(line, "\r\n"))
+	if m == nil {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		unit := fields[i+1]
+		rec.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			rec.NsPerOp = v
+			rec.MsPerOp = v / 1e6
+		case "B/op":
+			rec.BytesPerOp = v
+		case "allocs/op":
+			rec.AllocsPerOp = v
+		}
+	}
+	if len(rec.Metrics) == 0 {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var recs []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if rec, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

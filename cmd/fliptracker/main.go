@@ -105,12 +105,13 @@ func cmdRegions(args []string) error {
 		return err
 	}
 	fmt.Printf("%-12s %-9s %-11s %10s %10s\n", "region", "kind", "lines", "instances", "instrs/it0")
+	ix := trace.NewSpanIndex(clean)
 	for _, r := range an.Prog.Regions {
 		kind := "region"
 		if r.MainLoop {
 			kind = "main-loop"
 		}
-		inst := clean.InstancesOf(int32(r.ID))
+		inst := ix.Instances(int32(r.ID))
 		size := 0
 		if len(inst) > 0 {
 			size = inst[0].Len()

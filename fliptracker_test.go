@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"fliptracker"
+	"fliptracker/internal/trace"
 )
 
 func TestPublicAPISurface(t *testing.T) {
@@ -142,7 +143,7 @@ func TestPublicAnalysisHelpers(t *testing.T) {
 	if !ok {
 		t.Fatal("mg_d missing")
 	}
-	span, ok := faulty.Instance(int32(r.ID), 0)
+	span, ok := trace.NewSpanIndex(faulty).Instance(int32(r.ID), 0)
 	if !ok {
 		t.Fatal("mg_d instance missing")
 	}

@@ -75,13 +75,14 @@ func TestAllAppsRegionsPresent(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
+		ix := trace.NewSpanIndex(tr)
 		for _, rn := range a.Regions {
 			r, ok := p.RegionByName(rn)
 			if !ok {
 				t.Errorf("%s: region %q not in program", name, rn)
 				continue
 			}
-			inst := tr.InstancesOf(int32(r.ID))
+			inst := ix.Instances(int32(r.ID))
 			if len(inst) == 0 {
 				t.Errorf("%s: region %q has no dynamic instances", name, rn)
 			}
@@ -92,7 +93,7 @@ func TestAllAppsRegionsPresent(t *testing.T) {
 			t.Errorf("%s: main loop region %q missing", name, a.MainLoop)
 			continue
 		}
-		inst := tr.InstancesOf(int32(r.ID))
+		inst := ix.Instances(int32(r.ID))
 		if len(inst) != a.MainIterations {
 			t.Errorf("%s: main loop region instances = %d, want %d (one per iteration)",
 				name, len(inst), a.MainIterations)

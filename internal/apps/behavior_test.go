@@ -102,7 +102,7 @@ func TestISKeysAreBucketSorted(t *testing.T) {
 	sorted, _ := p.GlobalByName("key_buff")
 	prev := int64(-1)
 	for i := int64(0); i < sorted.Words; i++ {
-		k := m.Mem[sorted.Addr+i].Int()
+		k := m.MemAt(sorted.Addr + i).Int()
 		if k < 0 || k >= isMaxKey {
 			t.Fatalf("key %d out of range: %d", i, k)
 		}
@@ -126,7 +126,7 @@ func TestKMEANSMembershipValid(t *testing.T) {
 	mem, _ := p.GlobalByName("membership")
 	counts := make([]int, kmClusters)
 	for i := int64(0); i < mem.Words; i++ {
-		c := m.Mem[mem.Addr+i].Int()
+		c := m.MemAt(mem.Addr + i).Int()
 		if c < 0 || c >= kmClusters {
 			t.Fatalf("membership[%d] = %d out of range", i, c)
 		}

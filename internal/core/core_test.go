@@ -157,7 +157,7 @@ func TestCleanIndexCaching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want, ok := clean.Instance(int32(g1.Span().RegionID), 3); !ok || s != want {
+	if want, ok := trace.NewSpanIndex(clean).Instance(int32(g1.Span().RegionID), 3); !ok || s != want {
 		t.Errorf("indexed instance %+v, want %+v", s, want)
 	}
 }

@@ -57,7 +57,7 @@ func regionSpan(t *testing.T, p *ir.Program, tr *trace.Trace, name string, inst 
 	if !ok {
 		t.Fatalf("region %q missing", name)
 	}
-	s, ok := tr.Instance(int32(r.ID), inst)
+	s, ok := trace.NewSpanIndex(tr).Instance(int32(r.ID), inst)
 	if !ok {
 		t.Fatalf("region %q instance %d missing", name, inst)
 	}
@@ -204,12 +204,13 @@ func TestCompareRegionCase1MaskedInput(t *testing.T) {
 	// Flip bit 1 of in[0] just as the region starts (at its RegionEnter
 	// step), before the region's load executes.
 	r, _ := p.RegionByName("shiftreg")
-	cs0, _ := clean.Instance(int32(r.ID), 0)
+	cleanIx := trace.NewSpanIndex(clean)
+	cs0, _ := cleanIx.Instance(int32(r.ID), 0)
 	enterStep := clean.Recs[cs0.Start].Step
 	faulty := run(&interp.Fault{Step: enterStep, Bit: 1, Kind: interp.FaultMem, Addr: in.Addr})
 
-	cs, _ := clean.Instance(int32(r.ID), 0)
-	fs, _ := faulty.Instance(int32(r.ID), 0)
+	cs, _ := cleanIx.Instance(int32(r.ID), 0)
+	fs, _ := trace.NewSpanIndex(faulty).Instance(int32(r.ID), 0)
 	cmp := CompareRegion(clean, cs, faulty, fs)
 	if len(cmp.CorruptedInputs) != 1 {
 		t.Fatalf("corrupted inputs = %d, want 1", len(cmp.CorruptedInputs))
@@ -258,10 +259,11 @@ func TestCompareRegionCase2ErrorDiminished(t *testing.T) {
 	// Flip mantissa bit 50 of in[0]=8.0 at region entry: sizeable input
 	// error, tiny output error.
 	r, _ := p.RegionByName("dampreg")
-	cs0, _ := clean.Instance(int32(r.ID), 0)
+	cleanIx := trace.NewSpanIndex(clean)
+	cs0, _ := cleanIx.Instance(int32(r.ID), 0)
 	faulty := run(&interp.Fault{Step: clean.Recs[cs0.Start].Step, Bit: 50, Kind: interp.FaultMem, Addr: in.Addr})
-	cs, _ := clean.Instance(int32(r.ID), 0)
-	fs, _ := faulty.Instance(int32(r.ID), 0)
+	cs, _ := cleanIx.Instance(int32(r.ID), 0)
+	fs, _ := trace.NewSpanIndex(faulty).Instance(int32(r.ID), 0)
 	cmp := CompareRegion(clean, cs, faulty, fs)
 	if len(cmp.CorruptedInputs) != 1 || len(cmp.CorruptedOutputs) != 1 {
 		t.Fatalf("deltas: in=%d out=%d, want 1 and 1", len(cmp.CorruptedInputs), len(cmp.CorruptedOutputs))
@@ -288,7 +290,7 @@ func TestCompareRegionWithReusesCleanGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, ok := faulty.Instance(cs.RegionID, 0)
+	fs, ok := trace.NewSpanIndex(faulty).Instance(cs.RegionID, 0)
 	if !ok {
 		t.Fatal("faulty run lost the region instance")
 	}

@@ -16,7 +16,7 @@ import (
 func TestGraphInvariants(t *testing.T) {
 	p, tr := buildRegionProg(t)
 	r, _ := p.RegionByName("sumreg")
-	span, _ := tr.Instance(int32(r.ID), 0)
+	span, _ := trace.NewSpanIndex(tr).Instance(int32(r.ID), 0)
 	g := Build(tr, span)
 
 	for _, e := range g.Edges {
@@ -80,7 +80,7 @@ func TestDDDGVersioningProperty(t *testing.T) {
 			return false
 		}
 		r, _ := p.RegionByName("r")
-		span, ok := tr.Instance(int32(r.ID), 0)
+		span, ok := trace.NewSpanIndex(tr).Instance(int32(r.ID), 0)
 		if !ok {
 			return false
 		}

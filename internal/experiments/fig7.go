@@ -78,7 +78,7 @@ func ACLSeries(opts Options) (*Fig7Result, error) {
 		Outcome:        fa.Outcome.String(),
 	}
 	mainRegion, _ := an.Prog.RegionByName(an.App.MainLoop)
-	res.IterationSpans = fa.Faulty.InstancesOf(int32(mainRegion.ID))
+	res.IterationSpans = trace.NewSpanIndex(fa.Faulty).Instances(int32(mainRegion.ID))
 	return res, nil
 }
 

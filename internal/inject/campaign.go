@@ -113,7 +113,10 @@ func WithAnalysis(clean *trace.Trace, analyze TraceAnalyzer) Option {
 // TraceDropper is implemented by analysis payloads that can release their
 // faulty-trace reference once analysis is complete (core.FaultAnalysis drops
 // FaultAnalysis.Faulty). WithDropTraces invokes it right after the
-// TraceAnalyzer returns.
+// TraceAnalyzer returns. The contract is strict: after DropTrace returns,
+// the payload must hold no reference into the dropped trace's record
+// buffer — the campaign recycles it (trace.PutRecs) for later injections,
+// so a retained subslice would be overwritten under the payload's feet.
 type TraceDropper interface {
 	DropTrace()
 }
@@ -123,7 +126,9 @@ type TraceDropper interface {
 // DropTrace method when it implements TraceDropper. Collected FaultOutcomes
 // then hold only summary artifacts (outcome, ACL numbers, region reports),
 // not the O(trace) record buffers — the knob for memory-bounded sweeps whose
-// results outlive the campaign. Requires WithAnalysis.
+// results outlive the campaign. Dropped record buffers are pooled and reused
+// by later injections in the same process (see TraceDropper's aliasing
+// contract). Requires WithAnalysis.
 func WithDropTraces() Option { return func(c *Campaign) { c.dropTraces = true } }
 
 // WithJournal makes the campaign durable: every emitted outcome is
@@ -519,6 +524,11 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 	if c.dropTraces {
 		if d, ok := payload.(TraceDropper); ok {
 			d.DropTrace()
+			// The payload has released its trace reference and analysis
+			// artifacts hold no aliases into the records, so the buffer can
+			// seed a later injection's trace instead of being garbage.
+			trace.PutRecs(tr.Recs)
+			tr.Recs = nil
 		}
 	}
 	return o, payload, nil

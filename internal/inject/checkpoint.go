@@ -11,11 +11,14 @@ import (
 )
 
 // DefaultMaxCheckpoints bounds the prefix snapshots the checkpointed
-// scheduler keeps live when WithMaxCheckpoints is unset. Each snapshot deep-
-// copies program memory plus the frame stack, so the bound also caps the
-// scheduler's memory overhead at roughly DefaultMaxCheckpoints full copies
-// of the workload's data.
-const DefaultMaxCheckpoints = 64
+// scheduler keeps live when WithMaxCheckpoints is unset. Snapshots are
+// copy-on-write page tables, so a checkpoint costs O(pages) pointers up
+// front and pins only the pages the machine dirties between neighboring
+// checkpoints — the budget is a backstop against pathological fault
+// populations, not a memory-thinning knob, and is set high enough that
+// every distinct fault step in realistic campaigns gets its exact nearest
+// checkpoint.
+const DefaultMaxCheckpoints = 4096
 
 // checkpointPlan is the checkpointed scheduler's shared state: the prefix
 // snapshots laid down by one forward pass of the fault-free run, and the
@@ -85,11 +88,11 @@ func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (
 	// Spreading the budget over the faulted span caps the per-run replay
 	// distance near span/budget while clustered faults (region-entry
 	// campaigns aim thousands of flips at one step) share one checkpoint.
+	// With CoW snapshots the default budget usually exceeds the number of
+	// distinct fault steps, making the interval 0: every fault then gets a
+	// checkpoint exactly at its step and replays nothing.
 	maxStep := faults[order[len(order)-1]].Step
 	interval := maxStep / uint64(budget)
-	if interval == 0 {
-		interval = 1
-	}
 
 	base, err := c.mk()
 	if err != nil {

@@ -79,7 +79,7 @@ func TestFPToSIOverflowSaturates(t *testing.T) {
 	if tr.Status != trace.RunOK {
 		t.Fatalf("status %v", tr.Status)
 	}
-	if m.Mem[g.Addr].Int() != math.MinInt64 || m.Mem[g.Addr+1].Int() != math.MinInt64 {
+	if m.MemAt(g.Addr).Int() != math.MinInt64 || m.MemAt(g.Addr+1).Int() != math.MinInt64 {
 		t.Error("overflow should saturate to MinInt64 (cvttsd2si semantics)")
 	}
 }
@@ -99,8 +99,8 @@ func TestNopExecutes(t *testing.T) {
 	}
 	m, _ := NewMachine(p)
 	tr, _ := m.Run()
-	if tr.Status != trace.RunOK || m.Mem[g.Addr].Int() != 7 {
-		t.Errorf("nop broke execution: %v %d", tr.Status, m.Mem[g.Addr].Int())
+	if tr.Status != trace.RunOK || m.MemAt(g.Addr).Int() != 7 {
+		t.Errorf("nop broke execution: %v %d", tr.Status, m.MemAt(g.Addr).Int())
 	}
 }
 
@@ -121,7 +121,7 @@ func TestVoidCallIgnoresReturn(t *testing.T) {
 	m, _ := NewMachine(p)
 	m.Mode = TraceFull
 	tr, _ := m.Run()
-	if tr.Status != trace.RunOK || m.Mem[g.Addr].Int() != 9 {
+	if tr.Status != trace.RunOK || m.MemAt(g.Addr).Int() != 9 {
 		t.Fatalf("void call failed: %v", tr.Status)
 	}
 }

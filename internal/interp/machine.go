@@ -41,7 +41,6 @@ type HostFn func(m *Machine, args []ir.Word) (ir.Word, error)
 // work across thousands of runs instead of replaying every run from step 0.
 type Machine struct {
 	Prog *ir.Program
-	Mem  []ir.Word
 	// StepLimit bounds dynamic instructions; exceeding it reports RunHang.
 	StepLimit uint64
 	// MaxDepth bounds the call stack; exceeding it reports RunCrashed.
@@ -69,6 +68,11 @@ type Machine struct {
 	// The log is deliberately excluded from Snapshot/Restore: it is a
 	// whole-run artifact of a dedicated recording run, not machine state.
 	RecordSIDs bool
+
+	// mem is the program's data memory, paged behind a copy-on-write table
+	// (see mem.go). External access goes through MemLen/MemAt/SetMemAt and
+	// the bulk ReadMem/WriteMem helpers.
+	mem cowMem
 
 	hosts  []HostFn
 	output []trace.OutVal
@@ -120,7 +124,7 @@ func NewMachine(p *ir.Program) (*Machine, error) {
 	}
 	m := &Machine{
 		Prog:      p,
-		Mem:       make([]ir.Word, p.MemWords),
+		mem:       newCowMem(p.MemWords),
 		StepLimit: 200_000_000,
 		MaxDepth:  256,
 		hosts:     make([]HostFn, len(p.HostDecls)),
@@ -197,7 +201,7 @@ func (m *Machine) start() error {
 		if hint > maxTraceReserve {
 			hint = maxTraceReserve
 		}
-		m.recs = make([]trace.Rec, 0, hint)
+		m.recs = trace.GetRecs(int(hint))
 	}
 	entry := m.Prog.Entry
 	m.stack = append(m.stack[:0], frame{
@@ -317,6 +321,10 @@ func (m *Machine) releaseFrame(f []ir.Word) {
 func (m *Machine) loop(pauseAt uint64) bool {
 	cur := &m.stack[len(m.stack)-1]
 	f, code, pc, regs, fid, full := cur.f, cur.f.Code, cur.pc, cur.regs, cur.fid, cur.full
+	// The page tables are hoisted like the hot frame: own() and host-side
+	// WriteMem mutate entries in place (never reallocating the tables), so
+	// the local slice headers stay valid for the whole run.
+	pages, wpages, memWords := m.mem.pages, m.mem.wpages, m.mem.words
 	for {
 		if m.steps >= pauseAt {
 			m.stack[len(m.stack)-1].pc = pc
@@ -345,8 +353,8 @@ func (m *Machine) loop(pauseAt uint64) bool {
 					m.FaultApplied = true
 				}
 			case FaultMem:
-				if m.Fault.Addr >= 0 && m.Fault.Addr < int64(len(m.Mem)) {
-					m.Mem[m.Fault.Addr] ^= ir.Word(1) << m.Fault.Bit
+				if m.Fault.Addr >= 0 && m.Fault.Addr < m.mem.words {
+					*m.mem.writable(m.Fault.Addr) ^= ir.Word(1) << m.Fault.Bit
 					m.FaultApplied = true
 				}
 			case FaultDst:
@@ -354,10 +362,10 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 		}
 
-		var rec trace.Rec
-		if full {
-			rec = trace.Rec{SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step}
-		}
+		// Trace records are built inside each op's `if full` block: an
+		// unconditional `var rec trace.Rec` here would zero the (large)
+		// struct on every step of untraced runs, which profiles as a top
+		// cost of the hot loop.
 
 		switch in.Op {
 		case ir.OpNop:
@@ -372,40 +380,41 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 			regs[in.Dst] = v
 			if full {
-				rec.Dst = trace.RegLoc(fid, in.Dst)
-				rec.DstVal = v
-				m.recs = append(m.recs, rec)
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+					Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
+				})
 			}
 			pc++
 			continue
 
 		case ir.OpLoad:
 			addr := regs[in.A].Int()
-			if addr < 0 || addr >= int64(len(m.Mem)) {
+			if addr < 0 || addr >= memWords {
 				m.crash("load from invalid address %d (sid %d)", addr, f.Base+pc)
 			}
-			v := m.Mem[addr]
+			raw := pages[addr>>pageShift][addr&pageMask]
+			v := raw
 			if flipDst {
 				v ^= ir.Word(1) << m.Fault.Bit
 				m.FaultApplied = true
 			}
 			regs[in.Dst] = v
 			if full {
-				rec.Dst = trace.RegLoc(fid, in.Dst)
-				rec.DstVal = v
-				rec.NSrc = 2
-				rec.Src[0] = trace.MemLoc(addr)
-				rec.SrcVal[0] = m.Mem[addr]
-				rec.Src[1] = trace.RegLoc(fid, in.A)
-				rec.SrcVal[1] = regs[in.A]
-				m.recs = append(m.recs, rec)
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+					Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
+					NSrc:   2,
+					Src:    [2]trace.Loc{trace.MemLoc(addr), trace.RegLoc(fid, in.A)},
+					SrcVal: [2]ir.Word{raw, regs[in.A]},
+				})
 			}
 			pc++
 			continue
 
 		case ir.OpStore:
 			addr := regs[in.A].Int()
-			if addr < 0 || addr >= int64(len(m.Mem)) {
+			if addr < 0 || addr >= memWords {
 				m.crash("store to invalid address %d (sid %d)", addr, f.Base+pc)
 			}
 			v := regs[in.B]
@@ -413,16 +422,19 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				v ^= ir.Word(1) << m.Fault.Bit
 				m.FaultApplied = true
 			}
-			m.Mem[addr] = v
+			pg := wpages[addr>>pageShift]
+			if pg == nil {
+				pg = m.mem.own(int(addr >> pageShift))
+			}
+			pg[addr&pageMask] = v
 			if full {
-				rec.Dst = trace.MemLoc(addr)
-				rec.DstVal = v
-				rec.NSrc = 2
-				rec.Src[0] = trace.RegLoc(fid, in.B)
-				rec.SrcVal[0] = regs[in.B]
-				rec.Src[1] = trace.RegLoc(fid, in.A)
-				rec.SrcVal[1] = regs[in.A]
-				m.recs = append(m.recs, rec)
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+					Dst: trace.MemLoc(addr), DstVal: v,
+					NSrc:   2,
+					Src:    [2]trace.Loc{trace.RegLoc(fid, in.B), trace.RegLoc(fid, in.A)},
+					SrcVal: [2]ir.Word{regs[in.B], regs[in.A]},
+				})
 			}
 			pc++
 			continue
@@ -434,11 +446,13 @@ func (m *Machine) loop(pauseAt uint64) bool {
 		case ir.OpCondBr:
 			taken := regs[in.A] != 0
 			if full {
-				rec.NSrc = 1
-				rec.Src[0] = trace.RegLoc(fid, in.A)
-				rec.SrcVal[0] = regs[in.A]
-				rec.Taken = taken
-				m.recs = append(m.recs, rec)
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+					NSrc:   1,
+					Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
+					SrcVal: [2]ir.Word{regs[in.A]},
+					Taken:  taken,
+				})
 			}
 			if taken {
 				pc = int(in.Imm.Int())
@@ -496,8 +510,10 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				}
 				regs[in.Dst] = ret
 				if full {
-					rec.Dst = trace.RegLoc(fid, in.Dst)
-					rec.DstVal = ret
+					rec := trace.Rec{
+						SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+						Dst: trace.RegLoc(fid, in.Dst), DstVal: ret,
+					}
 					if len(in.Args) > 0 {
 						rec.NSrc = 1
 						rec.Src[0] = trace.RegLoc(fid, in.Args[0])
@@ -550,12 +566,13 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				v = truncSci6(v)
 			}
 			if full {
-				rec.Dst = trace.OutLoc(len(m.output))
-				rec.DstVal = v
-				rec.NSrc = 1
-				rec.Src[0] = trace.RegLoc(fid, in.A)
-				rec.SrcVal[0] = regs[in.A]
-				m.recs = append(m.recs, rec)
+				m.recs = append(m.recs, trace.Rec{
+					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+					Dst: trace.OutLoc(len(m.output)), DstVal: v,
+					NSrc:   1,
+					Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
+					SrcVal: [2]ir.Word{regs[in.A]},
+				})
 			}
 			m.output = append(m.output, trace.OutVal{Val: v, Typ: in.Type, Sci6: sci})
 			pc++
@@ -663,11 +680,13 @@ func (m *Machine) loop(pauseAt uint64) bool {
 		}
 		regs[in.Dst] = v
 		if full {
-			rec.Dst = trace.RegLoc(fid, in.Dst)
-			rec.DstVal = v
-			rec.NSrc = 1
-			rec.Src[0] = trace.RegLoc(fid, in.A)
-			rec.SrcVal[0] = a
+			rec := trace.Rec{
+				SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
+				Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
+				NSrc:   1,
+				Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
+				SrcVal: [2]ir.Word{a},
+			}
 			if in.Op.IsBinary() {
 				rec.NSrc = 2
 				rec.Src[1] = trace.RegLoc(fid, in.B)

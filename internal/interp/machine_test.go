@@ -50,7 +50,7 @@ func TestSumProgram(t *testing.T) {
 	if tr.Status != trace.RunOK {
 		t.Fatalf("status = %v (%s)", tr.Status, m.CrashMessage())
 	}
-	if got := m.Mem[out.Addr].Float(); got != 45 {
+	if got := m.MemAt(out.Addr).Float(); got != 45 {
 		t.Errorf("sum = %v, want 45", got)
 	}
 	if len(tr.Output) != 1 || tr.Output[0].Float() != 45 {
@@ -135,7 +135,7 @@ func TestFaultDstFlipsResult(t *testing.T) {
 	m0, _ := NewMachine(p)
 	m0.Mode = TraceFull
 	tr0 := mustRun(t, m0)
-	want := m0.Mem[out.Addr].Float()
+	want := m0.MemAt(out.Addr).Float()
 
 	// Find the dynamic step of the last OpStore. Step index == position in
 	// the dynamic instruction stream; with TraceFull, Br instructions are
@@ -173,7 +173,7 @@ func TestFaultMemFlipsStoredValue(t *testing.T) {
 	if !m.FaultApplied {
 		t.Fatal("fault did not fire")
 	}
-	got := m.Mem[out.Addr].Float()
+	got := m.MemAt(out.Addr).Float()
 	if got != -2+4 && got == 6 {
 		t.Errorf("sum unchanged (%v); memory fault had no effect", got)
 	}
@@ -232,8 +232,8 @@ func TestFDivByZeroDoesNotCrash(t *testing.T) {
 	if tr.Status != trace.RunOK {
 		t.Fatalf("status = %v, want ok", tr.Status)
 	}
-	if !math.IsInf(m.Mem[g.Addr].Float(), 1) {
-		t.Errorf("1/0 = %v, want +Inf", m.Mem[g.Addr].Float())
+	if !math.IsInf(m.MemAt(g.Addr).Float(), 1) {
+		t.Errorf("1/0 = %v, want +Inf", m.MemAt(g.Addr).Float())
 	}
 }
 
@@ -292,7 +292,7 @@ func TestCallsPassArgsAndReturn(t *testing.T) {
 	m, _ := NewMachine(p)
 	m.Mode = TraceFull
 	tr := mustRun(t, m)
-	if got := m.Mem[g.Addr].Int(); got != 42 {
+	if got := m.MemAt(g.Addr).Int(); got != 42 {
 		t.Fatalf("add2 = %d, want 42", got)
 	}
 	// The trace must contain arg-copy records (OpCall) and a return-copy
@@ -330,7 +330,7 @@ func TestHostFunctionAndRNGDeterminism(t *testing.T) {
 		}
 		m.SeedRNG(seed)
 		mustRun(t, m)
-		return m.Mem[g.Addr].Float(), m.Mem[g.Addr+1].Float()
+		return m.MemAt(g.Addr).Float(), m.MemAt(g.Addr + 1).Float()
 	}
 	a1, a2 := run(7)
 	b1, b2 := run(7)
@@ -451,19 +451,19 @@ func TestShiftMasksLowBits(t *testing.T) {
 	// Clean run.
 	m0, _ := NewMachine(p)
 	mustRun(t, m0)
-	want := m0.Mem[g.Addr].Int()
+	want := m0.MemAt(g.Addr).Int()
 	// Flip bit 1 of the key constant (a masked-out bit): result unchanged.
 	m1, _ := NewMachine(p)
 	m1.Fault = &Fault{Step: 0, Bit: 1, Kind: FaultDst}
 	mustRun(t, m1)
-	if got := m1.Mem[g.Addr].Int(); got != want {
+	if got := m1.MemAt(g.Addr).Int(); got != want {
 		t.Errorf("masked-bit flip changed result: %d vs %d", got, want)
 	}
 	// Flip bit 5 (surviving bit): result must change.
 	m2, _ := NewMachine(p)
 	m2.Fault = &Fault{Step: 0, Bit: 5, Kind: FaultDst}
 	mustRun(t, m2)
-	if got := m2.Mem[g.Addr].Int(); got == want {
+	if got := m2.MemAt(g.Addr).Int(); got == want {
 		t.Errorf("surviving-bit flip did not change result: %d", got)
 	}
 }

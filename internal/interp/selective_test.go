@@ -71,7 +71,7 @@ func TestSelectiveTracingRestrictsRecords(t *testing.T) {
 	}
 	// Region spans must still be recoverable.
 	reg, _ := p.RegionByName("hotloop")
-	if _, ok := trSel.Instance(int32(reg.ID), 0); !ok {
+	if _, ok := trace.NewSpanIndex(trSel).Instance(int32(reg.ID), 0); !ok {
 		t.Fatal("region instance lost under selective tracing")
 	}
 	// Steps are identical regardless of tracing scope.

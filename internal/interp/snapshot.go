@@ -7,18 +7,26 @@ import (
 	"fliptracker/internal/trace"
 )
 
-// Snapshot is a deep copy of a Machine's complete resumable state, taken at
-// a RunUntil pause point: memory, the explicit frame stack, the RNG, the
-// step counter, emitted output, collected trace records, and run status.
+// Snapshot is a copy of a Machine's complete resumable state, taken at a
+// RunUntil pause point: memory, the explicit frame stack, the RNG, the step
+// counter, emitted output, collected trace records, and run status.
 // Snapshots are immutable once taken, so one snapshot can seed any number of
 // divergent resumed runs (the basis of checkpointed injection campaigns, in
 // the spirit of statistical samplers like FlipIt, §IV-C). Host-function
 // state outside the machine (e.g. MPI channels) is not captured.
+//
+// Memory is captured copy-on-write: Snapshot copies the machine's page
+// table (O(pages), not O(memory)) and marks every page shared on both
+// sides, so the machine's next store to a shared page copies that one page
+// instead of the snapshot paying for the whole memory up front. Frame
+// registers are small, so they are copied eagerly into one arena.
 type Snapshot struct {
 	prog *ir.Program
 
 	step       uint64
-	mem        []ir.Word
+	pages      []*[pageWords]ir.Word
+	memWords   int64
+	memMat     int
 	frames     []frameSnap
 	frameCount uint64
 	rng        uint64
@@ -45,9 +53,13 @@ type frameSnap struct {
 func (s *Snapshot) Step() uint64 { return s.step }
 
 // Words returns the approximate size of the snapshot in machine words,
-// useful for budgeting how many checkpoints to keep live.
+// useful for budgeting how many checkpoints to keep live. Only materialized
+// pages count — pages still backed by the global zero page pin no storage,
+// and pages shared with the live machine (or sibling snapshots) are counted
+// once per referencing snapshot as the upper bound of what this snapshot
+// alone keeps reachable.
 func (s *Snapshot) Words() int {
-	n := len(s.mem)
+	n := s.memMat * pageWords
 	for _, f := range s.frames {
 		n += len(f.regs)
 	}
@@ -67,7 +79,9 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	s := &Snapshot{
 		prog:       m.Prog,
 		step:       m.steps,
-		mem:        append([]ir.Word(nil), m.Mem...),
+		pages:      m.mem.snapshotPages(),
+		memWords:   m.mem.words,
+		memMat:     m.mem.mat,
 		frames:     make([]frameSnap, len(m.stack)),
 		frameCount: m.frames,
 		rng:        m.rng,
@@ -80,12 +94,24 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if len(m.recs) > 0 {
 		s.recs = append([]trace.Rec(nil), m.recs...)
 	}
+	// Frame registers are copied eagerly into one arena: per-register CoW
+	// would put a branch in the hottest interpreter path for a few hundred
+	// words per stack, so one allocation covers the whole stack instead.
+	total := 0
+	for _, fr := range m.stack {
+		total += len(fr.regs)
+	}
+	arena := make([]ir.Word, total)
+	off := 0
 	for i, fr := range m.stack {
+		regs := arena[off : off+len(fr.regs) : off+len(fr.regs)]
+		copy(regs, fr.regs)
+		off += len(fr.regs)
 		s.frames[i] = frameSnap{
 			fn:      fr.f.Index,
 			fid:     fr.fid,
 			pc:      fr.pc,
-			regs:    append([]ir.Word(nil), fr.regs...),
+			regs:    regs,
 			retFlip: fr.retFlip,
 			retBit:  fr.retBit,
 			retStep: fr.retStep,
@@ -144,9 +170,8 @@ func (m *Machine) PrimeTrace(prefix []trace.Rec, hint uint64) {
 	if hint < uint64(len(prefix)) {
 		hint = uint64(len(prefix))
 	}
-	buf := make([]trace.Rec, len(prefix), hint)
-	copy(buf, prefix)
-	m.recs = buf
+	buf := trace.GetRecs(int(hint))
+	m.recs = append(buf, prefix...)
 }
 
 // restore copies snapshot state into a not-yet-started machine.
@@ -161,7 +186,9 @@ func (m *Machine) restore(s *Snapshot) error {
 	m.frames = s.frameCount
 	m.rng = s.rng
 	m.FaultApplied = s.applied
-	copy(m.Mem, s.mem)
+	// Adopt the snapshot's page table shared: the snapshot stays immutable
+	// and the machine re-dirties only the pages it actually writes.
+	m.mem.adoptShared(s.pages, s.memMat)
 	m.output = nil
 	if len(s.output) > 0 {
 		m.output = append([]trace.OutVal(nil), s.output...)
@@ -179,16 +206,18 @@ func (m *Machine) restore(s *Snapshot) error {
 		if hint > maxTraceReserve {
 			hint = maxTraceReserve
 		}
-		m.recs = make([]trace.Rec, 0, hint)
+		m.recs = trace.GetRecs(int(hint))
 	}
 	m.stack = m.stack[:0]
 	for _, fs := range s.frames {
 		f := m.Prog.Funcs[fs.fn]
+		regs := m.grabFrame(len(fs.regs))
+		copy(regs, fs.regs)
 		m.stack = append(m.stack, frame{
 			f:       f,
 			fid:     fs.fid,
 			pc:      fs.pc,
-			regs:    append([]ir.Word(nil), fs.regs...),
+			regs:    regs,
 			full:    m.fullTrace(f),
 			retFlip: fs.retFlip,
 			retBit:  fs.retBit,

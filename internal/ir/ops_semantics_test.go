@@ -36,7 +36,7 @@ func runBinary(t *testing.T, build func(b *ir.FuncBuilder) ir.Reg) ir.Word {
 	if tr.Status.String() != "ok" {
 		t.Fatalf("status %v: %s", tr.Status, m.CrashMessage())
 	}
-	return m.Mem[g.Addr]
+	return m.MemAt(g.Addr)
 }
 
 func TestIntegerOps(t *testing.T) {
@@ -143,8 +143,8 @@ func TestConstToVariants(t *testing.T) {
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if m.Mem[g.Addr].Float() != 42 || m.Mem[g.Addr+1].Float() != 2.5 {
-		t.Errorf("ConstTo variants wrong: %v %v", m.Mem[g.Addr].Float(), m.Mem[g.Addr+1].Float())
+	if m.MemAt(g.Addr).Float() != 42 || m.MemAt(g.Addr+1).Float() != 2.5 {
+		t.Errorf("ConstTo variants wrong: %v %v", m.MemAt(g.Addr).Float(), m.MemAt(g.Addr+1).Float())
 	}
 }
 
@@ -174,7 +174,7 @@ func TestWhileAndMovTo(t *testing.T) {
 	if _, err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Mem[g.Addr].Int(); got != 10 {
+	if got := m.MemAt(g.Addr).Int(); got != 10 {
 		t.Errorf("while sum = %d, want 10", got)
 	}
 }

@@ -652,6 +652,15 @@ func (c *Campaign) runFault(i int, f interp.Fault, plan *worldPlan) (WorldOutcom
 		if c.dropTraces {
 			if d, ok := payload.(inject.TraceDropper); ok {
 				d.DropTrace()
+				// The payload has released its per-rank trace references;
+				// recycle each rank's record buffer for later worlds. The
+				// world Result itself is discarded below (only wo survives).
+				for r := range faulty.Ranks {
+					if t := faulty.Ranks[r].Trace; t != nil {
+						trace.PutRecs(t.Recs)
+						t.Recs = nil
+					}
+				}
 			}
 		}
 		wo.Analysis = payload

@@ -11,13 +11,13 @@ import (
 )
 
 // DefaultMaxWorldCheckpoints bounds the world snapshots the checkpointed
-// scheduler keeps live when WithMaxCheckpoints is unset. A world snapshot
-// deep-copies every rank's memory and frame stack, so it weighs roughly
-// Ranks times a single-process checkpoint; the default is correspondingly
-// smaller than inject.DefaultMaxCheckpoints. The paper's SPMD workloads run
-// a collective per main-loop iteration (a handful of rounds), so shipped
-// campaigns never hit the cap.
-const DefaultMaxWorldCheckpoints = 16
+// scheduler keeps live when WithMaxCheckpoints is unset. A world snapshot is
+// a copy-on-write page table per rank (O(ranks × pages) pointers; dirty
+// pages are shared between neighboring checkpoints), so the bound is a
+// backstop against pathological cut counts rather than a memory-thinning
+// knob: at the default, every collective round a fault wants gets its own
+// checkpoint and the even-thinning path below is effectively retired.
+const DefaultMaxWorldCheckpoints = 256
 
 // worldPlan is the checkpointed MPI scheduler's shared state: the world
 // snapshots laid down by one forward pass of the fault-free world, and the

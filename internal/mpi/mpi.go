@@ -747,16 +747,18 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 	}
 	if err := bind(HostSend, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
 		dst, addr, count := args[0].Int(), args[1].Int(), args[2].Int()
-		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+		if addr < 0 || count < 0 || addr+count > int64(mm.MemLen()) {
 			return 0, fmt.Errorf("send buffer [%d,%d) out of range", addr, addr+count)
 		}
-		return 0, w.send(rank, int(dst), mm.Mem[addr:addr+count])
+		buf := make([]ir.Word, count)
+		mm.ReadMem(buf, addr)
+		return 0, w.send(rank, int(dst), buf)
 	}); err != nil {
 		return err
 	}
 	if err := bind(HostRecv, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
 		src, addr, count := args[0].Int(), args[1].Int(), args[2].Int()
-		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+		if addr < 0 || count < 0 || addr+count > int64(mm.MemLen()) {
 			return 0, fmt.Errorf("recv buffer [%d,%d) out of range", addr, addr+count)
 		}
 		data, err := w.recvFrom(rank, int(src))
@@ -766,14 +768,14 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 		if int64(len(data)) != count {
 			return 0, fmt.Errorf("recv size mismatch: got %d want %d", len(data), count)
 		}
-		copy(mm.Mem[addr:addr+count], data)
+		mm.WriteMem(addr, data)
 		return 0, nil
 	}); err != nil {
 		return err
 	}
 	if err := bind(HostRecvAny, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
 		addr, count := args[0].Int(), args[1].Int()
-		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+		if addr < 0 || count < 0 || addr+count > int64(mm.MemLen()) {
 			return 0, fmt.Errorf("recv buffer [%d,%d) out of range", addr, addr+count)
 		}
 		src, data, err := w.recvAny(rank)
@@ -783,7 +785,7 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 		if int64(len(data)) != count {
 			return 0, fmt.Errorf("recv size mismatch: got %d want %d", len(data), count)
 		}
-		copy(mm.Mem[addr:addr+count], data)
+		mm.WriteMem(addr, data)
 		return ir.I64Word(int64(src)), nil
 	}); err != nil {
 		return err
@@ -802,20 +804,23 @@ func (w *world) bindMPIHosts(m *interp.Machine, rank int) error {
 	}
 	return bind(HostAllreduceSum, func(mm *interp.Machine, args []ir.Word) (ir.Word, error) {
 		addr, count := args[0].Int(), args[1].Int()
-		if addr < 0 || count < 0 || addr+count > int64(len(mm.Mem)) {
+		if addr < 0 || count < 0 || addr+count > int64(mm.MemLen()) {
 			return 0, fmt.Errorf("allreduce buffer [%d,%d) out of range", addr, addr+count)
 		}
+		buf := make([]ir.Word, count)
+		mm.ReadMem(buf, addr)
 		local := make([]float64, count)
 		for i := range local {
-			local[i] = mm.Mem[addr+int64(i)].Float()
+			local[i] = buf[i].Float()
 		}
 		sum, err := w.allreduceSum(rank, local)
 		if err != nil {
 			return 0, err
 		}
 		for i, v := range sum {
-			mm.Mem[addr+int64(i)] = ir.F64Word(v)
+			buf[i] = ir.F64Word(v)
 		}
+		mm.WriteMem(addr, buf)
 		w.ranks[rank].cutLog = append(w.ranks[rank].cutLog, mm.Steps())
 		return 0, nil
 	})

@@ -1,0 +1,37 @@
+package trace
+
+import "sync"
+
+// recPool recycles record buffers across campaign workers. Analyzed
+// campaigns allocate a multi-megabyte []Rec per injection (clean prefix +
+// faulty suffix) and drop it as soon as the analysis payload is extracted;
+// without pooling every fault re-grows that slice from scratch. Buffers
+// are stored by pointer to avoid an allocation per Put.
+var recPool = sync.Pool{}
+
+// GetRecs returns an empty record buffer with capacity at least capHint,
+// reusing a pooled buffer when one is large enough. The returned slice has
+// length 0; contents beyond the length are unspecified.
+func GetRecs(capHint int) []Rec {
+	if v := recPool.Get(); v != nil {
+		buf := *(v.(*[]Rec))
+		if cap(buf) >= capHint {
+			return buf[:0]
+		}
+		// Too small for this run; some other run may still want it.
+		recPool.Put(v)
+	}
+	return make([]Rec, 0, capHint)
+}
+
+// PutRecs returns a record buffer to the pool for reuse by a later GetRecs.
+// The caller must not retain any reference into buf afterwards — including
+// Trace.Recs fields of dropped traces and subslices handed to analyzers.
+// Nil and zero-capacity buffers are ignored.
+func PutRecs(buf []Rec) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	recPool.Put(&buf)
+}

@@ -123,16 +123,25 @@ func (s Span) Len() int { return s.End - s.Start }
 // by depth.
 func (t *Trace) SplitRegions() []Span {
 	var spans []Span
-	counts := map[int32]int{}
-	open := map[int32][]int{} // region id -> stack of span indices
+	// The maps are allocated on the first region marker so region-free
+	// traces (untraced campaign runs, marker-less workloads) pay nothing.
+	var counts map[int32]int
+	var open map[int32][]int // region id -> stack of span indices
 	for i := range t.Recs {
 		r := &t.Recs[i]
 		switch r.Op {
 		case ir.OpRegionEnter:
+			if counts == nil {
+				counts = map[int32]int{}
+				open = map[int32][]int{}
+			}
 			spans = append(spans, Span{RegionID: r.RegionID, Instance: counts[r.RegionID], Start: i, End: -1})
 			counts[r.RegionID]++
 			open[r.RegionID] = append(open[r.RegionID], len(spans)-1)
 		case ir.OpRegionExit:
+			if open == nil {
+				continue // truncated or marker-unbalanced trace
+			}
 			st := open[r.RegionID]
 			if len(st) == 0 {
 				continue // truncated trace (crash inside region)
