@@ -11,8 +11,8 @@
 //	fliptracker trace    -app cg -out cg.trace
 //	fliptracker rates    -app cg
 //	fliptracker inject   -app cg -step 12345 -bit 40 [-kind dst|mem|reg] [-addr N]
-//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-journal path [-resume]]
-//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-journal path [-resume]]
+//	fliptracker campaign -app cg [-target whole|hybrid|internal|input] [-region cg_b] [-instance 0] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-shards N] [-journal path [-resume]]
+//	fliptracker campaign -app mg -mpi -ranks 4 [-faultrank R] [-tests N] [-seed S] [-direct] [-earlystop] [-staticprune] [-stream] [-analyze] [-shards N] [-journal path [-resume]]
 //	fliptracker static   -app cg [-disasm]
 //	fliptracker dot      -app cg -region cg_b [-instance 0]
 package main
@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"fliptracker/internal/apps"
+	"fliptracker/internal/coord"
 	"fliptracker/internal/core"
 	"fliptracker/internal/inject"
 	"fliptracker/internal/interp"
@@ -280,7 +281,15 @@ func cmdCampaign(args []string) error {
 	faultRank := fs.Int("faultrank", 0, "rank the faults are injected into (with -mpi)")
 	journalPath := fs.String("journal", "", "durable journal path: outcomes are committed per fault and a killed campaign resumes from its last committed index")
 	resume := fs.Bool("resume", false, "require -journal to already exist and resume it (without -resume, an existing journal is an error)")
+	shards := fs.Int("shards", 0, "split the fault-index space into N ranges and run them through the shard coordinator (0: plain in-process run); the merged stream and results are identical either way")
 	fs.Parse(args)
+
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative")
+	}
+	if *shards > 0 && *analyze {
+		return fmt.Errorf("-shards does not combine with -analyze (the coordinator merges outcome streams, not analysis payloads)")
+	}
 
 	// A journaled campaign is resumable by construction; -resume only
 	// states intent, so a stale journal can never be continued by accident
@@ -304,7 +313,7 @@ func cmdCampaign(args []string) error {
 	defer cancel()
 
 	if *mpiMode {
-		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *staticPrune, *stream, *analyze, *journalPath)
+		return mpiCampaign(ctx, *app, *ranks, *faultRank, *tests, *seed, *direct, *earlyStop, *staticPrune, *stream, *analyze, *journalPath, *shards)
 	}
 
 	an, err := core.NewAnalyzer(*app)
@@ -353,7 +362,13 @@ func cmdCampaign(args []string) error {
 		if *analyze {
 			return fmt.Errorf("-journal does not combine with -analyze (analysis payloads are not journaled)")
 		}
-		copts = append(copts, inject.WithJournal(*journalPath), inject.WithJournalApp(*app))
+		// A sharded campaign journals its merged stream through the
+		// coordinator (same format, same header); the engine journal is for
+		// plain in-process runs.
+		copts = append(copts, inject.WithJournalApp(*app))
+		if *shards == 0 {
+			copts = append(copts, inject.WithJournal(*journalPath))
+		}
 	}
 
 	fmt.Printf("campaign on %s (%s): %d tests\n", *app, pop, n)
@@ -389,6 +404,31 @@ func cmdCampaign(args []string) error {
 				fmt.Printf("  %-25s %d\n", patterns.Pattern(p), patternCounts[p])
 			}
 		}
+	case *shards > 0:
+		c, err := an.NewCampaign(pop, copts...)
+		if err != nil {
+			return err
+		}
+		h, err := coord.Inject(c)
+		if err != nil {
+			return err
+		}
+		co, err := coord.New(h, shardOpts(*shards, *journalPath)...)
+		if err != nil {
+			return err
+		}
+		if *stream {
+			for fo, err := range co.Stream(ctx) {
+				if err != nil {
+					runErr = err
+					break
+				}
+				r.Count(fo.Outcome)
+				fmt.Printf("#%-6d %-32s -> %s\n", fo.Index, fo.Fault.String(), fo.Outcome)
+			}
+		} else {
+			r, runErr = co.Run(ctx)
+		}
 	case *stream:
 		c, err := an.NewCampaign(pop, copts...)
 		if err != nil {
@@ -422,11 +462,22 @@ func cmdCampaign(args []string) error {
 	return runErr
 }
 
+// shardOpts maps the CLI's -shards / -journal flags onto coordinator
+// options: the coordinator owns the journal for sharded runs so the merged
+// stream — not any one shard's — is what resumes.
+func shardOpts(shards int, journalPath string) []coord.Option {
+	opts := []coord.Option{coord.WithShards(shards)}
+	if journalPath != "" {
+		opts = append(opts, coord.WithJournal(journalPath))
+	}
+	return opts
+}
+
 // mpiCampaign runs a multi-rank campaign: every injection replays the
 // recorded fault-free world with one fault injected into faultRank
 // (resuming from a shared world checkpoint unless -direct), and each world
 // classifies into a §II-A outcome plus a cross-rank propagation class.
-func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, staticPrune, stream, analyze bool, journalPath string) error {
+func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, seed int64, direct, earlyStop, staticPrune, stream, analyze bool, journalPath string, shards int) error {
 	ma, err := core.NewMPIAnalyzer(app, ranks)
 	if err != nil {
 		return err
@@ -458,7 +509,10 @@ func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, s
 		if analyze {
 			return fmt.Errorf("-journal does not combine with -analyze (analysis payloads are not journaled)")
 		}
-		copts = append(copts, mpi.WithJournal(journalPath), mpi.WithJournalApp(app))
+		copts = append(copts, mpi.WithJournalApp(app))
+		if shards == 0 {
+			copts = append(copts, mpi.WithJournal(journalPath))
+		}
 	}
 	fmt.Printf("MPI campaign on %s: %d ranks, faults on rank %d, %d tests (%s scheduler)\n",
 		app, ranks, faultRank, n, ma.Scheduler)
@@ -503,7 +557,19 @@ func mpiCampaign(ctx context.Context, app string, ranks, faultRank, tests int, s
 		if err != nil {
 			return err
 		}
-		for wo, err := range c.Stream(ctx) {
+		worlds := c.Stream(ctx)
+		if shards > 0 {
+			h, err := coord.MPI(c)
+			if err != nil {
+				return err
+			}
+			co, err := coord.New(h, shardOpts(shards, journalPath)...)
+			if err != nil {
+				return err
+			}
+			worlds = co.Stream(ctx)
+		}
+		for wo, err := range worlds {
 			if err != nil {
 				runErr = err
 				break

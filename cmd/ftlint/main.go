@@ -29,6 +29,8 @@ var defaultDirs = []string{
 	"internal/core",
 	"internal/interp",
 	"internal/irstatic",
+	"internal/coord",
+	"internal/server",
 }
 
 func main() {

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFtserveKillRestartResume is the service acceptance test run against
+// the real binary: submit a durable campaign, SIGKILL the server
+// mid-campaign, start a fresh ftserve over the same data directory,
+// re-submit the same id and spec, and require the delivered stream and
+// final result to be FNV-identical to an uninterrupted run's.
+func TestFtserveKillRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the ftserve binary")
+	}
+	bin := buildFtserve(t)
+	spec := `{"id":"e2e","app":"kmeans","engine":"inject","seed":20181111,"tests":120,"parallelism":2,"shards":4}`
+
+	// Uninterrupted reference run on its own data dir.
+	refURL, refStop := startFtserve(t, bin, t.TempDir())
+	submit(t, refURL, spec, http.StatusCreated)
+	refLines, refEnd := stream(t, refURL, "e2e")
+	refStop()
+	if refEnd.State != "done" || len(refLines) != 120 {
+		t.Fatalf("reference run: state %q, %d records", refEnd.State, len(refLines))
+	}
+
+	// Durable run: SIGKILL the server once a few outcomes are committed.
+	dataDir := t.TempDir()
+	url, _ := startFtserve(t, bin, dataDir)
+	submit(t, url, spec, http.StatusCreated)
+	waitProgress(t, url, "e2e", 3)
+	killFtserve(t)
+	if fi, err := os.Stat(filepath.Join(dataDir, "e2e.journal")); err != nil || fi.Size() == 0 {
+		t.Fatalf("no journal survived the kill: %v", err)
+	}
+
+	// Restart over the same data dir; the same id+spec resumes the journal.
+	url2, stop2 := startFtserve(t, bin, dataDir)
+	defer stop2()
+	submit(t, url2, spec, http.StatusCreated)
+	lines, end := stream(t, url2, "e2e")
+	if end.State != "done" {
+		t.Fatalf("resumed run state %q (error %q)", end.State, end.Error)
+	}
+	if digest(lines) != digest(refLines) {
+		t.Errorf("resumed stream digest %#x (%d records), reference %#x (%d records)",
+			digest(lines), len(lines), digest(refLines), len(refLines))
+	}
+	if !bytes.Equal(end.Result, refEnd.Result) {
+		t.Errorf("resumed result %s, reference %s", end.Result, refEnd.Result)
+	}
+}
+
+func buildFtserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ftserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+var running *exec.Cmd
+
+// startFtserve launches the binary on a fresh loopback port and waits for
+// /healthz. The returned stop function shuts it down gracefully; use
+// killFtserve for the SIGKILL path.
+func startFtserve(t *testing.T, bin, dataDir string) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-data", dataDir, "-max-running", "1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	running = cmd
+	url := "http://" + addr
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return url, func() {
+					cmd.Process.Kill()
+					cmd.Wait()
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("ftserve did not become healthy")
+	return "", nil
+}
+
+func killFtserve(t *testing.T) {
+	t.Helper()
+	if err := running.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	running.Wait()
+}
+
+func submit(t *testing.T, url, spec string, want int) {
+	t.Helper()
+	resp, err := http.Post(url+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := bufio.NewReader(resp.Body).ReadString(0)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		t.Fatalf("POST /campaigns: status %d, want %d: %s", resp.StatusCode, want, body)
+	}
+}
+
+func waitProgress(t *testing.T, url, id string, done int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Done  int    `json:"done"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.Done >= done || st.State == "done" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %d outcomes", id, done)
+}
+
+type endLine struct {
+	Done   bool            `json:"done"`
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func stream(t *testing.T, url, id string) ([]string, endLine) {
+	t.Helper()
+	resp, err := http.Get(url + "/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET stream: status %d", resp.StatusCode)
+	}
+	var lines []string
+	var end endLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"done":true`) {
+			if err := json.Unmarshal([]byte(line), &end); err != nil {
+				t.Fatalf("bad end line %q: %v", line, err)
+			}
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines, end
+}
+
+func digest(lines []string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(lines, "\n")))
+	return h.Sum64()
+}
+
+// TestFtserveGracefulDrain: SIGTERM makes the server stop accepting work,
+// drain, and exit 0.
+func TestFtserveGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals the ftserve binary")
+	}
+	bin := buildFtserve(t)
+	url, _ := startFtserve(t, bin, t.TempDir())
+	submit(t, url, `{"id":"g1","app":"kmeans","engine":"inject","seed":1,"tests":4}`, http.StatusCreated)
+	waitProgress(t, url, "g1", 4)
+
+	cmd := running
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ftserve exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("ftserve did not exit after SIGINT")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}

@@ -1,0 +1,235 @@
+package fliptracker_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fliptracker"
+)
+
+// TestCoordinatorGoldenInject is the sharded-execution acceptance matrix
+// for single-process campaigns: the coordinator's merged stream is
+// FNV-identical to the plain campaign's own Stream at shard counts 1, 2,
+// and 4, under both schedulers, and the aggregate Results are equal.
+func TestCoordinatorGoldenInject(t *testing.T) {
+	const tests = 24
+	an, err := fliptracker.NewAnalyzer("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := func(extra ...fliptracker.CampaignOption) []fliptracker.CampaignOption {
+		return append([]fliptracker.CampaignOption{
+			fliptracker.WithTests(tests), fliptracker.WithSeed(20181111),
+		}, extra...)
+	}
+
+	for _, sched := range []fliptracker.SchedulerKind{fliptracker.ScheduleCheckpointed, fliptracker.ScheduleDirect} {
+		// The reference digest: the plain in-process campaign.
+		var ref []string
+		c, err := an.NewCampaign(fliptracker.WholeProgram(), opts(fliptracker.WithScheduler(sched))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fo, err := range c.Stream(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, digestFO(fo))
+		}
+		if len(ref) != tests {
+			t.Fatalf("reference run streamed %d outcomes, want %d", len(ref), tests)
+		}
+		want := fnv64(strings.Join(ref, "\n"))
+		wantRes, err := an.Campaign(ctx, fliptracker.WholeProgram(), opts(fliptracker.WithScheduler(sched))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, shards := range []int{1, 2, 4} {
+			name := fmt.Sprintf("%v/shards%d", sched, shards)
+			c, err := an.NewCampaign(fliptracker.WholeProgram(),
+				opts(fliptracker.WithScheduler(sched), fliptracker.WithParallelism(2))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co, err := fliptracker.NewCoordinator(c, fliptracker.CoordWithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for fo, err := range co.Stream(ctx) {
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				got = append(got, digestFO(fo))
+			}
+			if g := fnv64(strings.Join(got, "\n")); g != want {
+				t.Errorf("%s: merged stream digest %#x (%d outcomes), want %#x (%d)",
+					name, g, len(got), want, len(ref))
+			}
+			res, err := co.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res != wantRes {
+				t.Errorf("%s: Run %+v, want %+v", name, res, wantRes)
+			}
+		}
+	}
+}
+
+// TestCoordinatorGoldenMPI is the same matrix for world campaigns: merged
+// sharded world streams (outcome and cross-rank propagation included)
+// FNV-identical to the plain campaign at shard counts 1, 2, 4, under both
+// schedulers.
+func TestCoordinatorGoldenMPI(t *testing.T) {
+	const (
+		ranks = 3
+		tests = 8
+	)
+	ma, err := fliptracker.NewMPIAnalyzer("is", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma.FaultRank = 1
+	ctx := context.Background()
+	digest := func(wo fliptracker.WorldOutcome) string {
+		return fmt.Sprintf("#%d %s -> %s %s", wo.Index, wo.Fault.String(), wo.Outcome, wo.Propagation)
+	}
+	opts := func(extra ...fliptracker.MPIOption) []fliptracker.MPIOption {
+		return append([]fliptracker.MPIOption{
+			fliptracker.MPIWithTests(tests), fliptracker.MPIWithSeed(20181111),
+		}, extra...)
+	}
+
+	for _, sched := range []fliptracker.SchedulerKind{fliptracker.ScheduleCheckpointed, fliptracker.ScheduleDirect} {
+		var ref []string
+		c, err := ma.NewCampaign(nil, opts(fliptracker.MPIWithScheduler(sched))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wo, err := range c.Stream(ctx) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, digest(wo))
+		}
+		if len(ref) != tests {
+			t.Fatalf("reference run streamed %d worlds, want %d", len(ref), tests)
+		}
+		want := fnv64(strings.Join(ref, "\n"))
+
+		for _, shards := range []int{1, 2, 4} {
+			name := fmt.Sprintf("%v/shards%d", sched, shards)
+			c, err := ma.NewCampaign(nil, opts(fliptracker.MPIWithScheduler(sched), fliptracker.MPIWithParallelism(2))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co, err := fliptracker.NewMPICoordinator(c, fliptracker.CoordWithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for wo, err := range co.Stream(ctx) {
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				got = append(got, digest(wo))
+			}
+			if g := fnv64(strings.Join(got, "\n")); g != want {
+				t.Errorf("%s: merged stream digest %#x (%d worlds), want %#x (%d)",
+					name, g, len(got), want, len(ref))
+			}
+		}
+	}
+}
+
+// TestCoordinatorResumeGolden: a sharded campaign killed mid-run (Stream
+// break — the journal holds exactly the committed prefix) resumes through
+// the coordinator to the FNV-identical stream, and the finished journal
+// also replays under the plain engine's WithJournal — the coordinator and
+// the engine share one durability format.
+func TestCoordinatorResumeGolden(t *testing.T) {
+	const tests = 24
+	an, err := fliptracker.NewAnalyzer("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := func(extra ...fliptracker.CampaignOption) []fliptracker.CampaignOption {
+		return append([]fliptracker.CampaignOption{
+			fliptracker.WithTests(tests), fliptracker.WithSeed(20181111),
+		}, extra...)
+	}
+
+	var ref []string
+	c, err := an.NewCampaign(fliptracker.WholeProgram(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fo, err := range c.Stream(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, digestFO(fo))
+	}
+	want := fnv64(strings.Join(ref, "\n"))
+	wantRes, err := an.Campaign(ctx, fliptracker.WholeProgram(), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kill := range []int{2, 7} {
+		name := fmt.Sprintf("kill%d", kill)
+		path := filepath.Join(t.TempDir(), "coord.journal")
+		mk := func() (*fliptracker.InjectCoordinator, error) {
+			c, err := an.NewCampaign(fliptracker.WholeProgram(), opts(fliptracker.WithParallelism(2))...)
+			if err != nil {
+				return nil, err
+			}
+			return fliptracker.NewCoordinator(c,
+				fliptracker.CoordWithShards(4), fliptracker.CoordWithJournal(path))
+		}
+
+		co, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fo, err := range co.Stream(ctx) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if fo.Index == kill {
+				break
+			}
+		}
+
+		co2, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for fo, err := range co2.Stream(ctx) {
+			if err != nil {
+				t.Fatalf("%s: resume: %v", name, err)
+			}
+			got = append(got, digestFO(fo))
+		}
+		if g := fnv64(strings.Join(got, "\n")); g != want {
+			t.Errorf("%s: resumed merged stream digest %#x, want %#x", name, g, want)
+		}
+
+		// The finished coordinator journal replays under the plain engine.
+		res, err := an.Campaign(ctx, fliptracker.WholeProgram(), opts(fliptracker.WithJournal(path))...)
+		if err != nil {
+			t.Fatalf("%s: engine replay: %v", name, err)
+		}
+		if res != wantRes {
+			t.Errorf("%s: engine-replayed Result %+v, want %+v", name, res, wantRes)
+		}
+	}
+}

@@ -32,11 +32,17 @@ func Workers(parallelism, items int) int {
 type Config struct {
 	// Items is the number of work indices (0..Items-1).
 	Items int
-	// First is the first index actually executed; indices below it were
-	// already delivered by the caller (e.g. replayed from a durable
-	// journal), so the engine schedules only First..Items-1 and Progress
-	// counts the skipped prefix as done.
+	// First and Last bound the window of indices actually executed:
+	// [First, Last). Indices below First were already delivered by the
+	// caller (e.g. replayed from a durable journal), so the engine
+	// schedules only the window and Progress counts the skipped prefix as
+	// done; indices at or above Last belong to other shards of the same
+	// campaign (a coordinator runs each shard through its own Run and
+	// merges the ordered streams). A non-positive or oversized Last means
+	// Items — so the plain "resume" case is just the Last == Items window.
 	First int
+	// Last is the exclusive end of the executed window; see First.
+	Last int
 	// Workers is the resolved pool size (see Workers); values below 1 are
 	// treated as 1.
 	Workers int
@@ -73,15 +79,19 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 	if first < 0 {
 		first = 0
 	}
-	if n <= first {
+	last := cfg.Last
+	if last <= 0 || last > n {
+		last = n
+	}
+	if last <= first {
 		return nil
 	}
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > n-first {
-		workers = n - first
+	if workers > last-first {
+		workers = last - first
 	}
 
 	// wctx stops the workers; cancelled on early stop, on caller
@@ -89,8 +99,8 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	indices := make(chan int, n-first)
-	for i := first; i < n; i++ {
+	indices := make(chan int, last-first)
+	for i := first; i < last; i++ {
 		indices <- i
 	}
 	close(indices)
@@ -100,7 +110,7 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 	}
 	// results holds every possible send, so workers never block on it and
 	// always reach their context check.
-	results := make(chan item, n-first)
+	results := make(chan item, last-first)
 	var window chan struct{}
 	if cfg.Window > 0 {
 		window = make(chan struct{}, cfg.Window)
@@ -173,7 +183,7 @@ func Run[R any](ctx context.Context, cfg Config, work func(index int) (R, error)
 			}
 		}
 	}
-	for !stopped && next < n {
+	for !stopped && next < last {
 		select {
 		case it, ok := <-results:
 			if !ok {

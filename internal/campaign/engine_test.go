@@ -262,6 +262,128 @@ func TestRunFirstDone(t *testing.T) {
 	}
 }
 
+// TestRunWindow: a [First, Last) window executes exactly its own indices in
+// order — work is never called outside the window — while progress keeps
+// counting whole-campaign positions, so a shard reports global "k/n".
+func TestRunWindow(t *testing.T) {
+	const n, first, last = 40, 12, 29
+	var got, prog []int
+	err := Run(context.Background(),
+		Config{Items: n, First: first, Last: last, Workers: 4, Progress: func(done, total int) {
+			if total != n {
+				t.Errorf("progress total = %d, want %d", total, n)
+			}
+			prog = append(prog, done)
+		}},
+		func(i int) (int, error) {
+			if i < first || i >= last {
+				t.Errorf("work called with index %d outside window [%d, %d)", i, first, last)
+			}
+			return i, nil
+		},
+		func(res int) bool {
+			got = append(got, res)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != last-first {
+		t.Fatalf("emitted %d results, want %d", len(got), last-first)
+	}
+	for k, v := range got {
+		if v != first+k {
+			t.Fatalf("result %d = %d, want %d", k, v, first+k)
+		}
+		if prog[k] != first+k+1 {
+			t.Fatalf("progress %d = %d, want %d", k, prog[k], first+k+1)
+		}
+	}
+}
+
+// TestRunWindowEmpty: an empty or inverted window is a no-op — no work, no
+// emission, nil error — whatever combination of First/Last produces it.
+func TestRunWindowEmpty(t *testing.T) {
+	for _, w := range []struct{ first, last int }{
+		{5, 5},   // empty
+		{7, 3},   // inverted
+		{10, 10}, // empty at the end
+		{12, 15}, // entirely past Items (Last clamps to Items < First)
+	} {
+		err := Run(context.Background(), Config{Items: 10, First: w.first, Last: w.last, Workers: 4},
+			func(i int) (int, error) {
+				t.Errorf("window [%d, %d): work called with index %d", w.first, w.last, i)
+				return 0, nil
+			},
+			func(int) bool {
+				t.Errorf("window [%d, %d): emit called", w.first, w.last)
+				return true
+			})
+		if err != nil {
+			t.Fatalf("window [%d, %d): %v", w.first, w.last, err)
+		}
+	}
+}
+
+// TestRunWindowClamps: Last values of zero (unset) or beyond Items clamp to
+// Items, and a negative First clamps to zero — the full-range default.
+func TestRunWindowClamps(t *testing.T) {
+	for _, w := range []struct{ first, last int }{
+		{0, 0},   // both unset
+		{-3, 0},  // negative First
+		{0, 99},  // oversized Last
+		{-1, 12}, // both out of range
+	} {
+		var got []int
+		err := Run(context.Background(), Config{Items: 10, First: w.first, Last: w.last, Workers: 4},
+			func(i int) (int, error) { return i, nil },
+			func(res int) bool {
+				got = append(got, res)
+				return true
+			})
+		if err != nil {
+			t.Fatalf("window [%d, %d): %v", w.first, w.last, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("window [%d, %d): emitted %d results, want all 10", w.first, w.last, len(got))
+		}
+		for k, v := range got {
+			if v != k {
+				t.Fatalf("window [%d, %d): result %d = %d", w.first, w.last, k, v)
+			}
+		}
+	}
+}
+
+// TestRunWindowPartition: contiguous windows partition the index space — the
+// concatenation of per-window emissions is exactly the full range, each index
+// exactly once. This is the invariant the shard coordinator's merge relies on.
+func TestRunWindowPartition(t *testing.T) {
+	const n = 53
+	bounds := []int{0, 9, 17, 40, n}
+	var got []int
+	for s := 0; s+1 < len(bounds); s++ {
+		err := Run(context.Background(),
+			Config{Items: n, First: bounds[s], Last: bounds[s+1], Workers: 3},
+			func(i int) (int, error) { return i, nil },
+			func(res int) bool {
+				got = append(got, res)
+				return true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("windows emitted %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("concatenated result %d = %d", i, v)
+		}
+	}
+}
+
 // TestRunFirstClampsWorkers: the pool never exceeds the remaining items —
 // with 2 items left, at most 2 workers ever run, however large the knob.
 func TestRunFirstClampsWorkers(t *testing.T) {

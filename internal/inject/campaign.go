@@ -253,6 +253,99 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 // stopping).
 func (c *Campaign) Tests() int { return c.tests }
 
+// Journaled reports whether the campaign commits its outcomes to a durable
+// journal (WithJournal). Sharded execution requires an unjournaled campaign:
+// shards must not journal their windows independently, the coordinator
+// journals the merged stream (internal/coord).
+func (c *Campaign) Journaled() bool { return c.journalPath != "" }
+
+// Faults returns the campaign's pre-drawn fault stream: the fault executed
+// at every index 0..Tests()-1, drawn fresh from the campaign seed. The
+// stream is what makes campaigns shardable — any [first, last) window of it
+// can run anywhere and the outcomes merge in index order — and what resumed
+// journals are validated against.
+func (c *Campaign) Faults() []interp.Fault {
+	rng := rand.New(rand.NewSource(c.seed))
+	faults := make([]interp.Fault, c.tests)
+	ip, indexed := c.targets.(IndexedPicker)
+	for i := range faults {
+		if indexed {
+			faults[i] = ip.PickAt(i, rng)
+		} else {
+			faults[i] = c.targets.Pick(rng)
+		}
+	}
+	return faults
+}
+
+// StopEarly reports whether the campaign's sequential early-stopping rule
+// (WithEarlyStop) is satisfied by the outcomes counted so far — always false
+// for a campaign without early stopping. The rule depends only on the
+// aggregated counts, so a coordinator merging sharded outcome streams can
+// apply it to the merged stream and stop at exactly the index a
+// single-process run would.
+func (c *Campaign) StopEarly(res Result) bool {
+	if !c.earlyStop || res.Tests < EarlyStopMinTests || res.Tests >= c.tests {
+		return false
+	}
+	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
+}
+
+// StreamWindow executes only the fault-index window [first, last) of the
+// campaign and yields its outcomes in index order — the shard entry point of
+// the coordinator (internal/coord): contiguous windows partition the
+// pre-drawn fault stream, so the per-window streams concatenate into exactly
+// the sequence Stream yields. The bounds clamp to [0, Tests()); an empty
+// window yields nothing.
+//
+// A window is one shard of a larger whole, so whole-campaign concerns stay
+// with the caller: no early stopping is applied (the stopping rule reads the
+// merged stream — see StopEarly), and a journaled campaign refuses to run
+// windows (the coordinator journals the merged stream instead). Checkpoint
+// planning under ScheduleCheckpointed covers only the window's faults.
+func (c *Campaign) StreamWindow(ctx context.Context, first, last int) iter.Seq2[FaultOutcome, error] {
+	return func(yield func(FaultOutcome, error) bool) {
+		if c.journalPath != "" {
+			yield(FaultOutcome{Index: -1}, fmt.Errorf("inject: a journaled campaign cannot run shard windows (journal the merged stream instead)"))
+			return
+		}
+		broke := false
+		err := c.runWindow(ctx, first, last, func(fo FaultOutcome) bool {
+			if !yield(fo, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(FaultOutcome{Index: -1}, err)
+		}
+	}
+}
+
+// runWindow drives the window [first, last) of the pre-drawn fault stream
+// through the ordered fan-out engine, with checkpoint planning restricted to
+// the window's faults.
+func (c *Campaign) runWindow(ctx context.Context, first, last int, emit func(FaultOutcome) bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	faults := c.Faults()
+	if first < 0 {
+		first = 0
+	}
+	if last <= 0 || last > len(faults) {
+		last = len(faults)
+	}
+	if last <= first {
+		return nil
+	}
+	return c.execute(ctx, faults, first, last, nil, emit)
+}
+
 // FaultOutcome is one per-fault record of a streaming campaign: the drawn
 // fault (step, bit, kind and — for memory faults — address) and its §II-A
 // outcome. Index is the fault's position in the pre-drawn stream; Stream
@@ -305,12 +398,7 @@ func (c *Campaign) Stream(ctx context.Context) iter.Seq2[FaultOutcome, error] {
 
 // metEarlyStop reports whether the sequential stopping rule is satisfied by
 // the outcomes counted so far.
-func (c *Campaign) metEarlyStop(res Result) bool {
-	if !c.earlyStop || res.Tests < EarlyStopMinTests || res.Tests >= c.tests {
-		return false
-	}
-	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
-}
+func (c *Campaign) metEarlyStop(res Result) bool { return c.StopEarly(res) }
 
 // run is the campaign driver shared by Run and Stream: pre-draw the fault
 // stream, plan checkpoints when the checkpointed scheduler is selected, and
@@ -327,16 +415,7 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(c.seed))
-	faults := make([]interp.Fault, c.tests)
-	ip, indexed := c.targets.(IndexedPicker)
-	for i := range faults {
-		if indexed {
-			faults[i] = ip.PickAt(i, rng)
-		} else {
-			faults[i] = c.targets.Pick(rng)
-		}
-	}
+	faults := c.Faults()
 
 	// A journaled campaign replays its committed outcomes from disk and
 	// schedules only the remaining index range; every freshly computed
@@ -344,7 +423,7 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	first := 0
 	var jr *journal.Journal
 	if c.journalPath != "" {
-		j, recs, err := journal.OpenOrCreate(c.journalPath, c.journalHeader())
+		j, recs, err := journal.OpenOrCreate(c.journalPath, c.JournalHeader())
 		if err != nil {
 			return err
 		}
@@ -359,21 +438,28 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 		}
 		first = done
 	}
+	return c.execute(ctx, faults, first, len(faults), jr, emit)
+}
 
+// execute runs the fault-index window [first, last) of the pre-drawn stream
+// through the ordered fan-out engine: plan checkpoints for the window's
+// faults when the checkpointed scheduler is selected, fan the injections out,
+// and deliver outcomes to emit in index order — committing each to jr first
+// when the campaign is journaled.
+func (c *Campaign) execute(ctx context.Context, faults []interp.Fault, first, last int, jr *journal.Journal, emit func(FaultOutcome) bool) error {
 	var plan *checkpointPlan
 	// Checkpoints are useless for an analyzed campaign that cannot stitch
 	// the clean prefix (non-monotonic record steps): such runs replay
 	// traced from step 0, so skip the planning pass entirely.
 	if c.scheduler == ScheduleCheckpointed && (c.analyze == nil || c.stitch) {
 		var err error
-		plan, err = c.planCheckpoints(ctx, faults)
+		plan, err = c.planCheckpoints(ctx, faults, first, last)
 		if err != nil {
 			return err
 		}
 	}
 
-	n := len(faults)
-	workers := campaign.Workers(c.parallelism, n-first)
+	workers := campaign.Workers(c.parallelism, last-first)
 	// For analyzed campaigns, the window bounds completed-but-unemitted
 	// injections: each payload references a full faulty trace, so letting
 	// the reorder buffer absorb the whole campaign behind one slow early
@@ -399,7 +485,7 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 		}
 	}
 	err := campaign.Run(ctx,
-		campaign.Config{Items: n, First: first, Workers: workers, Window: window, Progress: c.progress},
+		campaign.Config{Items: len(faults), First: first, Last: last, Workers: workers, Window: window, Progress: c.progress},
 		func(i int) (FaultOutcome, error) {
 			o, payload, err := c.runFault(i, faults[i], plan)
 			if err != nil {
@@ -414,8 +500,14 @@ func (c *Campaign) run(ctx context.Context, emit func(FaultOutcome) bool) error 
 	return err
 }
 
-// journalHeader identifies this campaign for the durable journal.
-func (c *Campaign) journalHeader() journal.Header {
+// JournalHeader identifies this campaign for the durable journal: engine,
+// app label, seed, test count, and the configuration fingerprint. Exported
+// so a shard coordinator (internal/coord) can check that every shard of one
+// campaign agrees on the exact same campaign — same header, same
+// fingerprint — before merging their streams, and can journal the merged
+// stream under the identity the engines themselves would use (a journal
+// written by a coordinator resumes under a plain campaign and vice versa).
+func (c *Campaign) JournalHeader() journal.Header {
 	return journal.Header{
 		Engine:      journal.EngineInject,
 		App:         c.journalApp,

@@ -46,7 +46,12 @@ type checkpointPlan struct {
 //
 // The forward pass honors ctx between checkpoints, so cancellation during
 // planning is prompt.
-func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (*checkpointPlan, error) {
+//
+// Only the window [first, last) is planned: indices outside it belong to
+// other shards (or a journal's replayed prefix) and never run here, so they
+// neither force checkpoints nor need assignments — a sharded campaign's
+// forward passes each cover just their own window's fault steps.
+func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault, first, last int) (*checkpointPlan, error) {
 	n := len(faults)
 	// Statically pruned faults never run, so they neither force checkpoints
 	// nor need assignments. Skipping them here is purely a scheduling matter:
@@ -54,14 +59,14 @@ func (c *Campaign) planCheckpoints(ctx context.Context, faults []interp.Fault) (
 	// runFault before consulting the plan.
 	pruned := make([]bool, n)
 	if c.pruner != nil {
-		for i := range faults {
+		for i := first; i < last; i++ {
 			if c.pruner.Classify(faults[i]) != irstatic.Live {
 				pruned[i] = true
 			}
 		}
 	}
-	order := make([]int, 0, n)
-	for i := 0; i < n; i++ {
+	order := make([]int, 0, last-first)
+	for i := first; i < last; i++ {
 		if !pruned[i] {
 			order = append(order, i)
 		}

@@ -199,7 +199,7 @@ func TestDirsOnRealEnginePackages(t *testing.T) {
 	// runs through cmd/ftlint.
 	dirs := []string{
 		"../campaign", "../inject", "../mpi", "../journal",
-		"../trace", "../core", "../interp", "../irstatic",
+		"../trace", "../core", "../interp", "../irstatic", "../coord", "../server",
 	}
 	fs, err := Dirs(dirs)
 	if err != nil {

@@ -320,6 +320,101 @@ func outputsEqual(clean, faulty *Result) bool {
 // Tests returns the configured injection count.
 func (c *Campaign) Tests() int { return c.tests }
 
+// Journaled reports whether the campaign commits its outcomes to a durable
+// journal (WithJournal). Sharded execution requires an unjournaled campaign:
+// shards must not journal their windows independently, the coordinator
+// journals the merged stream (internal/coord).
+func (c *Campaign) Journaled() bool { return c.journalPath != "" }
+
+// Faults returns the campaign's pre-drawn fault stream: the fault injected
+// into world index 0..Tests()-1, drawn fresh from the campaign seed. Any
+// [first, last) window of the stream can run anywhere and the outcomes merge
+// in index order — the property sharded and journaled campaigns build on. A
+// replay-only campaign (nil TargetPicker) returns nil.
+func (c *Campaign) Faults() []interp.Fault {
+	if c.targets == nil {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(c.seed))
+	faults := make([]interp.Fault, c.tests)
+	ip, indexed := c.targets.(inject.IndexedPicker)
+	for i := range faults {
+		if indexed {
+			faults[i] = ip.PickAt(i, rng)
+		} else {
+			faults[i] = c.targets.Pick(rng)
+		}
+	}
+	return faults
+}
+
+// StopEarly reports whether the campaign's sequential early-stopping rule
+// (WithEarlyStop) is satisfied by the world outcomes counted so far — always
+// false without early stopping. The rule depends only on the aggregated
+// counts, so a coordinator merging sharded streams applies it to the merged
+// stream and stops at exactly the index a single-process run would.
+func (c *Campaign) StopEarly(res inject.Result) bool {
+	if !c.earlyStop || res.Tests < inject.EarlyStopMinTests || res.Tests >= c.tests {
+		return false
+	}
+	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
+}
+
+// StreamWindow executes only the fault-index window [first, last) of the
+// campaign and yields its world outcomes in index order — the shard entry
+// point of the coordinator (internal/coord), mirroring
+// inject.Campaign.StreamWindow: contiguous windows partition the pre-drawn
+// fault stream, so per-window streams concatenate into exactly the sequence
+// Stream yields. Bounds clamp to [0, Tests()); an empty window yields
+// nothing. No early stopping is applied (the rule reads the merged stream —
+// see StopEarly), a journaled campaign refuses to run windows, and world
+// checkpoint planning covers only the window's faults.
+func (c *Campaign) StreamWindow(ctx context.Context, first, last int) iter.Seq2[WorldOutcome, error] {
+	return func(yield func(WorldOutcome, error) bool) {
+		if c.journalPath != "" {
+			yield(WorldOutcome{Index: -1}, fmt.Errorf("mpi: a journaled campaign cannot run shard windows (journal the merged stream instead)"))
+			return
+		}
+		broke := false
+		err := c.runWindow(ctx, first, last, func(wo WorldOutcome) bool {
+			if !yield(wo, nil) {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(WorldOutcome{Index: -1}, err)
+		}
+	}
+}
+
+// runWindow drives the window [first, last) of the pre-drawn fault stream
+// through the ordered fan-out engine, with world checkpoint planning
+// restricted to the window's faults.
+func (c *Campaign) runWindow(ctx context.Context, first, last int, emit func(WorldOutcome) bool) error {
+	if c.targets == nil {
+		return fmt.Errorf("mpi: replay-only campaign cannot run injections")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	faults := c.Faults()
+	if first < 0 {
+		first = 0
+	}
+	if last <= 0 || last > len(faults) {
+		last = len(faults)
+	}
+	if last <= first {
+		return nil
+	}
+	return c.execute(ctx, faults, first, last, nil, emit)
+}
+
 // Ranks returns the world size.
 func (c *Campaign) Ranks() int { return c.base.Ranks }
 
@@ -454,12 +549,7 @@ func (c *Campaign) Stream(ctx context.Context) iter.Seq2[WorldOutcome, error] {
 
 // metEarlyStop reports whether the sequential stopping rule is satisfied by
 // the world outcomes counted so far.
-func (c *Campaign) metEarlyStop(res inject.Result) bool {
-	if !c.earlyStop || res.Tests < inject.EarlyStopMinTests || res.Tests >= c.tests {
-		return false
-	}
-	return stats.AdjustedProportionCI(res.Success, res.Tests, c.earlyStopConfidence) <= c.earlyStopMargin
-}
+func (c *Campaign) metEarlyStop(res inject.Result) bool { return c.StopEarly(res) }
 
 // run is the campaign driver shared by Run and Stream: pre-draw the fault
 // stream, plan world checkpoints when the checkpointed scheduler is selected,
@@ -479,16 +569,7 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(c.seed))
-	faults := make([]interp.Fault, c.tests)
-	ip, indexed := c.targets.(inject.IndexedPicker)
-	for i := range faults {
-		if indexed {
-			faults[i] = ip.PickAt(i, rng)
-		} else {
-			faults[i] = c.targets.Pick(rng)
-		}
-	}
+	faults := c.Faults()
 
 	// A journaled campaign replays its committed world outcomes from disk
 	// and schedules only the remaining index range; every freshly computed
@@ -496,7 +577,7 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 	first := 0
 	var jr *journal.Journal
 	if c.journalPath != "" {
-		j, recs, err := journal.OpenOrCreate(c.journalPath, c.journalHeader())
+		j, recs, err := journal.OpenOrCreate(c.journalPath, c.JournalHeader())
 		if err != nil {
 			return err
 		}
@@ -512,6 +593,15 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 		first = done
 	}
 
+	return c.execute(ctx, faults, first, len(faults), jr, emit)
+}
+
+// execute drives the window [first, last) of the pre-drawn fault stream
+// through the shared ordered fan-out engine, with world checkpoint planning
+// covering only the window, committing to jr (when non-nil) before each
+// emission. It is the common tail of run (full resume window, journaled) and
+// runWindow (one shard's window, never journaled).
+func (c *Campaign) execute(ctx context.Context, faults []interp.Fault, first, last int, jr *journal.Journal, emit func(WorldOutcome) bool) error {
 	var plan *worldPlan
 	// World checkpoints need collective boundaries to cut at, and analyzed
 	// campaigns additionally need stitchable (per-rank monotonic) clean
@@ -519,14 +609,13 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 	// when either is missing.
 	if c.scheduler == inject.ScheduleCheckpointed && (c.analyze == nil || c.stitch) {
 		var err error
-		plan, err = c.planWorldCheckpoints(ctx, faults)
+		plan, err = c.planWorldCheckpoints(ctx, faults, first, last)
 		if err != nil {
 			return err
 		}
 	}
 
-	n := len(faults)
-	workers := campaign.Workers(c.parallelism, n-first)
+	workers := campaign.Workers(c.parallelism, last-first)
 	// For traced campaigns, the window bounds completed-but-unemitted
 	// worlds: each holds one full trace per rank, so the reorder buffer must
 	// not absorb the whole campaign behind one slow early fault.
@@ -552,7 +641,7 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 		}
 	}
 	err := campaign.Run(ctx,
-		campaign.Config{Items: n, First: first, Workers: workers, Window: window, Progress: c.progress},
+		campaign.Config{Items: len(faults), First: first, Last: last, Workers: workers, Window: window, Progress: c.progress},
 		func(i int) (WorldOutcome, error) {
 			return c.runFault(i, faults[i], plan)
 		},
@@ -563,8 +652,13 @@ func (c *Campaign) run(ctx context.Context, emit func(WorldOutcome) bool) error 
 	return err
 }
 
-// journalHeader identifies this campaign for the durable journal.
-func (c *Campaign) journalHeader() journal.Header {
+// JournalHeader identifies this campaign for the durable journal: engine,
+// app label, fault-stream seed, test count, and the configuration
+// fingerprint. Exported so a shard coordinator (internal/coord) can verify
+// that every shard's campaign is the same campaign — equal headers mean
+// equal fault streams and per-index outcomes — and journal the merged
+// stream under the same identity a single-process run would use.
+func (c *Campaign) JournalHeader() journal.Header {
 	app := c.journalApp
 	if app == "" {
 		app = c.prog.Name

@@ -49,7 +49,12 @@ type worldPlan struct {
 // A nil plan (with nil error) means checkpointing cannot help: the program
 // has no collective rounds, the clean world's cut counts are ragged, or
 // every fault lands before the first cut. Such campaigns replay directly.
-func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fault) (*worldPlan, error) {
+//
+// Only the window [first, last) is planned: indices outside it belong to
+// other shards (or a journal's replayed prefix) and never run here, so they
+// neither request cuts nor need assignments — a sharded campaign's forward
+// passes each cover just their own window's fault steps.
+func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fault, first, last int) (*worldPlan, error) {
 	if len(c.clean.Cuts) != c.base.Ranks {
 		// An adopted clean Result without cut logs (WithClean on a Result
 		// assembled outside mpi.Run, e.g. rebuilt from persisted traces):
@@ -80,11 +85,11 @@ func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fau
 		return c.pruner == nil || c.pruner.Classify(f) == irstatic.Live
 	}
 	want := make(map[int]bool, rounds)
-	for _, f := range faults {
-		if !live(f) {
+	for i := first; i < last; i++ {
+		if !live(faults[i]) {
 			continue
 		}
-		if k := bestRound(f.Step); k >= 0 {
+		if k := bestRound(faults[i].Step); k >= 0 {
 			want[k] = true
 		}
 	}
@@ -123,8 +128,11 @@ func (c *Campaign) planWorldCheckpoints(ctx context.Context, faults []interp.Fau
 		return nil, fmt.Errorf("mpi: world checkpoints: %w", err)
 	}
 	plan := &worldPlan{snaps: snaps, assign: make([]int, len(faults))}
-	for i, f := range faults {
+	for i := range plan.assign {
 		plan.assign[i] = -1
+	}
+	for i := first; i < last; i++ {
+		f := faults[i]
 		if !live(f) {
 			continue
 		}

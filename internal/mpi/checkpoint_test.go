@@ -27,7 +27,7 @@ func TestPlanWorldCheckpoints(t *testing.T) {
 		{Step: cuts[1] - 1, Bit: 1, Kind: interp.FaultDst}, // just before a cut
 		{Step: steps - 1, Bit: 1, Kind: interp.FaultDst},   // late window
 	}
-	plan, err := c.planWorldCheckpoints(context.Background(), faults)
+	plan, err := c.planWorldCheckpoints(context.Background(), faults, 0, len(faults))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestPlanWorldCheckpoints(t *testing.T) {
 	// A budget of one keeps a single snapshot, still at or before the late
 	// faults it serves.
 	c1 := testCampaign(t, 4, WithMaxCheckpoints(1))
-	plan1, err := c1.planWorldCheckpoints(context.Background(), faults)
+	plan1, err := c1.planWorldCheckpoints(context.Background(), faults, 0, len(faults))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestCampaignAdoptedCleanWithoutCuts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := c.planWorldCheckpoints(context.Background(), []interp.Fault{{Step: steps - 1}})
+	plan, err := c.planWorldCheckpoints(context.Background(), []interp.Fault{{Step: steps - 1}}, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
