@@ -196,9 +196,9 @@ func BenchmarkDDDGBuild(b *testing.B) {
 // near the middle of the trace (faults on branch steps never fire).
 func midDstStep(b *testing.B, tr *trace.Trace) uint64 {
 	b.Helper()
-	for i := len(tr.Recs) / 2; i < len(tr.Recs); i++ {
-		if tr.Recs[i].HasDst() {
-			return tr.Recs[i].Step
+	for i := tr.Recs.Len() / 2; i < tr.Recs.Len(); i++ {
+		if tr.Recs.HasDst(i) {
+			return tr.Recs.At(i).Step
 		}
 	}
 	b.Fatal("no destination-writing record in second half of trace")
@@ -888,7 +888,7 @@ func BenchmarkAblationTraceSplitting(b *testing.B) {
 		b.Fatal(err)
 	}
 	spans := trace.NewSpanIndex(tr).Instances(int32(region.ID))
-	whole := trace.Span{Start: 0, End: len(tr.Recs)}
+	whole := trace.Span{Start: 0, End: tr.Recs.Len()}
 	b.Run("split-per-instance", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, s := range spans {
@@ -908,7 +908,7 @@ func BenchmarkAblationTraceSplitting(b *testing.B) {
 // direction) on a real CG trace.
 func BenchmarkAblationTraceCodecs(b *testing.B) {
 	_, tr := cleanCG(b)
-	sub := &trace.Trace{ProgName: tr.ProgName, Recs: tr.Recs[:50000], Output: tr.Output, Status: tr.Status, Steps: tr.Steps}
+	sub := &trace.Trace{ProgName: tr.ProgName, Recs: tr.Recs.Slice(0, 50000), Output: tr.Output, Status: tr.Status, Steps: tr.Steps}
 	b.Run("gob-gzip", func(b *testing.B) {
 		var n int
 		for i := 0; i < b.N; i++ {
@@ -918,7 +918,7 @@ func BenchmarkAblationTraceCodecs(b *testing.B) {
 			}
 			n = buf.Len()
 		}
-		b.ReportMetric(float64(n)/float64(len(sub.Recs)), "bytes/rec")
+		b.ReportMetric(float64(n)/float64(sub.Recs.Len()), "bytes/rec")
 	})
 	b.Run("binary", func(b *testing.B) {
 		var n int
@@ -929,7 +929,7 @@ func BenchmarkAblationTraceCodecs(b *testing.B) {
 			}
 			n = buf.Len()
 		}
-		b.ReportMetric(float64(n)/float64(len(sub.Recs)), "bytes/rec")
+		b.ReportMetric(float64(n)/float64(sub.Recs.Len()), "bytes/rec")
 	})
 	b.Run("binary-decode", func(b *testing.B) {
 		var buf bytes.Buffer
@@ -943,6 +943,53 @@ func BenchmarkAblationTraceCodecs(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTraceCodec is the headline codec record for BENCH_10.json:
+// encode and decode throughput (MB/s of the wire format) plus bytes/record
+// for both the legacy row-interleaved FTRC1 and the columnar FTRC2, over a
+// real CG clean trace.
+func BenchmarkTraceCodec(b *testing.B) {
+	_, tr := cleanCG(b)
+	sub := &trace.Trace{ProgName: tr.ProgName, Recs: tr.Recs.Slice(0, 50000), Output: tr.Output, Status: tr.Status, Steps: tr.Steps}
+	codecs := []struct {
+		name   string
+		encode func(*trace.Trace, *bytes.Buffer) error
+	}{
+		{"ftrc1", func(tr *trace.Trace, buf *bytes.Buffer) error { return tr.WriteBinaryV1(buf) }},
+		{"ftrc2", func(tr *trace.Trace, buf *bytes.Buffer) error { return tr.WriteBinary(buf) }},
+	}
+	for _, c := range codecs {
+		var wire bytes.Buffer
+		if err := c.encode(sub, &wire); err != nil {
+			b.Fatal(err)
+		}
+		raw := wire.Bytes()
+		b.Run("encode/"+c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				buf.Grow(len(raw))
+				if err := c.encode(sub, &buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(raw))/float64(sub.Recs.Len()), "bytes/rec")
+		})
+		b.Run("decode/"+c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := trace.ReadBinary(bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				trace.PutRecs(got.Recs)
+			}
+			b.ReportMetric(float64(len(raw))/float64(sub.Recs.Len()), "bytes/rec")
+		})
+	}
 }
 
 // BenchmarkAblationSelectiveTracing measures §V-B's selective tracing: full

@@ -196,7 +196,7 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d records (%d dynamic steps, %s format) to %s\n",
-		len(tr.Recs), tr.Steps, *format, *out)
+		tr.Recs.Len(), tr.Steps, *format, *out)
 	return nil
 }
 

@@ -42,7 +42,7 @@ func main() {
 	fmt.Printf("fault-free world: status %v\n", clean.Status())
 	for _, rr := range clean.Ranks {
 		fmt.Printf("  rank %d: %d dynamic steps, %d trace records\n",
-			rr.Rank, rr.Trace.Steps, len(rr.Trace.Recs))
+			rr.Rank, rr.Trace.Steps, rr.Trace.Recs.Len())
 	}
 
 	// One trace file per MPI process, exactly like the extended

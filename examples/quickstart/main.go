@@ -30,7 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fault-free run: %d dynamic instructions, %d trace records\n",
-		clean.Steps, len(clean.Recs))
+		clean.Steps, clean.Recs.Len())
 
 	// Inject a single bit flip into the destination of the instruction at
 	// one third of the run (bit 40 — a mantissa bit of a double).

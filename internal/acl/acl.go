@@ -141,7 +141,7 @@ func Analyze(faulty, clean *trace.Trace) *Result {
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
-	n := len(faulty.Recs)
+	n := faulty.Recs.Len()
 	res := &Result{
 		Series:          make([]int32, n),
 		InjectionIndex:  -1,
@@ -155,12 +155,12 @@ func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
 	// pooled arena — counting first, then filling — so the lists cost no
 	// allocations at all once the pool is warm, instead of one growing
 	// slice per location per fault.
+	frecs := &faulty.Recs
 	total := 0
 	for i := 0; i < n; i++ {
-		r := &faulty.Recs[i]
-		for s := 0; s < int(r.NSrc); s++ {
-			if r.Src[s] != 0 {
-				sc.readCount[r.Src[s]]++
+		for s := 0; s < frecs.NSrc(i); s++ {
+			if loc := frecs.Src(i, s); loc != 0 {
+				sc.readCount[loc]++
 				total++
 			}
 		}
@@ -176,10 +176,9 @@ func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
 	}
 	reads := sc.reads
 	for i := 0; i < n; i++ {
-		r := &faulty.Recs[i]
-		for s := 0; s < int(r.NSrc); s++ {
-			if r.Src[s] != 0 {
-				reads[r.Src[s]] = append(reads[r.Src[s]], int32(i))
+		for s := 0; s < frecs.NSrc(i); s++ {
+			if loc := frecs.Src(i, s); loc != 0 {
+				reads[loc] = append(reads[loc], int32(i))
 			}
 		}
 	}
@@ -209,16 +208,16 @@ func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
 		res.Events = append(res.Events, Event{RecIndex: at, Loc: loc, Kind: kind, SID: sid})
 	}
 
-	matched := len(clean.Recs)
+	matched := clean.Recs.Len()
 	if n < matched {
 		matched = n
 	}
 	for i := 0; i < n; i++ {
-		fr := &faulty.Recs[i]
+		fr := frecs.At(i)
 		valueAware := res.DivergenceIndex < 0 && i < matched
-		var cr *trace.Rec
+		var cr trace.Rec
 		if valueAware {
-			cr = &clean.Recs[i]
+			cr = clean.Recs.At(i)
 			if cr.SID != fr.SID {
 				res.DivergenceIndex = i
 				valueAware = false
@@ -311,13 +310,13 @@ func AnalyzeWith(faulty, clean *trace.Trace, opts Options) *Result {
 				end = n
 			}
 			iv.End = end
-			res.Events = append(res.Events, Event{RecIndex: iv.Begin, Loc: iv.Loc, Kind: DeadUnused, SID: faulty.Recs[iv.Begin].SID})
+			res.Events = append(res.Events, Event{RecIndex: iv.Begin, Loc: iv.Loc, Kind: DeadUnused, SID: frecs.SID(iv.Begin)})
 			continue
 		}
 		last := int(rs[hi-1])
 		if last+1 < iv.End {
 			iv.End = last + 1
-			res.Events = append(res.Events, Event{RecIndex: last, Loc: iv.Loc, Kind: DeadUnused, SID: faulty.Recs[last].SID})
+			res.Events = append(res.Events, Event{RecIndex: last, Loc: iv.Loc, Kind: DeadUnused, SID: frecs.SID(last)})
 		}
 	}
 
@@ -411,13 +410,13 @@ type MagPoint struct {
 // relative error of the faulty value is recorded. This reproduces the
 // Table II methodology (u[10][10][10] across mg3P invocations).
 func TrackLocation(faulty, clean *trace.Trace, loc trace.Loc, t ir.Type, errMag func(correct, faulty ir.Word, typ ir.Type) float64) []MagPoint {
-	n := len(faulty.Recs)
-	if len(clean.Recs) < n {
-		n = len(clean.Recs)
+	n := faulty.Recs.Len()
+	if clean.Recs.Len() < n {
+		n = clean.Recs.Len()
 	}
 	var out []MagPoint
 	for i := 0; i < n; i++ {
-		fr, cr := &faulty.Recs[i], &clean.Recs[i]
+		fr, cr := faulty.Recs.At(i), clean.Recs.At(i)
 		if fr.SID != cr.SID {
 			break // control-flow divergence; stop matching
 		}

@@ -29,7 +29,7 @@ func fig3Traces() (clean, faulty *trace.Trace, loc1, loc2 trace.Loc) {
 		return &trace.Trace{
 			ProgName: "fig3",
 			Status:   trace.RunOK,
-			Recs: []trace.Rec{
+			Recs: trace.MakeRecs([]trace.Rec{
 				{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc1, DstVal: ir.F64Word(v1)},
 				{SID: 2, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc3, DstVal: ir.F64Word(5)},
 				{SID: 3, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc2, DstVal: ir.F64Word(v2),
@@ -37,7 +37,7 @@ func fig3Traces() (clean, faulty *trace.Trace, loc1, loc2 trace.Loc) {
 				{SID: 4, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc5, DstVal: ir.F64Word(6)},
 				{SID: 5, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc1, DstVal: ir.F64Word(7)},
 				{SID: 6, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc2, DstVal: ir.F64Word(3)},
-			},
+			}...),
 		}
 	}
 	return mk(1, 10), mk(2, 20), loc1, loc2
@@ -97,13 +97,13 @@ func TestDeadUnusedLiveness(t *testing.T) {
 	loc1 := trace.MemLoc(201)
 	loc2 := trace.MemLoc(202)
 	mk := func(v float64) *trace.Trace {
-		return &trace.Trace{Recs: []trace.Rec{
+		return &trace.Trace{Recs: trace.MakeRecs([]trace.Rec{
 			{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc1, DstVal: ir.F64Word(v)},
 			{SID: 2, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc2, DstVal: ir.F64Word(v * 2),
 				NSrc: 1, Src: [2]trace.Loc{loc1}, SrcVal: [2]ir.Word{ir.F64Word(v)}},
 			{SID: 3, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(203), DstVal: ir.F64Word(1)},
 			{SID: 4, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(204), DstVal: ir.F64Word(1)},
-		}}
+		}...)}
 	}
 	res := Analyze(mk(9), mk(1))
 	// loc1 corrupted at 0, last used at 1 -> alive 0..1; loc2 corrupted at
@@ -131,14 +131,14 @@ func TestMaskedOperationEvent(t *testing.T) {
 	locIn := trace.MemLoc(301)
 	locOut := trace.MemLoc(302)
 	mk := func(in float64) *trace.Trace {
-		return &trace.Trace{Recs: []trace.Rec{
+		return &trace.Trace{Recs: trace.MakeRecs([]trace.Rec{
 			{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: locIn, DstVal: ir.F64Word(in)},
 			// Masking op: regardless of input, writes 4 (e.g. a shift).
 			{SID: 2, Op: ir.OpLShr, Typ: ir.I64, RegionID: -1, Dst: locOut, DstVal: ir.I64Word(4),
 				NSrc: 1, Src: [2]trace.Loc{locIn}, SrcVal: [2]ir.Word{ir.F64Word(in)}},
 			{SID: 3, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(303), DstVal: ir.F64Word(0),
 				NSrc: 1, Src: [2]trace.Loc{locOut}, SrcVal: [2]ir.Word{ir.I64Word(4)}},
-		}}
+		}...)}
 	}
 	res := Analyze(mk(64.5), mk(64))
 	var masked bool
@@ -171,18 +171,18 @@ func TestNoFaultMeansEmptyResult(t *testing.T) {
 func TestDivergenceFallsBackToConservativeTaint(t *testing.T) {
 	locA := trace.MemLoc(401)
 	locB := trace.MemLoc(402)
-	clean := &trace.Trace{Recs: []trace.Rec{
+	clean := &trace.Trace{Recs: trace.MakeRecs([]trace.Rec{
 		{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: locA, DstVal: ir.F64Word(1)},
 		{SID: 2, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: locB, DstVal: ir.F64Word(2)},
-	}}
-	faulty := &trace.Trace{Recs: []trace.Rec{
+	}...)}
+	faulty := &trace.Trace{Recs: trace.MakeRecs([]trace.Rec{
 		{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: locA, DstVal: ir.F64Word(9)},
 		// Different SID: control flow diverged.
 		{SID: 7, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: locB, DstVal: ir.F64Word(2),
 			NSrc: 1, Src: [2]trace.Loc{locA}, SrcVal: [2]ir.Word{ir.F64Word(9)}},
 		{SID: 8, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(403), DstVal: ir.F64Word(0),
 			NSrc: 1, Src: [2]trace.Loc{locB}, SrcVal: [2]ir.Word{ir.F64Word(2)}},
-	}}
+	}...)}
 	res := Analyze(faulty, clean)
 	if res.DivergenceIndex != 1 {
 		t.Fatalf("divergence = %d, want 1", res.DivergenceIndex)
@@ -238,11 +238,11 @@ func TestEndToEndWithInterpreter(t *testing.T) {
 	// Target the 4th dynamic fadd (the accumulator update) precisely.
 	var faddStep uint64
 	nf := 0
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpFAdd {
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpFAdd {
 			nf++
 			if nf == 4 {
-				faddStep = clean.Recs[i].Step
+				faddStep = clean.Recs.At(i).Step
 				break
 			}
 		}
@@ -328,7 +328,7 @@ func TestTouchesSpan(t *testing.T) {
 	}
 	// A clean run touches nothing.
 	none := Analyze(clean, clean)
-	if none.TouchesSpan(trace.Span{Start: 0, End: len(clean.Recs)}) {
+	if none.TouchesSpan(trace.Span{Start: 0, End: clean.Recs.Len()}) {
 		t.Error("fault-free analysis should touch no span")
 	}
 }

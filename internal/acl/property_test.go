@@ -52,7 +52,7 @@ func randomTracePair(seed int64) (clean, faulty *trace.Trace) {
 		cleanVals[dst] = cv
 		faultyVals[dst] = fv
 	}
-	return &trace.Trace{Recs: cr}, &trace.Trace{Recs: fr}
+	return &trace.Trace{Recs: trace.MakeRecs(cr...)}, &trace.Trace{Recs: trace.MakeRecs(fr...)}
 }
 
 func TestACLInvariantsOnRandomTraces(t *testing.T) {
@@ -74,7 +74,7 @@ func TestACLInvariantsOnRandomTraces(t *testing.T) {
 		}
 		// Intervals are well-formed and within range.
 		for _, iv := range res.Intervals {
-			if iv.Begin < 0 || iv.End < iv.Begin || iv.End > len(faulty.Recs) {
+			if iv.Begin < 0 || iv.End < iv.Begin || iv.End > faulty.Recs.Len() {
 				return false
 			}
 		}
@@ -106,11 +106,11 @@ func TestSkipLivenessOption(t *testing.T) {
 	// it alive.
 	loc := trace.MemLoc(900)
 	mk := func(v float64) *trace.Trace {
-		return &trace.Trace{Recs: []trace.Rec{
+		return &trace.Trace{Recs: trace.MakeRecs([]trace.Rec{
 			{SID: 1, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: loc, DstVal: ir.F64Word(v)},
 			{SID: 2, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(901), DstVal: ir.F64Word(1)},
 			{SID: 3, Op: ir.OpStore, Typ: ir.F64, RegionID: -1, Dst: trace.MemLoc(902), DstVal: ir.F64Word(1)},
-		}}
+		}...)}
 	}
 	r2 := Analyze(mk(5), mk(1))
 	c2 := AnalyzeWith(mk(5), mk(1), Options{SkipLiveness: true})

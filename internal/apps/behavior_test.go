@@ -63,8 +63,8 @@ func TestMGReducesResidual(t *testing.T) {
 	// it must decrease monotonically across V-cycles.
 	scalG, _ := p.GlobalByName("scal")
 	var norms []float64
-	for i := range tr.Recs {
-		r := &tr.Recs[i]
+	for i := 0; i < tr.Recs.Len(); i++ {
+		r := tr.Recs.At(i)
 		if r.Op == ir.OpStore && r.Dst == trace.MemLoc(scalG.Addr) {
 			norms = append(norms, r.DstVal.Float())
 		}
@@ -175,8 +175,8 @@ func TestLUResidualDecreases(t *testing.T) {
 	a, p, tr := getClean(t, "lu")
 	scalG, _ := p.GlobalByName("scal")
 	var norms []float64
-	for i := range tr.Recs {
-		r := &tr.Recs[i]
+	for i := 0; i < tr.Recs.Len(); i++ {
+		r := tr.Recs.At(i)
 		if r.Op == ir.OpStore && r.Dst == trace.MemLoc(scalG.Addr) {
 			norms = append(norms, r.DstVal.Float())
 		}
@@ -225,24 +225,24 @@ func TestAppsExposePatternSites(t *testing.T) {
 		check func(tr *trace.Trace) (string, bool)
 	}{
 		{"is", func(tr *trace.Trace) (string, bool) {
-			for i := range tr.Recs {
-				if tr.Recs[i].Op == ir.OpLShr {
+			for i := 0; i < tr.Recs.Len(); i++ {
+				if tr.Recs.At(i).Op == ir.OpLShr {
 					return "", true
 				}
 			}
 			return "no shift ops in IS", false
 		}},
 		{"cg-trunc", func(tr *trace.Trace) (string, bool) {
-			for i := range tr.Recs {
-				if tr.Recs[i].Op == ir.OpTruncI32 {
+			for i := 0; i < tr.Recs.Len(); i++ {
+				if tr.Recs.At(i).Op == ir.OpTruncI32 {
 					return "", true
 				}
 			}
 			return "no trunc ops in cg-trunc", false
 		}},
 		{"lulesh", func(tr *trace.Trace) (string, bool) {
-			for i := range tr.Recs {
-				if tr.Recs[i].Op == ir.OpEmitSci6 {
+			for i := 0; i < tr.Recs.Len(); i++ {
+				if tr.Recs.At(i).Op == ir.OpEmitSci6 {
 					return "", true
 				}
 			}

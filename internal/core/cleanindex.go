@@ -81,7 +81,7 @@ func newCleanIndex(newMachine func() (*interp.Machine, error), verify func(*trac
 		prog:       prog,
 		clean:      clean,
 		spans:      trace.NewSpanIndex(clean),
-		hint:       uint64(len(clean.Recs)) + 64,
+		hint:       uint64(clean.Recs.Len()) + 64,
 		bound:      DefaultGraphCacheBound,
 		entries:    make(map[spanKey]*list.Element),
 		lru:        list.New(),

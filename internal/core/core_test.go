@@ -36,8 +36,8 @@ func TestCleanTraceCached(t *testing.T) {
 	if t1 != t2 {
 		t.Error("clean trace should be cached (same pointer)")
 	}
-	if t1.Status != trace.RunOK || len(t1.Recs) == 0 {
-		t.Fatalf("bad clean trace: %v, %d recs", t1.Status, len(t1.Recs))
+	if t1.Status != trace.RunOK || t1.Recs.Len() == 0 {
+		t.Fatalf("bad clean trace: %v, %d recs", t1.Status, t1.Recs.Len())
 	}
 }
 
@@ -168,11 +168,11 @@ func TestAnalyzeFaultOutcomesAndRegions(t *testing.T) {
 	// Inject into the middle of the run (a store's destination).
 	var step uint64
 	cnt := 0
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpStore {
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpStore {
 			cnt++
 			if cnt == 500 {
-				step = clean.Recs[i].Step
+				step = clean.Recs.At(i).Step
 				break
 			}
 		}

@@ -89,12 +89,12 @@ func (an *Analyzer) resolvePopulation(pop Population) (inject.TargetPicker, uint
 		}
 		var writes uint64
 		for i := s.Start; i < s.End; i++ {
-			if clean.Recs[i].HasDst() {
+			if clean.Recs.HasDst(i) {
 				writes++
 			}
 		}
-		lo := clean.Recs[s.Start].Step
-		hi := clean.Recs[s.End-1].Step + 1
+		lo := clean.Recs.Step(s.Start)
+		hi := clean.Recs.Step(s.End-1) + 1
 		return inject.StepRangeDst{Lo: lo, Hi: hi}, writes * 64, nil
 	case popRegionInputs:
 		s, err := an.RegionInstance(pop.region, pop.instance)
@@ -112,7 +112,7 @@ func (an *Analyzer) resolvePopulation(pop Population) (inject.TargetPicker, uint
 		for i, l := range locs {
 			addrs[i] = l.Addr()
 		}
-		return inject.MemAtStep{Step: clean.Recs[s.Start].Step, Addrs: addrs}, uint64(len(locs)) * 64, nil
+		return inject.MemAtStep{Step: clean.Recs.Step(s.Start), Addrs: addrs}, uint64(len(locs)) * 64, nil
 	case popHybrid:
 		words := uint64(0)
 		if an.Prog.MemWords > 1 {

@@ -64,8 +64,8 @@ func Build(t *trace.Trace, span trace.Span) *Graph {
 		span:      span,
 		src:       t,
 	}
-	for i := span.Start; i < span.End && i < len(t.Recs); i++ {
-		r := &t.Recs[i]
+	for i := span.Start; i < span.End && i < t.Recs.Len(); i++ {
+		r := t.Recs.At(i)
 		if r.Op == ir.OpRegionEnter || r.Op == ir.OpRegionExit {
 			continue
 		}
@@ -190,8 +190,8 @@ func (g *Graph) OutputLocs(t *trace.Trace) []trace.Loc {
 		written[loc] = true
 	}
 	out := map[trace.Loc]bool{}
-	for i := g.span.End; i < len(t.Recs); i++ {
-		r := &t.Recs[i]
+	for i := g.span.End; i < t.Recs.Len(); i++ {
+		r := t.Recs.At(i)
 		for s := 0; s < int(r.NSrc); s++ {
 			if written[r.Src[s]] {
 				out[r.Src[s]] = true
@@ -220,8 +220,8 @@ func sortedLocs(set map[trace.Loc]bool) []trace.Loc {
 // by comparing operations").
 func OpSignature(t *trace.Trace, span trace.Span) []int32 {
 	var sig []int32
-	for i := span.Start; i < span.End && i < len(t.Recs); i++ {
-		sig = append(sig, t.Recs[i].SID)
+	for i := span.Start; i < span.End && i < t.Recs.Len(); i++ {
+		sig = append(sig, t.Recs.SID(i))
 	}
 	return sig
 }
@@ -235,7 +235,7 @@ func Diverged(a *trace.Trace, sa trace.Span, b *trace.Trace, sb trace.Span) int 
 		n = lb
 	}
 	for i := 0; i < n; i++ {
-		if a.Recs[sa.Start+i].SID != b.Recs[sb.Start+i].SID {
+		if a.Recs.SID(sa.Start+i) != b.Recs.SID(sb.Start+i) {
 			return i
 		}
 	}

@@ -206,7 +206,7 @@ func TestCompareRegionCase1MaskedInput(t *testing.T) {
 	r, _ := p.RegionByName("shiftreg")
 	cleanIx := trace.NewSpanIndex(clean)
 	cs0, _ := cleanIx.Instance(int32(r.ID), 0)
-	enterStep := clean.Recs[cs0.Start].Step
+	enterStep := clean.Recs.At(cs0.Start).Step
 	faulty := run(&interp.Fault{Step: enterStep, Bit: 1, Kind: interp.FaultMem, Addr: in.Addr})
 
 	cs, _ := cleanIx.Instance(int32(r.ID), 0)
@@ -261,7 +261,7 @@ func TestCompareRegionCase2ErrorDiminished(t *testing.T) {
 	r, _ := p.RegionByName("dampreg")
 	cleanIx := trace.NewSpanIndex(clean)
 	cs0, _ := cleanIx.Instance(int32(r.ID), 0)
-	faulty := run(&interp.Fault{Step: clean.Recs[cs0.Start].Step, Bit: 50, Kind: interp.FaultMem, Addr: in.Addr})
+	faulty := run(&interp.Fault{Step: clean.Recs.At(cs0.Start).Step, Bit: 50, Kind: interp.FaultMem, Addr: in.Addr})
 	cs, _ := cleanIx.Instance(int32(r.ID), 0)
 	fs, _ := trace.NewSpanIndex(faulty).Instance(int32(r.ID), 0)
 	cmp := CompareRegion(clean, cs, faulty, fs)
@@ -285,7 +285,7 @@ func TestCompareRegionWithReusesCleanGraph(t *testing.T) {
 
 	m, _ := interp.NewMachine(p)
 	m.Mode = interp.TraceFull
-	m.Fault = &interp.Fault{Step: clean.Recs[cs.Start].Step + 1, Bit: 40, Kind: interp.FaultDst}
+	m.Fault = &interp.Fault{Step: clean.Recs.At(cs.Start).Step + 1, Bit: 40, Kind: interp.FaultDst}
 	faulty, err := m.Run()
 	if err != nil {
 		t.Fatal(err)

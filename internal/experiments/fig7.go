@@ -52,7 +52,7 @@ func ACLSeries(opts Options) (*Fig7Result, error) {
 	var step uint64
 	found := false
 	for i := span.Start; i < span.End; i++ {
-		r := &clean.Recs[i]
+		r := clean.Recs.At(i)
 		if r.Op == ir.OpStore && r.Dst.IsMem() {
 			addr := r.Dst.Addr()
 			if addr >= hourgam.Addr && addr < hourgam.Addr+hourgam.Words {

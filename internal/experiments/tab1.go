@@ -81,13 +81,13 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 				// integers) so faults are absorbable — the
 				// pattern-revealing population.
 				idx := span.Start + (k*span.Len())/injections
-				for idx < span.End && !clean.Recs[idx].HasDst() {
+				for idx < span.End && !clean.Recs.HasDst(idx) {
 					idx++
 				}
 				if idx >= span.End {
 					continue
 				}
-				rec := clean.Recs[idx]
+				rec := clean.Recs.At(idx)
 				var bit uint8
 				if rec.Typ == ir.F64 {
 					bit = uint8(20 + rng.Intn(33)) // mantissa bits 20..52
@@ -130,7 +130,7 @@ func PatternInventory(opts Options) (*Tab1Result, error) {
 					// Output truncation acts in the program epilogue (LULESH's
 					// %12.6e report), outside any region span; attribute it to
 					// the region the corruption came from.
-					wholeSpan := trace.Span{Start: 0, End: len(fa.Faulty.Recs)}
+					wholeSpan := trace.Span{Start: 0, End: fa.Faulty.Recs.Len()}
 					whole := patterns.Detect(an.Prog, fa.Faulty, clean, wholeSpan, fa.ACL)
 					if whole.Found[patterns.Truncation] {
 						row.Found[patterns.Truncation] = true

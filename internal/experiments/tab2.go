@@ -64,7 +64,7 @@ func RepeatedAdditionsMagnitude(opts Options) (*Tab2Result, error) {
 	found := false
 	for _, span := range ix.Instances(int32(mgd.ID)) {
 		for i := span.Start; i < span.End && !found; i++ {
-			r := &clean.Recs[i]
+			r := clean.Recs.At(i)
 			if r.Op == ir.OpStore && r.Dst == loc {
 				step = r.Step
 				found = true

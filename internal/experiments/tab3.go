@@ -119,7 +119,7 @@ func tab3Population(an *core.Analyzer, ix *core.CleanIndex) (inject.TargetPicker
 			if s.Len() < 2 {
 				continue
 			}
-			out = append(out, [2]uint64{clean.Recs[s.Start].Step, clean.Recs[s.End-1].Step + 1})
+			out = append(out, [2]uint64{clean.Recs.Step(s.Start), clean.Recs.Step(s.End-1) + 1})
 		}
 		return out, nil
 	}

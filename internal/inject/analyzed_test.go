@@ -83,7 +83,7 @@ func TestAnalyzedCampaignTracesMatchDirectRuns(t *testing.T) {
 				}
 				if !reflect.DeepEqual(faulty.Recs, want.Recs) {
 					t.Fatalf("%v par=%d fault %d (%v): stitched records differ from direct traced run (%d vs %d recs)",
-						sched, par, fo.Index, fo.Fault, len(faulty.Recs), len(want.Recs))
+						sched, par, fo.Index, fo.Fault, faulty.Recs.Len(), want.Recs.Len())
 				}
 				if !reflect.DeepEqual(faulty.Output, want.Output) {
 					t.Fatalf("%v par=%d fault %d: outputs differ", sched, par, fo.Index)
@@ -337,7 +337,7 @@ func TestAnalyzedCampaignNonMonotonicTrace(t *testing.T) {
 		want := directFaultyTrace(t, p, fo.Fault)
 		if !reflect.DeepEqual(faulty.Recs, want.Recs) {
 			t.Fatalf("fault %d (%v): trace differs from direct traced run (%d vs %d recs)",
-				fo.Index, fo.Fault, len(faulty.Recs), len(want.Recs))
+				fo.Index, fo.Fault, faulty.Recs.Len(), want.Recs.Len())
 		}
 		n++
 	}

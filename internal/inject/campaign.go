@@ -237,7 +237,7 @@ func NewCampaign(mk func() (*interp.Machine, error), verify func(*trace.Trace) b
 		return nil, fmt.Errorf("inject: WithJournal cannot be combined with WithAnalysis (analysis payloads are not journaled)")
 	}
 	if c.analyze != nil {
-		if c.clean == nil || len(c.clean.Recs) == 0 {
+		if c.clean == nil || c.clean.Recs.Len() == 0 {
 			return nil, fmt.Errorf("inject: analyzed campaign needs the fault-free full trace (WithAnalysis clean argument)")
 		}
 		// Prefix stitching cuts the clean records by Step, which is only
@@ -588,7 +588,7 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 	// TraceHint is deliberately left unset until after Restore: a restored
 	// record-free snapshot would preallocate a clean-trace-sized buffer that
 	// PrimeTrace immediately replaces.
-	hint := uint64(len(c.clean.Recs)) + 64
+	hint := uint64(c.clean.Recs.Len()) + 64
 	var tr *trace.Trace
 	if snap != nil {
 		if rerr := m.Restore(snap); rerr == nil {
@@ -620,7 +620,7 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 			// artifacts hold no aliases into the records, so the buffer can
 			// seed a later injection's trace instead of being garbage.
 			trace.PutRecs(tr.Recs)
-			tr.Recs = nil
+			tr.Recs = trace.Recs{}
 		}
 	}
 	return o, payload, nil
@@ -630,8 +630,8 @@ func (c *Campaign) runTraced(i int, f interp.Fault, snap *interp.Snapshot) (Outc
 // step — exactly the records a traced run laid down before a checkpoint
 // taken at that step, since the pre-fault prefix is fault-free and
 // deterministic.
-func (c *Campaign) cleanPrefix(step uint64) []trace.Rec {
-	recs := c.clean.Recs
-	k := sort.Search(len(recs), func(i int) bool { return recs[i].Step >= step })
-	return recs[:k]
+func (c *Campaign) cleanPrefix(step uint64) trace.Recs {
+	recs := &c.clean.Recs
+	k := sort.Search(recs.Len(), func(i int) bool { return recs.Step(i) >= step })
+	return recs.Slice(0, k)
 }

@@ -155,9 +155,9 @@ func TestMemAtStepTargetsInputs(t *testing.T) {
 	m0.Mode = interp.TraceFull
 	tr0, _ := m0.Run()
 	var loadStep uint64
-	for i := range tr0.Recs {
-		if tr0.Recs[i].Op == ir.OpLoad {
-			loadStep = tr0.Recs[i].Step
+	for i := 0; i < tr0.Recs.Len(); i++ {
+		if tr0.Recs.At(i).Op == ir.OpLoad {
+			loadStep = tr0.Recs.At(i).Step
 			break
 		}
 	}

@@ -76,7 +76,7 @@ type Machine struct {
 
 	hosts  []HostFn
 	output []trace.OutVal
-	recs   []trace.Rec
+	recs   trace.Recs
 	sidLog []int32
 	steps  uint64
 	frames uint64
@@ -362,10 +362,11 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 		}
 
-		// Trace records are built inside each op's `if full` block: an
-		// unconditional `var rec trace.Rec` here would zero the (large)
-		// struct on every step of untraced runs, which profiles as a top
-		// cost of the hot loop.
+		// Trace records are appended column-at-a-time inside each op's
+		// `if full` block through the shape-specialized appenders
+		// (Append0/1/2, AppendCondBr, AppendMarker): building a Rec row
+		// here would zero the (large) struct on every step of untraced
+		// runs, which profiles as a top cost of the hot loop.
 
 		switch in.Op {
 		case ir.OpNop:
@@ -380,10 +381,8 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 			regs[in.Dst] = v
 			if full {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-					Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
-				})
+				m.recs.Append0(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.RegLoc(fid, in.Dst), v)
 			}
 			pc++
 			continue
@@ -401,13 +400,10 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 			regs[in.Dst] = v
 			if full {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-					Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
-					NSrc:   2,
-					Src:    [2]trace.Loc{trace.MemLoc(addr), trace.RegLoc(fid, in.A)},
-					SrcVal: [2]ir.Word{raw, regs[in.A]},
-				})
+				m.recs.Append2(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.RegLoc(fid, in.Dst), v,
+					trace.MemLoc(addr), raw,
+					trace.RegLoc(fid, in.A), regs[in.A])
 			}
 			pc++
 			continue
@@ -428,13 +424,10 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			}
 			pg[addr&pageMask] = v
 			if full {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-					Dst: trace.MemLoc(addr), DstVal: v,
-					NSrc:   2,
-					Src:    [2]trace.Loc{trace.RegLoc(fid, in.B), trace.RegLoc(fid, in.A)},
-					SrcVal: [2]ir.Word{regs[in.B], regs[in.A]},
-				})
+				m.recs.Append2(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.MemLoc(addr), v,
+					trace.RegLoc(fid, in.B), regs[in.B],
+					trace.RegLoc(fid, in.A), regs[in.A])
 			}
 			pc++
 			continue
@@ -446,13 +439,8 @@ func (m *Machine) loop(pauseAt uint64) bool {
 		case ir.OpCondBr:
 			taken := regs[in.A] != 0
 			if full {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-					NSrc:   1,
-					Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
-					SrcVal: [2]ir.Word{regs[in.A]},
-					Taken:  taken,
-				})
+				m.recs.AppendCondBr(int32(f.Base+pc), in.Type, step,
+					trace.RegLoc(fid, in.A), regs[in.A], taken)
 			}
 			if taken {
 				pc = int(in.Imm.Int())
@@ -469,12 +457,9 @@ func (m *Machine) loop(pauseAt uint64) bool {
 			for i, a := range in.Args {
 				nregs[i] = regs[a]
 				if full {
-					m.recs = append(m.recs, trace.Rec{
-						SID: int32(f.Base + pc), Op: ir.OpCall, Typ: in.Type, RegionID: -1, Step: step,
-						Dst: trace.RegLoc(nfid, ir.Reg(i)), DstVal: regs[a],
-						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(fid, a)},
-						SrcVal: [2]ir.Word{regs[a]},
-					})
+					m.recs.Append1(int32(f.Base+pc), ir.OpCall, in.Type, step,
+						trace.RegLoc(nfid, ir.Reg(i)), regs[a],
+						trace.RegLoc(fid, a), regs[a])
 				}
 			}
 			if len(m.stack) >= m.MaxDepth {
@@ -510,16 +495,14 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				}
 				regs[in.Dst] = ret
 				if full {
-					rec := trace.Rec{
-						SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-						Dst: trace.RegLoc(fid, in.Dst), DstVal: ret,
-					}
 					if len(in.Args) > 0 {
-						rec.NSrc = 1
-						rec.Src[0] = trace.RegLoc(fid, in.Args[0])
-						rec.SrcVal[0] = regs[in.Args[0]]
+						m.recs.Append1(int32(f.Base+pc), in.Op, in.Type, step,
+							trace.RegLoc(fid, in.Dst), ret,
+							trace.RegLoc(fid, in.Args[0]), regs[in.Args[0]])
+					} else {
+						m.recs.Append0(int32(f.Base+pc), in.Op, in.Type, step,
+							trace.RegLoc(fid, in.Dst), ret)
 					}
-					m.recs = append(m.recs, rec)
 				}
 			}
 			pc++
@@ -547,12 +530,9 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				}
 				top.regs[cin.Dst] = v
 				if top.full {
-					m.recs = append(m.recs, trace.Rec{
-						SID: int32(top.f.Base + top.pc), Op: ir.OpRet, Typ: cin.Type, RegionID: -1, Step: top.retStep,
-						Dst: trace.RegLoc(top.fid, cin.Dst), DstVal: v,
-						NSrc: 1, Src: [2]trace.Loc{trace.RegLoc(child.fid, ir.Reg(0))},
-						SrcVal: [2]ir.Word{ret},
-					})
+					m.recs.Append1(int32(top.f.Base+top.pc), ir.OpRet, cin.Type, top.retStep,
+						trace.RegLoc(top.fid, cin.Dst), v,
+						trace.RegLoc(child.fid, ir.Reg(0)), ret)
 				}
 			}
 			top.pc++
@@ -566,13 +546,9 @@ func (m *Machine) loop(pauseAt uint64) bool {
 				v = truncSci6(v)
 			}
 			if full {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-					Dst: trace.OutLoc(len(m.output)), DstVal: v,
-					NSrc:   1,
-					Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
-					SrcVal: [2]ir.Word{regs[in.A]},
-				})
+				m.recs.Append1(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.OutLoc(len(m.output)), v,
+					trace.RegLoc(fid, in.A), regs[in.A])
 			}
 			m.output = append(m.output, trace.OutVal{Val: v, Typ: in.Type, Sci6: sci})
 			pc++
@@ -580,10 +556,8 @@ func (m *Machine) loop(pauseAt uint64) bool {
 
 		case ir.OpRegionEnter, ir.OpRegionExit:
 			if m.Mode != TraceOff {
-				m.recs = append(m.recs, trace.Rec{
-					SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type,
-					RegionID: int32(in.Imm.Int()), Step: step,
-				})
+				m.recs.AppendMarker(int32(f.Base+pc), in.Op, in.Type,
+					int32(in.Imm.Int()), step)
 			}
 			pc++
 			continue
@@ -680,19 +654,16 @@ func (m *Machine) loop(pauseAt uint64) bool {
 		}
 		regs[in.Dst] = v
 		if full {
-			rec := trace.Rec{
-				SID: int32(f.Base + pc), Op: in.Op, Typ: in.Type, RegionID: -1, Step: step,
-				Dst: trace.RegLoc(fid, in.Dst), DstVal: v,
-				NSrc:   1,
-				Src:    [2]trace.Loc{trace.RegLoc(fid, in.A)},
-				SrcVal: [2]ir.Word{a},
-			}
 			if in.Op.IsBinary() {
-				rec.NSrc = 2
-				rec.Src[1] = trace.RegLoc(fid, in.B)
-				rec.SrcVal[1] = bv
+				m.recs.Append2(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.RegLoc(fid, in.Dst), v,
+					trace.RegLoc(fid, in.A), a,
+					trace.RegLoc(fid, in.B), bv)
+			} else {
+				m.recs.Append1(int32(f.Base+pc), in.Op, in.Type, step,
+					trace.RegLoc(fid, in.Dst), v,
+					trace.RegLoc(fid, in.A), a)
 			}
-			m.recs = append(m.recs, rec)
 		}
 		pc++
 	}

@@ -59,8 +59,8 @@ func TestSumProgram(t *testing.T) {
 	if tr.Steps == 0 {
 		t.Error("Steps not counted")
 	}
-	if len(tr.Recs) != 0 {
-		t.Errorf("TraceOff must not collect records, got %d", len(tr.Recs))
+	if tr.Recs.Len() != 0 {
+		t.Errorf("TraceOff must not collect records, got %d", tr.Recs.Len())
 	}
 }
 
@@ -69,13 +69,13 @@ func TestFullTraceRecordsDataFlow(t *testing.T) {
 	m, _ := NewMachine(p)
 	m.Mode = TraceFull
 	tr := mustRun(t, m)
-	if uint64(len(tr.Recs)) == 0 {
+	if uint64(tr.Recs.Len()) == 0 {
 		t.Fatal("no records in full trace")
 	}
 	// Every store must carry the memory destination and two sources.
 	var nStore, nLoad, nCond int
-	for i := range tr.Recs {
-		r := &tr.Recs[i]
+	for i := 0; i < tr.Recs.Len(); i++ {
+		r := tr.Recs.At(i)
 		switch r.Op {
 		case ir.OpStore:
 			nStore++
@@ -104,27 +104,27 @@ func TestFullTraceRecordsDataFlow(t *testing.T) {
 		t.Error("no condbr records")
 	}
 	// Steps and Recs should agree in order: record SIDs must be valid.
-	for i := range tr.Recs {
-		if int(tr.Recs[i].SID) >= p.TotalInstrs {
-			t.Fatalf("record %d has invalid SID %d", i, tr.Recs[i].SID)
+	for i := 0; i < tr.Recs.Len(); i++ {
+		if int(tr.Recs.At(i).SID) >= p.TotalInstrs {
+			t.Fatalf("record %d has invalid SID %d", i, tr.Recs.At(i).SID)
 		}
 	}
 }
 
 func TestDeterminism(t *testing.T) {
 	p, _ := buildSum(8)
-	run := func() []trace.Rec {
+	run := func() trace.Recs {
 		m, _ := NewMachine(p)
 		m.Mode = TraceFull
 		return mustRun(t, m).Recs
 	}
 	a, b := run(), run()
-	if len(a) != len(b) {
-		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	if a.Len() != b.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", a.Len(), b.Len())
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("record %d differs: %v vs %v", i, a.At(i), b.At(i))
 		}
 	}
 }
@@ -298,8 +298,8 @@ func TestCallsPassArgsAndReturn(t *testing.T) {
 	// The trace must contain arg-copy records (OpCall) and a return-copy
 	// record (OpRet) linking caller and callee frames.
 	var nArg, nRet int
-	for i := range tr.Recs {
-		switch tr.Recs[i].Op {
+	for i := 0; i < tr.Recs.Len(); i++ {
+		switch tr.Recs.At(i).Op {
 		case ir.OpCall:
 			nArg++
 		case ir.OpRet:
@@ -423,8 +423,8 @@ func TestRegionMarkersInMarkerMode(t *testing.T) {
 	m, _ := NewMachine(p)
 	m.Mode = TraceMarkers
 	tr := mustRun(t, m)
-	if len(tr.Recs) != 4 {
-		t.Fatalf("marker mode records = %d, want 4", len(tr.Recs))
+	if tr.Recs.Len() != 4 {
+		t.Fatalf("marker mode records = %d, want 4", tr.Recs.Len())
 	}
 	spans := tr.SplitRegions()
 	if len(spans) != 2 {

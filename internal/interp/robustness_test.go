@@ -97,18 +97,18 @@ func TestTraceHintPreallocates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if uint64(len(tr.Recs)) > tr0.Steps {
-		t.Fatalf("more records (%d) than steps (%d)?", len(tr.Recs), tr0.Steps)
+	if uint64(tr.Recs.Len()) > tr0.Steps {
+		t.Fatalf("more records (%d) than steps (%d)?", tr.Recs.Len(), tr0.Steps)
 	}
 	// Equivalence with the unhinted trace.
 	m2, _ := NewMachine(p)
 	m2.Mode = TraceFull
 	tr2, _ := m2.Run()
-	if len(tr.Recs) != len(tr2.Recs) {
-		t.Fatalf("hinted trace differs: %d vs %d records", len(tr.Recs), len(tr2.Recs))
+	if tr.Recs.Len() != tr2.Recs.Len() {
+		t.Fatalf("hinted trace differs: %d vs %d records", tr.Recs.Len(), tr2.Recs.Len())
 	}
-	for i := range tr.Recs {
-		if tr.Recs[i] != tr2.Recs[i] {
+	for i := 0; i < tr.Recs.Len(); i++ {
+		if tr.Recs.At(i) != tr2.Recs.At(i) {
 			t.Fatalf("record %d differs", i)
 		}
 	}
@@ -150,15 +150,15 @@ func TestRandomProgramsProperty(t *testing.T) {
 		if t1 == nil || t2 == nil {
 			return false
 		}
-		if t1.Steps != t2.Steps || len(t1.Recs) != len(t2.Recs) {
+		if t1.Steps != t2.Steps || t1.Recs.Len() != t2.Recs.Len() {
 			return false
 		}
 		// Records never outnumber steps; steps of records strictly increase.
-		if uint64(len(t1.Recs)) > t1.Steps {
+		if uint64(t1.Recs.Len()) > t1.Steps {
 			return false
 		}
-		for i := 1; i < len(t1.Recs); i++ {
-			if t1.Recs[i].Step <= t1.Recs[i-1].Step {
+		for i := 1; i < t1.Recs.Len(); i++ {
+			if t1.Recs.At(i).Step <= t1.Recs.At(i-1).Step {
 				return false
 			}
 		}
@@ -213,11 +213,11 @@ func TestPrimeTraceStitchesFullTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 0
-	for k < len(clean.Recs) && clean.Recs[k].Step < ckStep {
+	for k < clean.Recs.Len() && clean.Recs.At(k).Step < ckStep {
 		k++
 	}
-	hint := uint64(len(clean.Recs)) + 8
-	m.PrimeTrace(clean.Recs[:k], hint)
+	hint := uint64(clean.Recs.Len()) + 8
+	m.PrimeTrace(clean.Recs.Slice(0, k), hint)
 	got, err := m.Resume()
 	if err != nil {
 		t.Fatal(err)
@@ -225,15 +225,15 @@ func TestPrimeTraceStitchesFullTrace(t *testing.T) {
 	if got.Status != want.Status || got.Steps != want.Steps {
 		t.Fatalf("stitched run: status %v steps %d, want %v %d", got.Status, got.Steps, want.Status, want.Steps)
 	}
-	if len(got.Recs) != len(want.Recs) {
-		t.Fatalf("stitched trace has %d records, want %d", len(got.Recs), len(want.Recs))
+	if got.Recs.Len() != want.Recs.Len() {
+		t.Fatalf("stitched trace has %d records, want %d", got.Recs.Len(), want.Recs.Len())
 	}
-	for i := range got.Recs {
-		if got.Recs[i] != want.Recs[i] {
-			t.Fatalf("record %d differs:\ngot  %+v\nwant %+v", i, got.Recs[i], want.Recs[i])
+	for i := 0; i < got.Recs.Len(); i++ {
+		if got.Recs.At(i) != want.Recs.At(i) {
+			t.Fatalf("record %d differs:\ngot  %+v\nwant %+v", i, got.Recs.At(i), want.Recs.At(i))
 		}
 	}
-	if uint64(cap(got.Recs)) != hint {
-		t.Errorf("record buffer capacity %d, want primed %d (no growth copies)", cap(got.Recs), hint)
+	if uint64(got.Recs.Cap()) != hint {
+		t.Errorf("record buffer capacity %d, want primed %d (no growth copies)", got.Recs.Cap(), hint)
 	}
 }

@@ -59,11 +59,12 @@ func TestSelectiveTracingRestrictsRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if len(trSel.Recs) >= len(trAll.Recs) {
-		t.Fatalf("selective trace not smaller: %d vs %d", len(trSel.Recs), len(trAll.Recs))
+	if trSel.Recs.Len() >= trAll.Recs.Len() {
+		t.Fatalf("selective trace not smaller: %d vs %d", trSel.Recs.Len(), trAll.Recs.Len())
 	}
 	// Every selective record must belong to hot (or be a region marker).
-	for _, r := range trSel.Recs {
+	for i := 0; i < trSel.Recs.Len(); i++ {
+		r := trSel.Recs.At(i)
 		f, _ := p.FuncOf(int(r.SID))
 		if f.Name != "hot" {
 			t.Fatalf("record from %s leaked into selective trace: %v", f.Name, r)
@@ -89,7 +90,8 @@ func TestSelectiveTracingEmptySetRecordsOnlyMarkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range tr.Recs {
+	for i := 0; i < tr.Recs.Len(); i++ {
+		r := tr.Recs.At(i)
 		if r.Op != ir.OpRegionEnter && r.Op != ir.OpRegionExit {
 			t.Fatalf("non-marker record with empty TraceFuncs: %v", r)
 		}

@@ -31,7 +31,7 @@ type Snapshot struct {
 	frameCount uint64
 	rng        uint64
 	output     []trace.OutVal
-	recs       []trace.Rec
+	recs       trace.Recs
 	status     trace.RunStatus
 	applied    bool
 }
@@ -91,8 +91,8 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if len(m.output) > 0 {
 		s.output = append([]trace.OutVal(nil), m.output...)
 	}
-	if len(m.recs) > 0 {
-		s.recs = append([]trace.Rec(nil), m.recs...)
+	if m.recs.Len() > 0 {
+		s.recs = m.recs.Clone()
 	}
 	// Frame registers are copied eagerly into one arena: per-register CoW
 	// would put a branch in the hottest interpreter path for a few hundred
@@ -163,15 +163,16 @@ func RestoreMachine(p *ir.Program, s *Snapshot) (*Machine, error) {
 // run) are replaced. Call it after Restore/RunUntil with Mode == TraceFull
 // and before resuming; the final trace then carries prefix + suffix exactly
 // as a from-step-0 TraceFull run would.
-func (m *Machine) PrimeTrace(prefix []trace.Rec, hint uint64) {
+func (m *Machine) PrimeTrace(prefix trace.Recs, hint uint64) {
 	if hint > maxTraceReserve {
 		hint = maxTraceReserve
 	}
-	if hint < uint64(len(prefix)) {
-		hint = uint64(len(prefix))
+	if hint < uint64(prefix.Len()) {
+		hint = uint64(prefix.Len())
 	}
 	buf := trace.GetRecs(int(hint))
-	m.recs = append(buf, prefix...)
+	buf.Extend(&prefix)
+	m.recs = buf
 }
 
 // restore copies snapshot state into a not-yet-started machine.
@@ -193,9 +194,9 @@ func (m *Machine) restore(s *Snapshot) error {
 	if len(s.output) > 0 {
 		m.output = append([]trace.OutVal(nil), s.output...)
 	}
-	m.recs = nil
-	if len(s.recs) > 0 {
-		m.recs = append([]trace.Rec(nil), s.recs...)
+	m.recs = trace.Recs{}
+	if s.recs.Len() > 0 {
+		m.recs = s.recs.Clone()
 	} else if m.Mode == TraceFull && m.TraceHint > 0 {
 		// A record-free snapshot restored into a tracing machine: honor
 		// TraceHint exactly as start() does, so resumed traced runs (e.g.

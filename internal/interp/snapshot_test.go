@@ -80,7 +80,7 @@ func sameTrace(t *testing.T, label string, got, want *trace.Trace) {
 		t.Errorf("%s: output differs: %v vs %v", label, got.Output, want.Output)
 	}
 	if !reflect.DeepEqual(got.Recs, want.Recs) {
-		t.Errorf("%s: trace records differ (%d vs %d recs)", label, len(got.Recs), len(want.Recs))
+		t.Errorf("%s: trace records differ (%d vs %d recs)", label, got.Recs.Len(), want.Recs.Len())
 	}
 }
 
@@ -309,9 +309,9 @@ func TestSnapshotMidCallPendingFlip(t *testing.T) {
 	_, full := runDirect(t, p, TraceFull, nil)
 	var callStep uint64
 	found := false
-	for i := range full.Recs {
-		if full.Recs[i].Op == ir.OpCall {
-			callStep = full.Recs[i].Step
+	for i := 0; i < full.Recs.Len(); i++ {
+		if full.Recs.At(i).Op == ir.OpCall {
+			callStep = full.Recs.At(i).Step
 			found = true
 			break
 		}

@@ -271,7 +271,7 @@ func NewCampaign(p *ir.Program, base Config, targets inject.TargetPicker, opts .
 		return nil, fmt.Errorf("mpi: clean world %v", c.clean.Status())
 	}
 	for _, rr := range c.clean.Ranks {
-		if len(rr.Trace.Recs) == 0 {
+		if rr.Trace.Recs.Len() == 0 {
 			return nil, fmt.Errorf("mpi: clean world rank %d is untraced (campaign needs a TraceFull clean run)", rr.Rank)
 		}
 		if rr.Trace.Steps > c.hint {
@@ -752,7 +752,7 @@ func (c *Campaign) runFault(i int, f interp.Fault, plan *worldPlan) (WorldOutcom
 				for r := range faulty.Ranks {
 					if t := faulty.Ranks[r].Trace; t != nil {
 						trace.PutRecs(t.Recs)
-						t.Recs = nil
+						t.Recs = trace.Recs{}
 					}
 				}
 			}

@@ -168,7 +168,7 @@ func TestCampaignAnalyzedPayloadAndDropTraces(t *testing.T) {
 	analyze := func(index int, _ interp.Fault, faulty *Result, _ inject.Outcome, _ Propagation) (any, error) {
 		recs := 0
 		for _, rr := range faulty.Ranks {
-			recs += len(rr.Trace.Recs)
+			recs += rr.Trace.Recs.Len()
 		}
 		return &dropPayload{index: index, recs: recs}, nil
 	}

@@ -173,7 +173,7 @@ func (c *Campaign) runPlanned(i int, f *interp.Fault, plan *worldPlan) (*Result,
 		// (c.stitch).
 		prime = func(m *interp.Machine, rank int) {
 			prefix := c.cleanPrefix(rank, snap.CutStep(rank))
-			m.PrimeTrace(prefix, uint64(len(c.clean.Ranks[rank].Trace.Recs))+64)
+			m.PrimeTrace(prefix, uint64(c.clean.Ranks[rank].Trace.Recs.Len())+64)
 		}
 	}
 	return RestoreWorld(c.prog, cfg, snap, prime)
@@ -182,8 +182,8 @@ func (c *Campaign) runPlanned(i int, f *interp.Fault, plan *worldPlan) (*Result,
 // cleanPrefix returns rank's clean-trace records covering dynamic steps
 // below step — exactly the records a traced run laid down before a world cut
 // taken at that step on that rank.
-func (c *Campaign) cleanPrefix(rank int, step uint64) []trace.Rec {
-	recs := c.clean.Ranks[rank].Trace.Recs
-	k := sort.Search(len(recs), func(i int) bool { return recs[i].Step >= step })
-	return recs[:k]
+func (c *Campaign) cleanPrefix(rank int, step uint64) trace.Recs {
+	recs := &c.clean.Ranks[rank].Trace.Recs
+	k := sort.Search(recs.Len(), func(i int) bool { return recs.Step(i) >= step })
+	return recs.Slice(0, k)
 }

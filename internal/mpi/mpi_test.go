@@ -79,7 +79,7 @@ func TestPerRankTracesCollected(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, rr := range res.Ranks {
-		if len(rr.Trace.Recs) == 0 {
+		if rr.Trace.Recs.Len() == 0 {
 			t.Errorf("rank %d has no trace records", rr.Rank)
 		}
 	}

@@ -105,16 +105,8 @@ func rankDiverged(clean, faulty *trace.Trace) bool {
 	}
 	// Record-level diff only when both runs collected records (plain
 	// campaigns replay faulty worlds untraced).
-	if len(clean.Recs) == 0 || len(faulty.Recs) == 0 {
+	if clean.Recs.Len() == 0 || faulty.Recs.Len() == 0 {
 		return false
 	}
-	if len(clean.Recs) != len(faulty.Recs) {
-		return true
-	}
-	for i := range clean.Recs {
-		if clean.Recs[i] != faulty.Recs[i] {
-			return true
-		}
-	}
-	return false
+	return !clean.Recs.Equal(&faulty.Recs)
 }

@@ -118,13 +118,13 @@ func sameRankTrace(t *testing.T, label string, rank int, got, want *trace.Trace)
 	if !reflect.DeepEqual(got.Output, want.Output) {
 		t.Errorf("%s rank %d: output differs: %v vs %v", label, rank, got.Output, want.Output)
 	}
-	if len(got.Recs) != len(want.Recs) {
-		t.Errorf("%s rank %d: %d records, want %d", label, rank, len(got.Recs), len(want.Recs))
+	if got.Recs.Len() != want.Recs.Len() {
+		t.Errorf("%s rank %d: %d records, want %d", label, rank, got.Recs.Len(), want.Recs.Len())
 		return
 	}
-	for i := range got.Recs {
-		if got.Recs[i] != want.Recs[i] {
-			t.Errorf("%s rank %d: record %d differs: %+v vs %+v", label, rank, i, got.Recs[i], want.Recs[i])
+	for i := 0; i < got.Recs.Len(); i++ {
+		if got.Recs.At(i) != want.Recs.At(i) {
+			t.Errorf("%s rank %d: record %d differs: %+v vs %+v", label, rank, i, got.Recs.At(i), want.Recs.At(i))
 			return
 		}
 	}
@@ -149,10 +149,10 @@ func sameWorld(t *testing.T, label string, got, want *mpi.Result) {
 
 // cleanPrefix returns rank's clean records below step, the stitching prefix
 // the checkpointed scheduler would prime a traced restored rank with.
-func cleanPrefix(clean *mpi.Result, rank int, step uint64) []trace.Rec {
-	recs := clean.Ranks[rank].Trace.Recs
-	k := sort.Search(len(recs), func(i int) bool { return recs[i].Step >= step })
-	return recs[:k]
+func cleanPrefix(clean *mpi.Result, rank int, step uint64) trace.Recs {
+	recs := &clean.Ranks[rank].Trace.Recs
+	k := sort.Search(recs.Len(), func(i int) bool { return recs.Step(i) >= step })
+	return recs.Slice(0, k)
 }
 
 // allRounds returns every collective round index of a clean world.

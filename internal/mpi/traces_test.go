@@ -29,7 +29,7 @@ func TestWriteAndReadRankTraces(t *testing.T) {
 		if tr.Steps != res.Ranks[i].Trace.Steps {
 			t.Errorf("rank %d steps mismatch: %d vs %d", i, tr.Steps, res.Ranks[i].Trace.Steps)
 		}
-		if len(tr.Recs) != len(res.Ranks[i].Trace.Recs) {
+		if tr.Recs.Len() != res.Ranks[i].Trace.Recs.Len() {
 			t.Errorf("rank %d records mismatch", i)
 		}
 	}
@@ -81,11 +81,11 @@ func TestRankTracesRoundTripCrashedWorld(t *testing.T) {
 		if tr.Status != want.Status || tr.Steps != want.Steps {
 			t.Errorf("rank %d: status/steps %v/%d, want %v/%d", i, tr.Status, tr.Steps, want.Status, want.Steps)
 		}
-		if len(tr.Recs) != len(want.Recs) {
-			t.Errorf("rank %d: %d records, want %d", i, len(tr.Recs), len(want.Recs))
+		if tr.Recs.Len() != want.Recs.Len() {
+			t.Errorf("rank %d: %d records, want %d", i, tr.Recs.Len(), want.Recs.Len())
 		}
-		for j := range tr.Recs {
-			if tr.Recs[j] != want.Recs[j] {
+		for j := 0; j < tr.Recs.Len(); j++ {
+			if tr.Recs.At(j) != want.Recs.At(j) {
 				t.Errorf("rank %d: record %d mismatch", i, j)
 				break
 			}

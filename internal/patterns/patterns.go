@@ -149,8 +149,8 @@ func (dt *Detector) detect(span trace.Span, evs []acl.Event) *Detection {
 	add := func(p Pattern, recIdx int, loc trace.Loc, note string) {
 		d.Found[p] = true
 		ev := Evidence{Pattern: p, RecIndex: recIdx, Loc: loc, Note: note}
-		if recIdx >= 0 && recIdx < len(faulty.Recs) {
-			ev.SID = faulty.Recs[recIdx].SID
+		if recIdx >= 0 && recIdx < faulty.Recs.Len() {
+			ev.SID = faulty.Recs.SID(recIdx)
 			if prog != nil {
 				if f, off := prog.FuncOf(int(ev.SID)); f != nil {
 					ev.Line = f.Code[off].Line
@@ -166,7 +166,7 @@ func (dt *Detector) detect(span trace.Span, evs []acl.Event) *Detection {
 	var deadUnused []acl.Event
 
 	for _, e := range evs {
-		op := faulty.Recs[e.RecIndex].Op
+		op := faulty.Recs.Op(e.RecIndex)
 		switch e.Kind {
 		case acl.DeadOverwrite:
 			add(Overwriting, e.RecIndex, e.Loc, "corrupted location overwritten by clean value")
@@ -246,14 +246,14 @@ func DetectRepeatedAdditionsInSpans(faulty, clean *trace.Trace, spans []trace.Sp
 	hs := map[trace.Loc]*hist{}
 	for _, span := range spans {
 		n := span.End
-		if n > len(faulty.Recs) {
-			n = len(faulty.Recs)
+		if n > faulty.Recs.Len() {
+			n = faulty.Recs.Len()
 		}
-		if n > len(clean.Recs) {
-			n = len(clean.Recs)
+		if n > clean.Recs.Len() {
+			n = clean.Recs.Len()
 		}
 		for i := span.Start; i < n; i++ {
-			fr, cr := &faulty.Recs[i], &clean.Recs[i]
+			fr, cr := faulty.Recs.At(i), clean.Recs.At(i)
 			if fr.SID != cr.SID {
 				break
 			}
@@ -272,7 +272,7 @@ func DetectRepeatedAdditionsInSpans(faulty, clean *trace.Trace, spans []trace.Sp
 			// by looking back a short window for an fadd writing the
 			// source reg).
 			for j := i - 1; j >= span.Start && j > i-8; j-- {
-				pr := &faulty.Recs[j]
+				pr := faulty.Recs.At(j)
 				if pr.Op == ir.OpFAdd && pr.HasDst() && pr.Dst == fr.Src[0] {
 					h.isAccum = true
 					break

@@ -29,7 +29,7 @@ func runTraced(t *testing.T, p *ir.Program, f *interp.Fault) *trace.Trace {
 }
 
 func wholeSpan(tr *trace.Trace) trace.Span {
-	return trace.Span{RegionID: -1, Start: 0, End: len(tr.Recs)}
+	return trace.Span{RegionID: -1, Start: 0, End: tr.Recs.Len()}
 }
 
 func detect(t *testing.T, p *ir.Program, clean, faulty *trace.Trace) *Detection {
@@ -55,9 +55,9 @@ func TestDetectOverwriting(t *testing.T) {
 	clean := runTraced(t, p, nil)
 	// Flip the value stored first into g[0]: find the first store's step.
 	var st uint64
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpStore {
-			st = clean.Recs[i].Step
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpStore {
+			st = clean.Recs.At(i).Step
 			break
 		}
 	}
@@ -187,9 +187,9 @@ func TestDetectDCL(t *testing.T) {
 	clean := runTraced(t, p, nil)
 	// Corrupt src after its store, before the fan-out reads it.
 	var srcStore uint64
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpStore {
-			srcStore = clean.Recs[i].Step + 1
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpStore {
+			srcStore = clean.Recs.At(i).Step + 1
 			break
 		}
 	}
@@ -242,9 +242,9 @@ func TestDetectRepeatedAdditions(t *testing.T) {
 	clean := runTraced(t, p, nil)
 	// Corrupt u[0] after its first store (flip a middle mantissa bit).
 	var afterFirstStore uint64
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpStore {
-			afterFirstStore = clean.Recs[i].Step + 1
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpStore {
+			afterFirstStore = clean.Recs.At(i).Step + 1
 			break
 		}
 	}
@@ -303,16 +303,16 @@ func TestDetectorMatchesDetect(t *testing.T) {
 	}
 	clean := runTraced(t, p, nil)
 	var st uint64
-	for i := range clean.Recs {
-		if clean.Recs[i].Op == ir.OpStore {
-			st = clean.Recs[i].Step
+	for i := 0; i < clean.Recs.Len(); i++ {
+		if clean.Recs.At(i).Op == ir.OpStore {
+			st = clean.Recs.At(i).Step
 			break
 		}
 	}
 	faulty := runTraced(t, p, &interp.Fault{Step: st, Bit: 44, Kind: interp.FaultDst})
 	res := acl.Analyze(faulty, clean)
 	dt := NewDetector(p, faulty, clean, res)
-	n := len(faulty.Recs)
+	n := faulty.Recs.Len()
 	spans := []trace.Span{
 		{Start: 0, End: n},
 		{Start: 0, End: n / 2},

@@ -54,8 +54,8 @@ func CountRates(t *trace.Trace) Rates {
 	// value is an additive chain rooted at a memory load of some address.
 	chain := map[trace.Loc]trace.Loc{} // reg loc -> mem loc
 
-	for i := range t.Recs {
-		r := &t.Recs[i]
+	for i, n := 0, t.Recs.Len(); i < n; i++ {
+		r := t.Recs.At(i)
 		if r.Op == ir.OpRegionEnter || r.Op == ir.OpRegionExit {
 			continue
 		}

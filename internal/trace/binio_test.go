@@ -46,7 +46,7 @@ func randomTrace(seed int64, n int) *Trace {
 	step := uint64(0)
 	for i := 0; i < n; i++ {
 		step += uint64(rng.Intn(3) + 1)
-		t.Recs = append(t.Recs, randomRec(rng, step))
+		t.Recs.Append(randomRec(rng, step))
 	}
 	for i := 0; i < 4; i++ {
 		t.Output = append(t.Output, OutVal{Val: ir.F64Word(rng.NormFloat64()), Typ: ir.F64, Sci6: i%2 == 0})
@@ -68,12 +68,12 @@ func TestBinaryRoundTrip(t *testing.T) {
 		got.Status != orig.Status || got.Steps != orig.Steps {
 		t.Fatalf("header mismatch: %+v", got)
 	}
-	if len(got.Recs) != len(orig.Recs) {
-		t.Fatalf("record count %d vs %d", len(got.Recs), len(orig.Recs))
+	if got.Recs.Len() != orig.Recs.Len() {
+		t.Fatalf("record count %d vs %d", got.Recs.Len(), orig.Recs.Len())
 	}
-	for i := range got.Recs {
-		if got.Recs[i] != orig.Recs[i] {
-			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got.Recs[i], orig.Recs[i])
+	for i := 0; i < got.Recs.Len(); i++ {
+		if got.Recs.At(i) != orig.Recs.At(i) {
+			t.Fatalf("record %d differs:\n got %+v\nwant %+v", i, got.Recs.At(i), orig.Recs.At(i))
 		}
 	}
 	for i := range got.Output {
@@ -94,15 +94,7 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(got.Recs) != len(orig.Recs) {
-			return false
-		}
-		for i := range got.Recs {
-			if got.Recs[i] != orig.Recs[i] {
-				return false
-			}
-		}
-		return true
+		return got.Recs.Equal(&orig.Recs)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
@@ -119,7 +111,7 @@ func TestBinaryFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Recs) != len(orig.Recs) {
+	if got.Recs.Len() != orig.Recs.Len() {
 		t.Fatalf("record count mismatch")
 	}
 	if _, err := ReadBinaryFile(filepath.Join(t.TempDir(), "missing")); err == nil {

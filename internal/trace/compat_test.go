@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fliptracker/internal/ir"
+)
+
+var updateFixtures = flag.Bool("update", false, "regenerate checked-in trace fixtures")
+
+// fixtureTrace is the deterministic trace behind testdata/v1_fixture.ftrc.
+// It exercises every v1 feature: markers, 0/1/2-source records, absent dsts,
+// region ids, both scalar types, and sci6 outputs.
+func fixtureTrace() *Trace {
+	return randomTrace(42, 64)
+}
+
+// TestFTRC1FixtureStillDecodes reads a byte-for-byte checked-in FTRC1 file
+// written by an earlier version of the codec. It must keep decoding exactly
+// even as the writer moves on to FTRC2 — old campaign archives outlive code.
+func TestFTRC1FixtureStillDecodes(t *testing.T) {
+	path := filepath.Join("testdata", "v1_fixture.ftrc")
+	if *updateFixtures {
+		var buf bytes.Buffer
+		if err := fixtureTrace().WriteBinaryV1(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.HasPrefix(raw, []byte(binMagicV1)) {
+		t.Fatalf("fixture does not start with %q", binMagicV1)
+	}
+	got, err := ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	want := fixtureTrace()
+	if got.ProgName != want.ProgName || got.FaultNote != want.FaultNote ||
+		got.Status != want.Status || got.Steps != want.Steps {
+		t.Fatalf("fixture header mismatch: %+v", got)
+	}
+	if !got.Recs.Equal(&want.Recs) {
+		t.Fatal("fixture records do not match the generator")
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("fixture outputs: %d vs %d", len(got.Output), len(want.Output))
+	}
+	for i := range got.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("fixture output %d differs", i)
+		}
+	}
+}
+
+// TestWriteBinaryV1RejectsWideTypes pins the fix for the v1 flag-packing
+// collision: Typ was packed as the low bit(s) of the flags byte, so any
+// type value >= 2 silently bled into the sci6 (outputs) or taken (records)
+// bit. The v1 encoder must refuse rather than corrupt.
+func TestWriteBinaryV1RejectsWideTypes(t *testing.T) {
+	out := &Trace{Output: []OutVal{{Val: ir.I64Word(1), Typ: ir.Type(2)}}}
+	if err := out.WriteBinaryV1(&bytes.Buffer{}); err == nil {
+		t.Error("output with Typ=2 encoded without error under FTRC1")
+	}
+
+	rec := &Trace{}
+	rec.Recs.Append(Rec{SID: 1, Op: ir.OpAdd, Typ: ir.Type(3), Step: 1})
+	if err := rec.WriteBinaryV1(&bytes.Buffer{}); err == nil {
+		t.Error("record with Typ=3 encoded without error under FTRC1")
+	}
+
+	// FTRC2 shifts the type clear of the flag bits; the same traces encode
+	// and round-trip fine there.
+	var buf bytes.Buffer
+	if err := rec.WriteBinary(&buf); err != nil {
+		t.Fatalf("FTRC2 encode of Typ=3 record: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("FTRC2 decode: %v", err)
+	}
+	if got.Recs.Len() != 1 || got.Recs.Typ(0) != ir.Type(3) {
+		t.Fatalf("FTRC2 lost the wide type: %+v", got.Recs.At(0))
+	}
+}
+
+// v1 streams with unknown flag bits set must be rejected, not misdecoded.
+func TestReadBinaryV1RejectsCorruptFlags(t *testing.T) {
+	// Hand-assemble a minimal v1 stream so the corrupt byte offset is known:
+	// magic, empty ProgName/FaultNote, status 0, steps 0, then the payload.
+	header := []byte(binMagicV1)
+	header = append(header, 0, 0, 0, 0) // "", "", status=0, steps=0
+
+	t.Run("output", func(t *testing.T) {
+		stream := append(append([]byte{}, header...), 1) // 1 output
+		stream = append(stream, 0x04)                    // flags with bit 2 set
+		stream = append(stream, make([]byte, 8)...)      // value word
+		stream = append(stream, 0)                       // 0 records
+		if _, err := ReadBinary(bytes.NewReader(stream)); err == nil {
+			t.Error("v1 output flags 0x04 accepted")
+		}
+	})
+	t.Run("record", func(t *testing.T) {
+		stream := append(append([]byte{}, header...), 0) // 0 outputs
+		stream = append(stream, 1)                       // 1 record
+		stream = append(stream, byte(ir.OpAdd))          // op
+		stream = append(stream, 0x20)                    // flags with bit 5 set
+		if _, err := ReadBinary(bytes.NewReader(stream)); err == nil {
+			t.Error("v1 record flags 0x20 accepted")
+		}
+	})
+	t.Run("nsrc3", func(t *testing.T) {
+		stream := append(append([]byte{}, header...), 0) // 0 outputs
+		stream = append(stream, 1)                       // 1 record
+		stream = append(stream, byte(ir.OpAdd))          // op
+		stream = append(stream, 0x0c)                    // flags: nsrc=3
+		if _, err := ReadBinary(bytes.NewReader(stream)); err == nil {
+			t.Error("v1 record with NSrc=3 accepted")
+		}
+	})
+}
+
+// Both codecs must agree: anything FTRC1 can express, FTRC2 round-trips to
+// the identical trace.
+func TestV1V2Agree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		orig := randomTrace(seed, 120)
+		var b1, b2 bytes.Buffer
+		if err := orig.WriteBinaryV1(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.WriteBinary(&b2); err != nil {
+			t.Fatal(err)
+		}
+		got1, err := ReadBinary(&b1)
+		if err != nil {
+			t.Fatalf("seed %d: v1 decode: %v", seed, err)
+		}
+		got2, err := ReadBinary(&b2)
+		if err != nil {
+			t.Fatalf("seed %d: v2 decode: %v", seed, err)
+		}
+		if !got1.Recs.Equal(&got2.Recs) {
+			t.Fatalf("seed %d: v1 and v2 decode to different records", seed)
+		}
+	}
+}

@@ -30,7 +30,6 @@ func traceFromBytes(data []byte) *Trace {
 		Steps:     next()<<16 | next()<<8 | next(),
 		// Non-nil like ReadBinary's output, so DeepEqual sees the same shape.
 		Output: []OutVal{},
-		Recs:   []Rec{},
 	}
 	for i := uint64(0); i < next()%6; i++ {
 		t.Output = append(t.Output, OutVal{
@@ -40,7 +39,7 @@ func traceFromBytes(data []byte) *Trace {
 		})
 	}
 	var step uint64
-	for len(data) > 0 && len(t.Recs) < 64 {
+	for len(data) > 0 && t.Recs.Len() < 64 {
 		step += next() // non-decreasing, like a real trace
 		r := Rec{
 			SID:      int32(next()<<8|next()) - 1<<14, // negative SIDs too
@@ -62,30 +61,44 @@ func traceFromBytes(data []byte) *Trace {
 			r.Src[s] = Loc(next())
 			r.SrcVal[s] = ir.Word(next() << 8)
 		}
-		t.Recs = append(t.Recs, r)
+		t.Recs.Append(r)
 	}
 	return t
 }
 
-// FuzzTraceBinaryRoundTrip: any structurally valid trace must survive
-// WriteBinary → ReadBinary unchanged.
+// FuzzTraceBinaryRoundTrip: any structurally valid trace must survive both
+// the columnar FTRC2 encoder (WriteBinary) and the legacy FTRC1 encoder
+// (WriteBinaryV1) through ReadBinary unchanged.
 func FuzzTraceBinaryRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Add(bytes.Repeat([]byte{0x00, 0x80, 0x01}, 30))
+	// Shapes that stress the v2 column codec: long constant runs (region
+	// RLE), alternating dst presence, repeated operand locations (the
+	// last-value predictor's hot path).
+	f.Add(bytes.Repeat([]byte{7, 7, 7, 7}, 40))
+	f.Add(bytes.Repeat([]byte{1, 0, 255, 0, 1, 128}, 25))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		want := traceFromBytes(data)
-		var buf bytes.Buffer
-		if err := want.WriteBinary(&buf); err != nil {
-			t.Fatalf("write: %v", err)
-		}
-		got, err := ReadBinary(&buf)
-		if err != nil {
-			t.Fatalf("read back: %v", err)
-		}
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+		for _, enc := range []struct {
+			name  string
+			write func(*Trace, *bytes.Buffer) error
+		}{
+			{"v2", func(tr *Trace, b *bytes.Buffer) error { return tr.WriteBinary(b) }},
+			{"v1", func(tr *Trace, b *bytes.Buffer) error { return tr.WriteBinaryV1(b) }},
+		} {
+			var buf bytes.Buffer
+			if err := enc.write(want, &buf); err != nil {
+				t.Fatalf("%s write: %v", enc.name, err)
+			}
+			got, err := ReadBinary(&buf)
+			if err != nil {
+				t.Fatalf("%s read back: %v", enc.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s round trip mismatch:\ngot  %+v\nwant %+v", enc.name, got, want)
+			}
 		}
 	})
 }
@@ -95,15 +108,22 @@ func FuzzTraceBinaryRoundTrip(f *testing.F) {
 // mutations explore near-valid corruption.
 func FuzzTraceReadBinary(f *testing.F) {
 	valid := traceFromBytes([]byte{3, 4, 1, 2, 3, 4, 2, 9, 9, 1, 1, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
-	var buf bytes.Buffer
+	var buf, bufV1 bytes.Buffer
 	if err := valid.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	if err := valid.WriteBinaryV1(&bufV1); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:buf.Len()-2])
-	f.Add([]byte(binMagic))
+	f.Add(bufV1.Bytes())
+	f.Add(bufV1.Bytes()[:bufV1.Len()-2])
+	f.Add([]byte(binMagicV1))
+	f.Add([]byte(binMagicV2))
 	f.Add([]byte{})
-	f.Add(append([]byte(binMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append([]byte(binMagicV1), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append([]byte(binMagicV2), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

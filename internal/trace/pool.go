@@ -1,37 +1,65 @@
 package trace
 
-import "sync"
+import (
+	"sync"
 
-// recPool recycles record buffers across campaign workers. Analyzed
-// campaigns allocate a multi-megabyte []Rec per injection (clean prefix +
-// faulty suffix) and drop it as soon as the analysis payload is extracted;
-// without pooling every fault re-grows that slice from scratch. Buffers
-// are stored by pointer to avoid an allocation per Put.
+	"fliptracker/internal/ir"
+)
+
+// recPool recycles column sets across campaign workers. Analyzed campaigns
+// fill a multi-megabyte record store per injection (clean prefix + faulty
+// suffix) and drop it as soon as the analysis payload is extracted; without
+// pooling every fault re-grows all columns from scratch. Stores are pooled
+// by pointer to avoid an allocation per Put.
 var recPool = sync.Pool{}
 
-// GetRecs returns an empty record buffer with capacity at least capHint,
-// reusing a pooled buffer when one is large enough. The returned slice has
-// length 0; contents beyond the length are unspecified.
-func GetRecs(capHint int) []Rec {
-	if v := recPool.Get(); v != nil {
-		buf := *(v.(*[]Rec))
-		if cap(buf) >= capHint {
-			return buf[:0]
-		}
-		// Too small for this run; some other run may still want it.
-		recPool.Put(v)
+// newRecs allocates a fresh empty column set with capacity for capHint
+// records (the source-slot columns carry their fixed stride of 2).
+func newRecs(capHint int) Recs {
+	return Recs{
+		sid:    make([]int32, 0, capHint),
+		op:     make([]ir.Opcode, 0, capHint),
+		typ:    make([]ir.Type, 0, capHint),
+		nsrc:   make([]uint8, 0, capHint),
+		taken:  make([]bool, 0, capHint),
+		region: make([]int32, 0, capHint),
+		step:   make([]uint64, 0, capHint),
+		dst:    make([]Loc, 0, capHint),
+		dstVal: make([]ir.Word, 0, capHint),
+		src:    make([]Loc, 0, 2*capHint),
+		srcVal: make([]ir.Word, 0, 2*capHint),
 	}
-	return make([]Rec, 0, capHint)
 }
 
-// PutRecs returns a record buffer to the pool for reuse by a later GetRecs.
-// The caller must not retain any reference into buf afterwards — including
-// Trace.Recs fields of dropped traces and subslices handed to analyzers.
-// Nil and zero-capacity buffers are ignored.
-func PutRecs(buf []Rec) {
-	if cap(buf) == 0 {
+// GetRecs returns an empty record store with capacity for at least capHint
+// records, reusing a pooled column set when one is large enough. The
+// returned store has length 0; column contents beyond the length are
+// unspecified.
+//
+// A pooled store that is too small for this request is dropped, not
+// returned to the pool: re-putting it would hand the same undersized
+// buffer back to the next large request forever (the worker would pull it,
+// re-put it, and allocate fresh every time), so pooled capacities could
+// never converge on the campaign's high-water mark. Dropping lets the
+// fresh, larger store take its place on the next Put.
+func GetRecs(capHint int) Recs {
+	if v := recPool.Get(); v != nil {
+		buf := v.(*Recs)
+		if buf.Cap() >= capHint {
+			return buf.Slice(0, 0)
+		}
+	}
+	return newRecs(capHint)
+}
+
+// PutRecs returns a record store's columns to the pool for reuse by a later
+// GetRecs. The caller must not retain any reference into the store
+// afterwards — including Trace.Recs of dropped traces and views handed to
+// analyzers via Slice. Zero-capacity stores are ignored.
+func PutRecs(buf Recs) {
+	if buf.Cap() == 0 {
 		return
 	}
-	buf = buf[:0]
+	buf = buf.Slice(0, 0)
 	recPool.Put(&buf)
 }

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+
+	"fliptracker/internal/ir"
+)
+
+// Regression test: GetRecs used to hand back (and re-pool) buffers smaller
+// than the requested capacity hint, so a caller priming a large trace after
+// a small one had been pooled got a buffer that immediately reallocated —
+// and the undersized buffer cycled through the pool forever.
+func TestGetRecsDropsUndersizedPooledBuffers(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		PutRecs(newRecs(4))
+		got := GetRecs(4096)
+		if got.Cap() < 4096 {
+			t.Fatalf("iteration %d: GetRecs(4096) returned cap %d", i, got.Cap())
+		}
+		if got.Len() != 0 {
+			t.Fatalf("iteration %d: GetRecs returned non-empty buffer (len %d)", i, got.Len())
+		}
+	}
+}
+
+func TestPutRecsIgnoresZeroCap(t *testing.T) {
+	PutRecs(Recs{}) // must not panic or pool a useless buffer
+	got := GetRecs(16)
+	if got.Cap() < 16 {
+		t.Fatalf("cap %d after pooling a zero-cap buffer", got.Cap())
+	}
+}
+
+func TestGetRecsReusesPooledBuffer(t *testing.T) {
+	buf := GetRecs(128)
+	buf.Append(Rec{SID: 1, Op: ir.OpAdd, Step: 1})
+	PutRecs(buf)
+	got := GetRecs(64)
+	if got.Len() != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", got.Len())
+	}
+	if got.Cap() < 64 {
+		t.Fatalf("pooled buffer cap %d < 64", got.Cap())
+	}
+}

@@ -91,10 +91,11 @@ func (o OutVal) Float() float64 {
 	return float64(o.Val.Int())
 }
 
-// Trace is a complete dynamic execution record of one run.
+// Trace is a complete dynamic execution record of one run. Records live in
+// a columnar store (see Recs); accessors index it in record order.
 type Trace struct {
 	ProgName string
-	Recs     []Rec
+	Recs     Recs
 	Output   []OutVal
 	Status   RunStatus
 	// Steps counts executed dynamic instructions even when Recs is empty
@@ -127,34 +128,36 @@ func (t *Trace) SplitRegions() []Span {
 	// traces (untraced campaign runs, marker-less workloads) pay nothing.
 	var counts map[int32]int
 	var open map[int32][]int // region id -> stack of span indices
-	for i := range t.Recs {
-		r := &t.Recs[i]
-		switch r.Op {
+	recs := &t.Recs
+	for i, n := 0, recs.Len(); i < n; i++ {
+		switch recs.Op(i) {
 		case ir.OpRegionEnter:
+			rid := recs.RegionID(i)
 			if counts == nil {
 				counts = map[int32]int{}
 				open = map[int32][]int{}
 			}
-			spans = append(spans, Span{RegionID: r.RegionID, Instance: counts[r.RegionID], Start: i, End: -1})
-			counts[r.RegionID]++
-			open[r.RegionID] = append(open[r.RegionID], len(spans)-1)
+			spans = append(spans, Span{RegionID: rid, Instance: counts[rid], Start: i, End: -1})
+			counts[rid]++
+			open[rid] = append(open[rid], len(spans)-1)
 		case ir.OpRegionExit:
 			if open == nil {
 				continue // truncated or marker-unbalanced trace
 			}
-			st := open[r.RegionID]
+			rid := recs.RegionID(i)
+			st := open[rid]
 			if len(st) == 0 {
 				continue // truncated trace (crash inside region)
 			}
 			si := st[len(st)-1]
-			open[r.RegionID] = st[:len(st)-1]
+			open[rid] = st[:len(st)-1]
 			spans[si].End = i + 1
 		}
 	}
 	// Close spans left open by a crash at the end of the trace.
 	for _, st := range open { //ftlint:ok each span index is patched once; order has no effect
 		for _, si := range st {
-			spans[si].End = len(t.Recs)
+			spans[si].End = recs.Len()
 		}
 	}
 	return spans
@@ -167,9 +170,9 @@ func (t *Trace) SplitRegions() []Span {
 // step but emitted at return time, after the callee's higher-step records.
 // The checkpointed schedulers (inject and mpi) gate clean-prefix stitching
 // on it.
-func StepsMonotonic(recs []Rec) bool {
-	for i := 1; i < len(recs); i++ {
-		if recs[i].Step < recs[i-1].Step {
+func StepsMonotonic(recs Recs) bool {
+	for i := 1; i < recs.Len(); i++ {
+		if recs.Step(i) < recs.Step(i-1) {
 			return false
 		}
 	}

@@ -69,15 +69,15 @@ func TestNegativeRegLocIsZero(t *testing.T) {
 	}
 }
 
-func markers(ids ...int32) []Rec {
-	var recs []Rec
+func markers(ids ...int32) Recs {
+	var recs Recs
 	for i, id := range ids {
 		op := ir.OpRegionEnter
 		if id < 0 {
 			op = ir.OpRegionExit
 			id = -id - 1
 		}
-		recs = append(recs, Rec{SID: int32(i), Op: op, RegionID: id})
+		recs.Append(Rec{SID: int32(i), Op: op, RegionID: id})
 	}
 	return recs
 }
@@ -125,7 +125,9 @@ func TestSplitRegionsNested(t *testing.T) {
 
 func TestSplitRegionsTruncatedByCrash(t *testing.T) {
 	// A crash leaves region 0 open; span must close at trace end.
-	tr := &Trace{Recs: append(markers(0), Rec{Op: ir.OpFAdd})}
+	recs := markers(0)
+	recs.Append(Rec{Op: ir.OpFAdd, RegionID: -1})
+	tr := &Trace{Recs: recs}
 	spans := tr.SplitRegions()
 	if len(spans) != 1 || spans[0].End != 2 {
 		t.Fatalf("spans = %+v", spans)
@@ -143,12 +145,12 @@ func TestSplitRegionsStrayExit(t *testing.T) {
 func TestTraceIO(t *testing.T) {
 	tr := &Trace{
 		ProgName: "demo",
-		Recs: []Rec{
-			{SID: 1, Op: ir.OpFAdd, Typ: ir.F64, RegionID: -1, NSrc: 2,
+		Recs: MakeRecs(
+			Rec{SID: 1, Op: ir.OpFAdd, Typ: ir.F64, RegionID: -1, NSrc: 2,
 				Dst: RegLoc(0, 1), DstVal: ir.F64Word(2.5),
 				Src:    [2]Loc{RegLoc(0, 2), RegLoc(0, 3)},
 				SrcVal: [2]ir.Word{ir.F64Word(1), ir.F64Word(1.5)}},
-		},
+		),
 		Output: []OutVal{{Val: ir.F64Word(2.5), Typ: ir.F64}},
 		Status: RunOK,
 		Steps:  99,
@@ -161,7 +163,7 @@ func TestTraceIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.ProgName != "demo" || got.Steps != 99 || len(got.Recs) != 1 || got.Recs[0] != tr.Recs[0] {
+	if got.ProgName != "demo" || got.Steps != 99 || got.Recs.Len() != 1 || got.Recs.At(0) != tr.Recs.At(0) {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
 
